@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (Figs. 2-8 plus the
+samples sweep and the ablation study) at a reduced scale — fewer random
+drops and coarser grids than Section VII-A, so the whole suite finishes in
+minutes — and asserts the figure's qualitative claim on the produced table.
+Pass ``--benchmark-only`` to skip the regular tests, and see EXPERIMENTS.md
+for how to run the full paper-scale sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig
+from repro.experiments.base import SweepConfig
+
+
+def bench_sweep(num_devices: int = 20, num_trials: int = 1, **kwargs) -> SweepConfig:
+    """The reduced-scale sweep shared by the benchmark configurations."""
+    kwargs.setdefault("allocator", AllocatorConfig(max_iterations=8))
+    return SweepConfig(num_devices=num_devices, num_trials=num_trials, **kwargs)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The figure sweeps are macro-benchmarks (seconds each); a single round is
+    representative and keeps the suite fast.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the proposed algorithm's building blocks.
+
+Unlike the figure benchmarks (macro-benchmarks run once), these time the
+individual solver layers with pytest-benchmark's normal repetition so the
+cost of each stage of Algorithm 2 can be tracked:
+
+* one full Algorithm-2 solve at the paper's device count,
+* one Algorithm-1 (sum-of-ratios) solve,
+* one closed-form SP2_v2 solve (Theorem 2 / Appendix B),
+* one Subproblem-1 solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
+from repro.core.subproblem1 import solve_subproblem1
+from repro.core.subproblem2 import solve_sp2_v2
+from repro.core.sum_of_ratios import SumOfRatiosSolver
+
+
+@pytest.fixture(scope="module")
+def paper_system():
+    return build_paper_scenario(num_devices=50, seed=0)
+
+
+@pytest.fixture(scope="module")
+def warm_start(paper_system):
+    """A feasible (p, B, nu, beta, r_min) tuple shared by the micro-benchmarks."""
+    system = paper_system
+    n = system.num_devices
+    power = system.max_power_w.copy()
+    bandwidth = np.full(n, system.total_bandwidth_hz * 0.5 / n)
+    rates = system.rates_bps(power, bandwidth)
+    upload = system.upload_bits / rates
+    compute = system.cycles_per_round / system.max_frequency_hz
+    deadline = float(np.max(upload + compute)) * 1.5
+    min_rate = system.upload_bits / np.maximum(deadline - compute, 1e-9)
+    beta = power * system.upload_bits / rates
+    nu = 0.5 * system.global_rounds / rates
+    return power, bandwidth, upload, min_rate, nu, beta
+
+
+def test_bench_full_algorithm2(benchmark, paper_system):
+    problem = JointProblem(paper_system, ProblemWeights(energy=0.5, time=0.5))
+    allocator = ResourceAllocator()
+    result = benchmark(allocator.solve, problem)
+    assert result.feasible
+
+
+def test_bench_sum_of_ratios(benchmark, paper_system, warm_start):
+    power, bandwidth, _, min_rate, _, _ = warm_start
+    solver = SumOfRatiosSolver(paper_system, 0.5)
+    result = benchmark(solver.solve, min_rate, power, bandwidth)
+    assert result.feasible
+
+
+def test_bench_sp2_closed_form(benchmark, paper_system, warm_start):
+    _, _, _, min_rate, nu, beta = warm_start
+    result = benchmark(solve_sp2_v2, paper_system, nu, beta, min_rate)
+    assert result.feasible
+
+
+def test_bench_subproblem1(benchmark, paper_system, warm_start):
+    _, _, upload, _, _, _ = warm_start
+    result = benchmark(
+        solve_subproblem1, paper_system, 0.5, 0.5, upload
+    )
+    assert result.round_deadline_s > 0

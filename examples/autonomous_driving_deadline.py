@@ -1,0 +1,74 @@
+"""Scenario: time-critical FL for connected vehicles under a hard deadline.
+
+The paper's introduction motivates the completion-time weight with smart
+transportation: connected vehicles need the global model quickly.  This
+example fixes a hard completion-time budget, compares the proposed joint
+algorithm against the single-resource baselines and Scheme 1 ([7]), and
+shows how the energy price of the deadline grows as the budget tightens.
+
+Run with:  python examples/autonomous_driving_deadline.py
+"""
+
+from __future__ import annotations
+
+from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
+from repro.baselines import communication_only, computation_only, scheme1
+from repro.exceptions import InfeasibleProblemError
+from repro.experiments import ascii_line_plot
+
+
+def main() -> None:
+    # Vehicles spread over a larger cell than the default campus setting.
+    system = build_paper_scenario(
+        num_devices=40, seed=3, radius_km=0.5, max_power_dbm=10.0
+    )
+    weights = ProblemWeights(energy=1.0, time=0.0)
+    allocator = ResourceAllocator()
+
+    deadlines = (80.0, 100.0, 125.0, 150.0)
+    proposed_energy, scheme1_energy, comm_energy, comp_energy = [], [], [], []
+
+    print(f"{'deadline':>9} | {'proposed':>9} | {'scheme 1':>9} | {'comm-only':>9} | {'comp-only':>9}")
+    print("-" * 59)
+    for deadline in deadlines:
+        problem = JointProblem(system, weights, deadline_s=deadline)
+        try:
+            proposed = allocator.solve(problem)
+        except InfeasibleProblemError:
+            print(f"{deadline:9.0f} | infeasible for every scheme")
+            continue
+        s1 = scheme1(problem)
+        comm = communication_only(problem)
+        comp = computation_only(problem)
+        proposed_energy.append(proposed.energy_j)
+        scheme1_energy.append(s1.energy_j)
+        comm_energy.append(comm.energy_j)
+        comp_energy.append(comp.energy_j)
+        print(
+            f"{deadline:9.0f} | {proposed.energy_j:9.2f} | {s1.energy_j:9.2f} | "
+            f"{comm.energy_j:9.2f} | {comp.energy_j:9.2f}"
+        )
+
+    print()
+    print(
+        ascii_line_plot(
+            list(deadlines)[: len(proposed_energy)],
+            {
+                "proposed": proposed_energy,
+                "scheme1": scheme1_energy,
+                "comm-only": comm_energy,
+                "comp-only": comp_energy,
+            },
+            title="Total energy (J) versus the completion-time budget (s)",
+            x_label="completion-time budget (s)",
+            height=14,
+        )
+    )
+    print(
+        "\nTightening the deadline makes every scheme spend more energy; the joint "
+        "optimisation consistently pays the smallest premium."
+    )
+
+
+if __name__ == "__main__":
+    main()

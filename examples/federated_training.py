@@ -1,0 +1,105 @@
+"""End-to-end federated training priced by the resource allocation.
+
+The paper optimises the *cost* of a fixed FL schedule (R_g global rounds of
+R_l local iterations); this example closes the loop by actually training a
+model with FedAvg and charging every round the energy and wall-clock time
+implied by two different allocations — the proposed algorithm's and the
+static max-power/max-frequency one — to show accuracy-versus-energy and
+accuracy-versus-time curves.
+
+Run with:  python examples/federated_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
+from repro.baselines import static_equal_allocation
+from repro.fl import (
+    Client,
+    FedAvgServer,
+    FederatedSimulation,
+    SoftmaxRegression,
+    dirichlet_partition,
+    make_classification_dataset,
+)
+
+
+def build_clients(dataset, num_clients: int, seed: int) -> list[Client]:
+    """Partition the training split across clients with mild label skew."""
+    partitions = dirichlet_partition(
+        dataset.train_y, num_clients, concentration=2.0, rng=seed
+    )
+    return [
+        Client(client_id=i, features=dataset.train_x[idx], labels=dataset.train_y[idx])
+        for i, idx in enumerate(partitions)
+    ]
+
+
+def run_with_allocation(system, dataset, allocation, *, rounds: int, seed: int):
+    """Train FedAvg for ``rounds`` global rounds under a given allocation."""
+    clients = build_clients(dataset, system.num_devices, seed)
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=seed)
+    server = FedAvgServer(
+        model, clients, test_x=dataset.test_x, test_y=dataset.test_y, rng=seed
+    )
+    simulation = FederatedSimulation(system, server, allocation)
+    return simulation.run(global_rounds=rounds, local_iterations=system.local_iterations)
+
+
+def main() -> None:
+    num_devices = 20
+    rounds = 40
+    system = build_paper_scenario(num_devices=num_devices, seed=5)
+    dataset = make_classification_dataset(
+        num_samples=4000, num_features=16, num_classes=4, rng=5
+    )
+
+    # Allocation 1: the proposed algorithm with a balanced weight pair.
+    problem = JointProblem(system, ProblemWeights(energy=0.5, time=0.5))
+    proposed = ResourceAllocator().solve(problem)
+
+    # Allocation 2: static max power / max frequency / equal bandwidth.
+    static = static_equal_allocation(problem)
+
+    report_proposed = run_with_allocation(
+        system, dataset, proposed.allocation, rounds=rounds, seed=5
+    )
+    report_static = run_with_allocation(
+        system, dataset, static.allocation, rounds=rounds, seed=5
+    )
+
+    print(f"Trained {rounds} FedAvg rounds on {num_devices} devices "
+          f"({dataset.num_train} training samples).\n")
+    header = f"{'allocation':>12} | {'accuracy':>8} | {'wall-clock':>10} | {'energy':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, report in (("proposed", report_proposed), ("static", report_static)):
+        print(
+            f"{name:>12} | {report.final_accuracy:8.3f} | "
+            f"{report.total_time_s:9.1f} s | {report.total_energy_j:8.2f} J"
+        )
+
+    target = 0.8 * max(report_proposed.final_accuracy, report_static.final_accuracy)
+    print(f"\nCost to reach {target:.2f} test accuracy:")
+    for name, report in (("proposed", report_proposed), ("static", report_static)):
+        time_needed = report.time_to_accuracy(target)
+        energy_needed = report.energy_to_accuracy(target)
+        if time_needed is None:
+            print(f"  {name:>12}: never reached")
+        else:
+            print(f"  {name:>12}: {time_needed:8.1f} s and {energy_needed:8.2f} J")
+
+    ratio = report_static.total_energy_j / max(report_proposed.total_energy_j, 1e-9)
+    print(
+        f"\nBoth runs follow the same learning curve (identical FedAvg schedule); "
+        f"the optimised allocation simply delivers it for {ratio:.1f}x less energy."
+    )
+    assert np.isclose(
+        report_proposed.final_accuracy, report_static.final_accuracy, atol=0.05
+    ), "both allocations run the same FedAvg schedule"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs keep working on environments whose ``pip``/``setuptools``
+cannot build PEP 660 editable wheels (e.g. offline machines without the
+``wheel`` package installed):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

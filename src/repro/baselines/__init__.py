@@ -1,0 +1,39 @@
+"""Comparison schemes from the paper's evaluation (Section VII).
+
+* :mod:`repro.baselines.benchmark` — the random "Benchmark" of Section
+  VII-B (random CPU frequency at maximum power, or random power at maximum
+  frequency, with an equal bandwidth split).
+* :mod:`repro.baselines.static` — fully static equal allocation (extra
+  reference point used by tests and examples).
+* :mod:`repro.baselines.communication_only` — optimise only the transmit
+  power and bandwidth under a completion-time budget (Section VII-C).
+* :mod:`repro.baselines.computation_only` — optimise only the CPU frequency
+  under a completion-time budget (Section VII-C).
+* :mod:`repro.baselines.delay_min` — the delay-minimisation scheme of [14]
+  (max frequency, max power, min-max-upload bandwidth split).
+* :mod:`repro.baselines.scheme1` — a reimplementation of "Scheme 1"
+  ([7], Yang et al.): energy minimisation under a delay constraint with a
+  per-device time split and an equal-share bandwidth start.
+"""
+
+from .base import evaluate_allocation
+from .benchmark import random_benchmark
+from .communication_only import communication_only
+from .computation_only import computation_only
+from .delay_min import delay_minimization
+from .registry import BASELINES, get_baseline
+from .scheme1 import Scheme1Config, scheme1
+from .static import static_equal_allocation
+
+__all__ = [
+    "evaluate_allocation",
+    "random_benchmark",
+    "communication_only",
+    "computation_only",
+    "delay_minimization",
+    "BASELINES",
+    "get_baseline",
+    "Scheme1Config",
+    "scheme1",
+    "static_equal_allocation",
+]

@@ -1,0 +1,44 @@
+"""Shared helpers for the baseline schemes."""
+
+from __future__ import annotations
+
+from ..core.allocation import ResourceAllocation
+from ..core.allocator import AllocationResult
+from ..core.convergence import ConvergenceHistory
+from ..core.problem import JointProblem
+
+__all__ = ["evaluate_allocation"]
+
+
+def evaluate_allocation(
+    problem: JointProblem,
+    allocation: ResourceAllocation,
+    *,
+    converged: bool = True,
+    iterations: int = 1,
+    note: str = "",
+) -> AllocationResult:
+    """Wrap a fixed allocation into the same result type Algorithm 2 returns.
+
+    Every baseline produces a concrete ``(p, B, f)``; evaluating it through
+    the same :class:`JointProblem` keeps the energy/delay accounting
+    identical across schemes, which is what makes the figure comparisons
+    meaningful.
+    """
+    terms = problem.objective_terms(allocation)
+    report = problem.feasibility(allocation)
+    history = ConvergenceHistory()
+    history.append(terms["objective"], note=note or "baseline")
+    return AllocationResult(
+        allocation=allocation,
+        round_deadline_s=allocation.round_time_s(problem.system),
+        objective=terms["objective"],
+        energy_j=terms["energy_j"],
+        completion_time_s=terms["completion_time_s"],
+        transmission_energy_j=terms["transmission_energy_j"],
+        computation_energy_j=terms["computation_energy_j"],
+        converged=converged,
+        iterations=iterations,
+        feasible=report.is_feasible,
+        history=history,
+    )

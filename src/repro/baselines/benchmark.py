@@ -1,0 +1,70 @@
+"""The random "Benchmark" scheme of Section VII-B.
+
+The paper compares its algorithm against a non-optimised allocation:
+
+* when sweeping the maximum transmit power (Fig. 2), the benchmark picks a
+  uniformly random CPU frequency in ``[0.1, 2]`` GHz for each device,
+  transmits at maximum power and splits the bandwidth equally;
+* when sweeping the maximum CPU frequency (Fig. 3), it picks a uniformly
+  random transmit power in ``[0, p_max]``, runs the CPU at maximum frequency
+  and splits the bandwidth equally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import units
+from ..core.allocation import ResourceAllocation
+from ..core.allocator import AllocationResult
+from ..core.problem import JointProblem
+from ..exceptions import ConfigurationError
+from .base import evaluate_allocation
+
+__all__ = ["random_benchmark"]
+
+#: Frequency range the benchmark samples from when randomising frequency.
+_RANDOM_FREQUENCY_RANGE_HZ = (0.1e9, 2.0e9)
+
+
+def random_benchmark(
+    problem: JointProblem,
+    *,
+    randomize: str = "frequency",
+    rng: np.random.Generator | int | None = None,
+) -> AllocationResult:
+    """Evaluate the random benchmark allocation.
+
+    Parameters
+    ----------
+    randomize:
+        ``"frequency"`` — random ``f_n``, ``p_n = p_max`` (the Fig. 2
+        benchmark); ``"power"`` — random ``p_n``, ``f_n = f_max`` (the Fig. 3
+        benchmark).
+    """
+    system = problem.system
+    generator = np.random.default_rng(rng)
+    n = system.num_devices
+    bandwidth = np.full(n, system.total_bandwidth_hz / n)
+
+    if randomize == "frequency":
+        low = np.maximum(_RANDOM_FREQUENCY_RANGE_HZ[0], system.min_frequency_hz)
+        high = np.minimum(_RANDOM_FREQUENCY_RANGE_HZ[1], system.max_frequency_hz)
+        frequency = generator.uniform(low, high)
+        power = system.max_power_w.copy()
+    elif randomize == "power":
+        # Uniform between 0 and 12 dBm means uniform in dBm, as in the paper.
+        min_dbm = np.array([units.watt_to_dbm(max(p, 1e-6)) for p in system.min_power_w])
+        max_dbm = np.array([units.watt_to_dbm(p) for p in system.max_power_w])
+        power_dbm = generator.uniform(min_dbm, max_dbm)
+        power = np.array([units.dbm_to_watt(p) for p in power_dbm])
+        frequency = system.max_frequency_hz.copy()
+    else:
+        raise ConfigurationError(
+            f"randomize must be 'frequency' or 'power', got {randomize!r}"
+        )
+
+    allocation = ResourceAllocation(
+        power_w=power, bandwidth_hz=bandwidth, frequency_hz=frequency
+    )
+    return evaluate_allocation(problem, allocation, note=f"benchmark-{randomize}")

@@ -1,0 +1,88 @@
+"""Communication-only optimisation (Section VII-C).
+
+The CPU frequency of every device is frozen at the fixed value the paper
+prescribes,
+
+    f_n = R_g R_l c_n D_n / (T - R_g max_n(d_n / r_n^init)),
+
+i.e. the frequency that spends on computation exactly the part of the
+completion-time budget ``T`` left over after the slowest *initial* upload
+(initial powers at ``p_max`` and an equal ``B/2N`` bandwidth split).  Only
+the transmit powers and bandwidths are then optimised, by running the same
+sum-of-ratios machinery the proposed algorithm uses for Subproblem 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import ResourceAllocation
+from ..core.allocator import AllocationResult
+from ..core.problem import JointProblem
+from ..core.sum_of_ratios import SumOfRatiosConfig, SumOfRatiosSolver
+from ..exceptions import ConfigurationError, InfeasibleProblemError
+from .base import evaluate_allocation
+
+__all__ = ["communication_only"]
+
+
+def communication_only(
+    problem: JointProblem,
+    *,
+    initial_bandwidth_fraction: float = 0.5,
+    sum_of_ratios_config: SumOfRatiosConfig | None = None,
+) -> AllocationResult:
+    """Optimise ``(p, B)`` only, with frequencies fixed by the paper's rule.
+
+    Requires ``problem.deadline_s`` (the scheme is defined relative to a
+    completion-time budget ``T``).
+    """
+    if problem.deadline_s is None:
+        raise ConfigurationError("communication_only requires a completion-time budget")
+    system = problem.system
+    n = system.num_devices
+
+    initial_power = system.max_power_w.copy()
+    initial_bandwidth = np.full(
+        n, system.total_bandwidth_hz * initial_bandwidth_fraction / n
+    )
+    initial_rates = system.rates_bps(initial_power, initial_bandwidth)
+    slowest_upload = float(np.max(system.upload_bits / initial_rates))
+
+    compute_budget_total = problem.deadline_s - system.global_rounds * slowest_upload
+    if compute_budget_total <= 0.0:
+        raise InfeasibleProblemError(
+            "the completion-time budget is smaller than the initial upload time alone"
+        )
+    frequency = (
+        system.global_rounds
+        * system.local_iterations
+        * system.cycles_per_sample
+        * system.num_samples
+        / compute_budget_total
+    )
+    frequency = np.clip(frequency, system.min_frequency_hz, system.max_frequency_hz)
+
+    # Rate requirements so that each device meets the per-round deadline with
+    # its frozen frequency.
+    round_deadline = problem.deadline_s / system.global_rounds
+    min_rate = problem.min_rate_requirements(frequency, round_deadline)
+    problem.check_rate_requirements_supportable(min_rate)
+
+    energy_weight = problem.energy_weight if problem.energy_weight > 0.0 else 1.0
+    solver = SumOfRatiosSolver(
+        system, energy_weight, config=sum_of_ratios_config or SumOfRatiosConfig()
+    )
+    result = solver.solve(min_rate, initial_power, initial_bandwidth)
+    allocation = ResourceAllocation(
+        power_w=result.power_w,
+        bandwidth_hz=result.bandwidth_hz,
+        frequency_hz=frequency,
+    )
+    return evaluate_allocation(
+        problem,
+        allocation,
+        converged=result.converged,
+        iterations=result.iterations,
+        note="communication-only",
+    )

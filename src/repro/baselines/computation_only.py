@@ -1,0 +1,53 @@
+"""Computation-only optimisation (Section VII-C).
+
+The transmit power and bandwidth are frozen (``p_n = p_max``,
+``B_n = B / 2N`` — the setting the paper states gives the scheme its best
+results and matches the source code of [7]); only the CPU frequency is
+optimised, i.e. every device runs at the slowest frequency that still meets
+the per-round deadline implied by the completion-time budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import ResourceAllocation
+from ..core.allocator import AllocationResult
+from ..core.problem import JointProblem
+from ..core.subproblem1 import solve_subproblem1
+from ..exceptions import ConfigurationError
+from .base import evaluate_allocation
+
+__all__ = ["computation_only"]
+
+
+def computation_only(
+    problem: JointProblem,
+    *,
+    bandwidth_fraction: float = 0.5,
+) -> AllocationResult:
+    """Optimise ``f`` only, with ``p = p_max`` and an equal ``B/2N`` split.
+
+    Requires ``problem.deadline_s``.
+    """
+    if problem.deadline_s is None:
+        raise ConfigurationError("computation_only requires a completion-time budget")
+    system = problem.system
+    n = system.num_devices
+
+    power = system.max_power_w.copy()
+    bandwidth = np.full(n, system.total_bandwidth_hz * bandwidth_fraction / n)
+    upload_time = system.upload_time_s(power, bandwidth)
+
+    round_deadline = problem.deadline_s / system.global_rounds
+    sp1 = solve_subproblem1(
+        system,
+        problem.energy_weight if problem.energy_weight > 0.0 else 1.0,
+        problem.time_weight,
+        upload_time,
+        round_deadline_s=round_deadline,
+    )
+    allocation = ResourceAllocation(
+        power_w=power, bandwidth_hz=bandwidth, frequency_hz=sp1.frequency_hz
+    )
+    return evaluate_allocation(problem, allocation, note="computation-only")

@@ -1,0 +1,30 @@
+"""Delay minimisation ([14]): the fastest possible FL schedule.
+
+Yang et al. [14] minimise the completion time of FL over FDMA; the paper
+uses that scheme as the initial feasible point of Scheme 1 ([7]).  With
+every CPU at maximum frequency and every radio at maximum power, the only
+remaining decision is the bandwidth split, which is chosen to minimise the
+slowest upload (a bisection, see :mod:`repro.core.uplink_delay`).
+"""
+
+from __future__ import annotations
+
+from ..core.allocation import ResourceAllocation
+from ..core.allocator import AllocationResult
+from ..core.problem import JointProblem
+from ..core.uplink_delay import minimize_max_upload_time
+from .base import evaluate_allocation
+
+__all__ = ["delay_minimization"]
+
+
+def delay_minimization(problem: JointProblem) -> AllocationResult:
+    """Evaluate the delay-minimising allocation of [14]."""
+    system = problem.system
+    uplink = minimize_max_upload_time(system)
+    allocation = ResourceAllocation(
+        power_w=uplink.power_w,
+        bandwidth_hz=uplink.bandwidth_hz,
+        frequency_hz=system.max_frequency_hz.copy(),
+    )
+    return evaluate_allocation(problem, allocation, note="delay-min")

@@ -1,0 +1,30 @@
+"""Fully static equal allocation (no optimisation at all).
+
+Not part of the paper's figures but a useful sanity reference: every device
+transmits at maximum power, computes at maximum frequency, and receives an
+equal share of the bandwidth.  Any optimisation scheme should beat it on the
+weighted objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import ResourceAllocation
+from ..core.allocator import AllocationResult
+from ..core.problem import JointProblem
+from .base import evaluate_allocation
+
+__all__ = ["static_equal_allocation"]
+
+
+def static_equal_allocation(problem: JointProblem) -> AllocationResult:
+    """Evaluate the max-power / max-frequency / equal-bandwidth allocation."""
+    system = problem.system
+    n = system.num_devices
+    allocation = ResourceAllocation(
+        power_w=system.max_power_w.copy(),
+        bandwidth_hz=np.full(n, system.total_bandwidth_hz / n),
+        frequency_hz=system.max_frequency_hz.copy(),
+    )
+    return evaluate_allocation(problem, allocation, note="static-equal")

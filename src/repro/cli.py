@@ -1,0 +1,101 @@
+"""Command-line interface: regenerate any paper figure from the terminal.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.cli list
+
+Regenerate Figure 2 at the default (reduced) scale and print the table::
+
+    python -m repro.cli run fig2
+
+Regenerate Figure 8 at the full paper scale and save the rows::
+
+    python -m repro.cli run fig8 --paper --output fig8.json --csv fig8.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments.registry import EXPERIMENTS, get_experiment
+from .experiments.results import ResultTable
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments whose config classes expose a ``paper()`` constructor.
+_PAPER_CONFIGS = {
+    "fig2": ("repro.experiments.fig2", "Fig2Config"),
+    "fig3": ("repro.experiments.fig3", "Fig3Config"),
+    "fig4": ("repro.experiments.fig4", "Fig4Config"),
+    "fig5": ("repro.experiments.fig5", "Fig5Config"),
+    "fig6": ("repro.experiments.fig6", "Fig6Config"),
+    "fig7": ("repro.experiments.fig7", "Fig7Config"),
+    "fig8": ("repro.experiments.fig8", "Fig8Config"),
+    "samples": ("repro.experiments.samples", "SamplesConfig"),
+    "ablation": ("repro.experiments.ablation", "AblationConfig"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Joint Optimization of Energy Consumption and "
+        "Completion Time in Federated Learning' (ICDCS 2022).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the full Section VII-A configuration instead of the reduced default",
+    )
+    run.add_argument("--output", help="write the result table to this JSON file")
+    run.add_argument("--csv", help="write the result rows to this CSV file")
+    return parser
+
+
+def _paper_config(name: str):
+    module_name, class_name = _PAPER_CONFIGS[name]
+    module = __import__(module_name, fromlist=[class_name])
+    return getattr(module, class_name).paper()
+
+
+def _run(name: str, *, paper: bool, output: str | None, csv: str | None) -> ResultTable:
+    runner = get_experiment(name)
+    table = runner(_paper_config(name)) if paper else runner()
+    print(table.to_markdown())
+    if output:
+        table.to_json(output)
+        print(f"\nwrote {output}")
+    if csv:
+        table.to_csv(csv)
+        print(f"wrote {csv}")
+    return table
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "run":
+        _run(args.experiment, paper=args.paper, output=args.output, csv=args.csv)
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

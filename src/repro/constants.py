@@ -1,0 +1,109 @@
+"""Default experiment constants from Section VII-A of the paper.
+
+Every constant is expressed both in the unit the paper quotes and in SI
+units (the solvers consume the SI values).  The values come from the
+"Parameter Setting" subsection (Section VII-A):
+
+* 50 devices uniformly placed in a 500 m x 500 m circular area around the
+  base station (i.e. cell radius 0.25 km);
+* path loss 128.1 + 37.6 log10(d[km]) dB with 8 dB shadow-fading standard
+  deviation;
+* noise power spectral density N0 = -174 dBm/Hz;
+* local iterations R_l = 10, global rounds R_g = 400;
+* upload size d_n = 28.1 kbit, D_n = 500 samples per device;
+* CPU cycles per sample c_n uniform in [1, 3] * 1e4;
+* effective switched capacitance kappa = 1e-28;
+* f_max = 2 GHz, p_max = 12 dBm, p_min = 0 dBm, total bandwidth B = 20 MHz.
+"""
+
+from __future__ import annotations
+
+from . import units
+
+__all__ = [
+    "DEFAULT_NUM_DEVICES",
+    "DEFAULT_CELL_RADIUS_KM",
+    "PATH_LOSS_CONSTANT_DB",
+    "PATH_LOSS_EXPONENT_DB_PER_DECADE",
+    "SHADOWING_STD_DB",
+    "NOISE_PSD_DBM_PER_HZ",
+    "NOISE_PSD_W_PER_HZ",
+    "DEFAULT_LOCAL_ITERATIONS",
+    "DEFAULT_GLOBAL_ROUNDS",
+    "DEFAULT_UPLOAD_KBITS",
+    "DEFAULT_UPLOAD_BITS",
+    "DEFAULT_SAMPLES_PER_DEVICE",
+    "CPU_CYCLES_PER_SAMPLE_RANGE",
+    "EFFECTIVE_CAPACITANCE",
+    "DEFAULT_MAX_FREQUENCY_HZ",
+    "DEFAULT_MIN_FREQUENCY_HZ",
+    "DEFAULT_MAX_POWER_DBM",
+    "DEFAULT_MIN_POWER_DBM",
+    "DEFAULT_MAX_POWER_W",
+    "DEFAULT_MIN_POWER_W",
+    "DEFAULT_TOTAL_BANDWIDTH_HZ",
+]
+
+#: Number of user devices in the default setting.
+DEFAULT_NUM_DEVICES = 50
+
+#: Radius of the circular deployment area (the paper's 500 m x 500 m circle).
+DEFAULT_CELL_RADIUS_KM = 0.25
+
+#: 3GPP-style macro-cell path loss intercept, in dB.
+PATH_LOSS_CONSTANT_DB = 128.1
+
+#: Path loss slope in dB per decade of distance (distance in km).
+PATH_LOSS_EXPONENT_DB_PER_DECADE = 37.6
+
+#: Standard deviation of log-normal shadow fading, in dB.
+SHADOWING_STD_DB = 8.0
+
+#: Noise power spectral density, in dBm/Hz.
+NOISE_PSD_DBM_PER_HZ = -174.0
+
+#: Noise power spectral density, in W/Hz.
+NOISE_PSD_W_PER_HZ = units.dbm_per_hz_to_watt_per_hz(NOISE_PSD_DBM_PER_HZ)
+
+#: Default number of local iterations per global round (R_l).
+DEFAULT_LOCAL_ITERATIONS = 10
+
+#: Default number of global aggregation rounds (R_g).
+DEFAULT_GLOBAL_ROUNDS = 400
+
+#: Model-update upload size per device per round, in kbit.
+DEFAULT_UPLOAD_KBITS = 28.1
+
+#: Model-update upload size per device per round, in bits.
+DEFAULT_UPLOAD_BITS = units.kbit_to_bit(DEFAULT_UPLOAD_KBITS)
+
+#: Number of training samples on each device.
+DEFAULT_SAMPLES_PER_DEVICE = 500
+
+#: CPU cycles needed to process one sample, drawn uniformly from this range.
+CPU_CYCLES_PER_SAMPLE_RANGE = (1e4, 3e4)
+
+#: Effective switched capacitance kappa of the device CPUs.
+EFFECTIVE_CAPACITANCE = 1e-28
+
+#: Maximum CPU frequency of a device, in Hz (2 GHz).
+DEFAULT_MAX_FREQUENCY_HZ = units.ghz_to_hz(2.0)
+
+#: Minimum CPU frequency of a device, in Hz.  The paper sweeps the maximum
+#: frequency down to 0.1 GHz in Fig. 3, so the floor is set below that.
+DEFAULT_MIN_FREQUENCY_HZ = units.ghz_to_hz(0.01)
+
+#: Maximum uplink transmission power, in dBm.
+DEFAULT_MAX_POWER_DBM = 12.0
+
+#: Minimum uplink transmission power, in dBm.
+DEFAULT_MIN_POWER_DBM = 0.0
+
+#: Maximum uplink transmission power, in watts.
+DEFAULT_MAX_POWER_W = units.dbm_to_watt(DEFAULT_MAX_POWER_DBM)
+
+#: Minimum uplink transmission power, in watts.
+DEFAULT_MIN_POWER_W = units.dbm_to_watt(DEFAULT_MIN_POWER_DBM)
+
+#: Total uplink bandwidth shared by all devices, in Hz (20 MHz).
+DEFAULT_TOTAL_BANDWIDTH_HZ = units.mhz_to_hz(20.0)

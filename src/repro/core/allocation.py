@@ -1,0 +1,109 @@
+"""The decision variables of problem (8): transmit power, bandwidth, CPU frequency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..system import SystemModel
+
+__all__ = ["ResourceAllocation"]
+
+
+@dataclass(frozen=True)
+class ResourceAllocation:
+    """One candidate resource allocation ``(p, B, f)`` for every device."""
+
+    power_w: np.ndarray
+    bandwidth_hz: np.ndarray
+    frequency_hz: np.ndarray
+
+    def __post_init__(self) -> None:
+        power = np.asarray(self.power_w, dtype=float)
+        bandwidth = np.asarray(self.bandwidth_hz, dtype=float)
+        frequency = np.asarray(self.frequency_hz, dtype=float)
+        if not power.shape == bandwidth.shape == frequency.shape:
+            raise ConfigurationError(
+                "power, bandwidth and frequency must have identical shapes, got "
+                f"{power.shape}, {bandwidth.shape}, {frequency.shape}"
+            )
+        if power.ndim != 1:
+            raise ConfigurationError("allocation arrays must be one-dimensional")
+        if np.any(power < 0.0):
+            raise ConfigurationError("transmit powers must be non-negative")
+        if np.any(bandwidth < 0.0):
+            raise ConfigurationError("bandwidths must be non-negative")
+        if np.any(frequency <= 0.0):
+            raise ConfigurationError("CPU frequencies must be strictly positive")
+        object.__setattr__(self, "power_w", power)
+        object.__setattr__(self, "bandwidth_hz", bandwidth)
+        object.__setattr__(self, "frequency_hz", frequency)
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.power_w.shape[0])
+
+    def as_vector(self) -> np.ndarray:
+        """Concatenated ``[p, B, f]`` vector, used for convergence checks."""
+        return np.concatenate([self.power_w, self.bandwidth_hz, self.frequency_hz])
+
+    def distance_to(self, other: "ResourceAllocation") -> float:
+        """Relative change between two allocations (per-variable, scale-free).
+
+        Algorithm 2 stops when this drops below its tolerance.  Each of the
+        three variable blocks is normalised by its own magnitude so that the
+        very different units (watts / hertz / hertz) contribute comparably.
+        """
+        if other.num_devices != self.num_devices:
+            raise ConfigurationError("allocations must describe the same fleet")
+
+        def _block(a: np.ndarray, b: np.ndarray) -> float:
+            scale = max(float(np.linalg.norm(b)), 1e-30)
+            return float(np.linalg.norm(a - b)) / scale
+
+        return max(
+            _block(self.power_w, other.power_w),
+            _block(self.bandwidth_hz, other.bandwidth_hz),
+            _block(self.frequency_hz, other.frequency_hz),
+        )
+
+    def with_frequency(self, frequency_hz: np.ndarray) -> "ResourceAllocation":
+        """Copy with replaced CPU frequencies."""
+        return replace(self, frequency_hz=np.asarray(frequency_hz, dtype=float))
+
+    def with_communication(
+        self, power_w: np.ndarray, bandwidth_hz: np.ndarray
+    ) -> "ResourceAllocation":
+        """Copy with replaced transmit powers and bandwidths."""
+        return replace(
+            self,
+            power_w=np.asarray(power_w, dtype=float),
+            bandwidth_hz=np.asarray(bandwidth_hz, dtype=float),
+        )
+
+    # -- derived physical quantities --------------------------------------
+    def rates_bps(self, system: SystemModel) -> np.ndarray:
+        """Uplink rates under this allocation."""
+        return system.rates_bps(self.power_w, self.bandwidth_hz)
+
+    def round_time_s(self, system: SystemModel) -> float:
+        """Duration of one global round."""
+        return system.round_time_s(self.power_w, self.bandwidth_hz, self.frequency_hz)
+
+    def total_time_s(self, system: SystemModel) -> float:
+        """Total completion time over ``R_g`` rounds."""
+        return system.total_completion_time_s(
+            self.power_w, self.bandwidth_hz, self.frequency_hz
+        )
+
+    def total_energy_j(self, system: SystemModel) -> float:
+        """Total energy over ``R_g`` rounds."""
+        return system.total_energy_j(self.power_w, self.bandwidth_hz, self.frequency_hz)
+
+    def energy_breakdown_j(self, system: SystemModel) -> tuple[float, float]:
+        """Total (transmission, computation) energy over ``R_g`` rounds."""
+        return system.energy_breakdown_j(
+            self.power_w, self.bandwidth_hz, self.frequency_hz
+        )

@@ -1,0 +1,362 @@
+"""Algorithm 2: the alternating resource-allocation algorithm.
+
+This is the paper's headline contribution.  Starting from a feasible
+allocation, it alternates:
+
+1. **Subproblem 1** — given the current upload times, choose the CPU
+   frequencies and the per-round deadline ``T`` (Section V-A);
+2. **Subproblem 2** — given the per-device rate requirements implied by
+   ``T``, choose the transmit powers and bandwidths through the
+   sum-of-ratios solver (Algorithm 1, Section V-B/V-C);
+
+until the allocation stops changing (tolerance ``epsilon_0``) or the
+iteration budget ``K`` is exhausted.
+
+Two special regimes are handled exactly as the paper's experiments use them:
+
+* ``w1 = 0`` (pure delay minimisation): the communication energy vanishes
+  from the objective, so the devices transmit at maximum power and the
+  bandwidth minimises the slowest upload (see
+  :mod:`repro.core.uplink_delay`).
+* A hard completion-time budget (``JointProblem.deadline_s``): the per-round
+  deadline is fixed instead of optimised, which is how the paper compares
+  against Scheme 1 (Section VII-D) and the single-resource baselines
+  (Section VII-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InfeasibleProblemError
+from ..solvers.dual_decomposition import minimize_separable_with_budget
+from ..system import SystemModel
+from ..wireless.rate import min_bandwidth_for_rate
+from .allocation import ResourceAllocation
+from .convergence import ConvergenceHistory
+from .problem import JointProblem
+from .subproblem1 import solve_subproblem1
+from .sum_of_ratios import SumOfRatiosConfig, SumOfRatiosSolver
+from .uplink_delay import minimize_max_upload_time
+
+__all__ = ["AllocatorConfig", "AllocationResult", "ResourceAllocator"]
+
+
+@dataclass(frozen=True)
+class AllocatorConfig:
+    """Hyper-parameters of Algorithm 2."""
+
+    #: Maximum number of outer alternations (``K`` in the paper).
+    max_iterations: int = 20
+    #: Relative tolerance ``epsilon_0`` on the allocation change.
+    tolerance: float = 1e-5
+    #: Subproblem-1 solver: ``"primal"`` (exact) or ``"dual"`` (paper's (17)).
+    subproblem1_method: str = "primal"
+    #: Configuration of the inner sum-of-ratios solver (Algorithm 1).
+    sum_of_ratios: SumOfRatiosConfig = field(default_factory=SumOfRatiosConfig)
+    #: Bandwidth fraction of the initial equal split.  The paper initialises
+    #: with ``B_n = B / (2N)`` (Sections VII-C/VII-D note this gives better
+    #: results than ``B/N`` and matches the source code of [7]); starting
+    #: with spare bandwidth also keeps the first Subproblem-2 step from being
+    #: pinned to the initial point.
+    initial_bandwidth_fraction: float = 0.5
+    #: Initial-point strategy: ``"equal"`` uses the equal split above,
+    #: ``"delay_min"`` starts from the min-max-upload bandwidth split at
+    #: maximum power, and ``"auto"`` (default) picks ``delay_min`` whenever a
+    #: hard completion-time budget is set (where a channel-aware start keeps
+    #: far devices feasible) and ``equal`` otherwise.
+    initial_strategy: str = "auto"
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Final outcome of Algorithm 2."""
+
+    allocation: ResourceAllocation
+    round_deadline_s: float
+    objective: float
+    energy_j: float
+    completion_time_s: float
+    transmission_energy_j: float
+    computation_energy_j: float
+    converged: bool
+    iterations: int
+    feasible: bool
+    history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+
+    def summary(self) -> dict[str, float]:
+        """Scalar metrics as a plain dictionary (used by the experiment tables)."""
+        return {
+            "objective": self.objective,
+            "energy_j": self.energy_j,
+            "completion_time_s": self.completion_time_s,
+            "transmission_energy_j": self.transmission_energy_j,
+            "computation_energy_j": self.computation_energy_j,
+            "iterations": float(self.iterations),
+            "converged": float(self.converged),
+            "feasible": float(self.feasible),
+        }
+
+
+class ResourceAllocator:
+    """Algorithm 2: alternating optimisation of ``(f, T)`` and ``(p, B)``."""
+
+    def __init__(self, config: AllocatorConfig | None = None) -> None:
+        self.config = config or AllocatorConfig()
+
+    # -- public API --------------------------------------------------------
+    def solve(
+        self,
+        problem: JointProblem,
+        initial_allocation: ResourceAllocation | None = None,
+    ) -> AllocationResult:
+        """Run Algorithm 2 on ``problem`` and return the final allocation."""
+        system = problem.system
+        config = self.config
+        allocation = initial_allocation or self._initial_allocation(problem)
+
+        if problem.energy_weight <= 0.0 and problem.deadline_s is None:
+            return self._solve_delay_only(problem, allocation)
+
+        history = ConvergenceHistory()
+        converged = False
+        feasible = True
+        round_deadline = allocation.round_time_s(system)
+        iteration = 0
+
+        for iteration in range(1, config.max_iterations + 1):
+            previous = allocation
+
+            # Step 1: Subproblem 1 — CPU frequencies and round deadline.
+            upload_time = system.upload_time_s(
+                allocation.power_w, allocation.bandwidth_hz
+            )
+            sp1 = solve_subproblem1(
+                system,
+                problem.energy_weight,
+                problem.time_weight,
+                upload_time,
+                round_deadline_s=problem.round_deadline_s,
+                method=config.subproblem1_method,
+            )
+            allocation = allocation.with_frequency(sp1.frequency_hz)
+            round_deadline = sp1.round_deadline_s
+
+            # Step 2: Subproblem 2 — transmit power and bandwidth.
+            allocation, feasible = self._solve_communication(
+                problem, allocation, round_deadline
+            )
+
+            objective = problem.objective(allocation)
+            step_change = allocation.distance_to(previous)
+            history.append(objective, step_change=step_change, note=f"outer-{iteration}")
+            if step_change <= config.tolerance:
+                converged = True
+                break
+
+        return self._finalize(
+            problem, allocation, round_deadline, history, converged, iteration, feasible
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _initial_allocation(self, problem: JointProblem) -> ResourceAllocation:
+        """Build the initial feasible point according to the configured strategy."""
+        strategy = self.config.initial_strategy
+        if strategy == "auto":
+            strategy = "compute_aware" if problem.deadline_s is not None else "equal"
+        if strategy == "equal":
+            return problem.initial_allocation(
+                bandwidth_fraction=self.config.initial_bandwidth_fraction
+            )
+        if strategy == "compute_aware":
+            return self._compute_aware_initial(problem)
+        if strategy == "delay_min":
+            system = problem.system
+            uplink = minimize_max_upload_time(system)
+            allocation = ResourceAllocation(
+                power_w=uplink.power_w,
+                bandwidth_hz=uplink.bandwidth_hz,
+                frequency_hz=system.max_frequency_hz.copy(),
+            )
+            if problem.deadline_s is not None and not problem.is_feasible(allocation):
+                raise InfeasibleProblemError(
+                    "no feasible allocation exists: even the delay-minimising "
+                    f"schedule misses the {problem.deadline_s:.1f} s deadline"
+                )
+            return allocation
+        raise ValueError(f"unknown initial strategy: {strategy!r}")
+
+    def _compute_aware_initial(self, problem: JointProblem) -> ResourceAllocation:
+        """Initial point for deadline-constrained problems.
+
+        The alternating scheme inherits its per-device computation/upload
+        time split from the initial point (Subproblem 2 only ever tightens
+        the communication side), so the initial bandwidth is chosen — at
+        maximum power — to minimise the total *computation* energy the
+        per-round deadline will then force:
+
+            minimize_B  sum_n kappa_n C_n (C_n / (T_round - T^up_n(B_n)))^2
+            subject to  sum_n B_n <= B,   T^up_n(B_n) + C_n / f_max_n <= T_round,
+
+        with ``C_n = R_l c_n D_n``.  Each term is convex in ``B_n`` (the
+        upload time is convex decreasing in the bandwidth), so the problem is
+        solved exactly by dual decomposition.  This is still just "a feasible
+        initial point" in the sense of Algorithm 2; it simply avoids starting
+        in the basin of a poor alternating fixed point.
+        """
+        system = problem.system
+        round_deadline = problem.round_deadline_s
+        if round_deadline is None:
+            return problem.initial_allocation(
+                bandwidth_fraction=self.config.initial_bandwidth_fraction
+            )
+        power = system.max_power_w.copy()
+        cycles = system.cycles_per_round
+        compute_floor = cycles / system.max_frequency_hz
+        upload_budget = round_deadline - compute_floor
+        if np.any(upload_budget <= 0.0):
+            raise InfeasibleProblemError(
+                "some devices cannot finish their computation inside the deadline "
+                "even at maximum frequency"
+            )
+        min_rate = system.upload_bits / upload_budget
+        lower = min_bandwidth_for_rate(
+            min_rate,
+            power,
+            system.gains,
+            system.noise_psd_w_per_hz,
+            bandwidth_cap_hz=system.total_bandwidth_hz,
+        )
+        if np.any(~np.isfinite(lower)) or lower.sum() > system.total_bandwidth_hz * (1 + 1e-9):
+            raise InfeasibleProblemError(
+                "no feasible allocation exists: the bandwidth budget cannot meet "
+                f"the {problem.deadline_s:.1f} s deadline even at maximum power"
+            )
+        lower = np.minimum(lower * (1.0 + 1e-9), system.total_bandwidth_hz)
+
+        kappa = system.effective_capacitance
+
+        def compute_energy(bandwidth: np.ndarray) -> np.ndarray:
+            bw = np.maximum(bandwidth, 1e-3)
+            rates = system.rates_bps(power, bw)
+            upload = system.upload_bits / rates
+            slack = np.maximum(round_deadline - upload, 1e-12)
+            frequency = np.clip(
+                cycles / slack, system.min_frequency_hz, system.max_frequency_hz
+            )
+            penalty = np.where(cycles / slack > system.max_frequency_hz, 1e9, 0.0)
+            return kappa * cycles * frequency**2 + penalty
+
+        allocation = minimize_separable_with_budget(
+            compute_energy,
+            lower,
+            np.full_like(lower, system.total_bandwidth_hz),
+            system.total_bandwidth_hz,
+        )
+        bandwidth = allocation.x
+        initial = ResourceAllocation(
+            power_w=power,
+            bandwidth_hz=bandwidth,
+            frequency_hz=system.max_frequency_hz.copy(),
+        )
+        if not problem.is_feasible(initial, rtol=1e-6):
+            raise InfeasibleProblemError(
+                "no feasible allocation exists for the requested deadline"
+            )
+        return initial
+
+    def _solve_communication(
+        self,
+        problem: JointProblem,
+        allocation: ResourceAllocation,
+        round_deadline_s: float,
+    ) -> tuple[ResourceAllocation, bool]:
+        """Solve Subproblem 2 for the current frequencies and deadline."""
+        system = problem.system
+        config = self.config
+
+        min_rate = problem.min_rate_requirements(
+            allocation.frequency_hz, round_deadline_s
+        )
+        # The frequencies chosen by Subproblem 1 guarantee positive slack, so
+        # the requirements are finite; numerical round-off can still produce
+        # an infinity when a device sits exactly on the deadline.
+        min_rate = np.where(np.isfinite(min_rate), min_rate, system.rates_bps(
+            allocation.power_w, allocation.bandwidth_hz
+        ))
+
+        if problem.energy_weight <= 0.0:
+            uplink = minimize_max_upload_time(system)
+            return allocation.with_communication(uplink.power_w, uplink.bandwidth_hz), True
+
+        solver = SumOfRatiosSolver(
+            system, problem.energy_weight, config=config.sum_of_ratios
+        )
+        try:
+            result = solver.solve(
+                min_rate, allocation.power_w, allocation.bandwidth_hz
+            )
+        except InfeasibleProblemError:
+            # Keep the previous (feasible) communication allocation.
+            return allocation, False
+        candidate = allocation.with_communication(result.power_w, result.bandwidth_hz)
+        # Never accept a step that increases the overall weighted objective;
+        # the alternating scheme then remains monotone even when the inner
+        # solver's heuristic split is slightly off.
+        if problem.objective(candidate) <= problem.objective(allocation) * (1 + 1e-12) or (
+            problem.deadline_s is not None
+            and not problem.is_feasible(allocation, rtol=1e-6)
+        ):
+            return candidate, result.feasible
+        return allocation, True
+
+    def _solve_delay_only(
+        self, problem: JointProblem, allocation: ResourceAllocation
+    ) -> AllocationResult:
+        """Closed-form solution for ``w1 = 0``: max frequency, min-max upload."""
+        system = problem.system
+        uplink = minimize_max_upload_time(system)
+        allocation = ResourceAllocation(
+            power_w=uplink.power_w,
+            bandwidth_hz=uplink.bandwidth_hz,
+            frequency_hz=system.max_frequency_hz.copy(),
+        )
+        history = ConvergenceHistory()
+        history.append(problem.objective(allocation), note="delay-only")
+        return self._finalize(
+            problem,
+            allocation,
+            allocation.round_time_s(system),
+            history,
+            converged=True,
+            iterations=1,
+            feasible=True,
+        )
+
+    def _finalize(
+        self,
+        problem: JointProblem,
+        allocation: ResourceAllocation,
+        round_deadline_s: float,
+        history: ConvergenceHistory,
+        converged: bool,
+        iterations: int,
+        feasible: bool,
+    ) -> AllocationResult:
+        terms = problem.objective_terms(allocation)
+        report = problem.feasibility(allocation)
+        return AllocationResult(
+            allocation=allocation,
+            round_deadline_s=float(round_deadline_s),
+            objective=terms["objective"],
+            energy_j=terms["energy_j"],
+            completion_time_s=terms["completion_time_s"],
+            transmission_energy_j=terms["transmission_energy_j"],
+            computation_energy_j=terms["computation_energy_j"],
+            converged=converged,
+            iterations=iterations,
+            feasible=feasible and report.is_feasible,
+            history=history,
+        )

@@ -1,0 +1,85 @@
+"""Iteration histories for the iterative solvers (Algorithms 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["IterationRecord", "ConvergenceHistory"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Snapshot of one iteration of an iterative solver."""
+
+    iteration: int
+    objective: float
+    residual: float = float("nan")
+    step_change: float = float("nan")
+    note: str = ""
+
+
+@dataclass
+class ConvergenceHistory:
+    """Ordered list of :class:`IterationRecord` with convenience accessors."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(
+        self,
+        objective: float,
+        *,
+        residual: float = float("nan"),
+        step_change: float = float("nan"),
+        note: str = "",
+    ) -> IterationRecord:
+        """Record one iteration and return the created record."""
+        record = IterationRecord(
+            iteration=len(self.records),
+            objective=float(objective),
+            residual=float(residual),
+            step_change=float(step_change),
+            note=note,
+        )
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[IterationRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> IterationRecord:
+        return self.records[index]
+
+    @property
+    def objectives(self) -> list[float]:
+        """Objective value at every recorded iteration."""
+        return [r.objective for r in self.records]
+
+    @property
+    def residuals(self) -> list[float]:
+        """Residual norm at every recorded iteration."""
+        return [r.residual for r in self.records]
+
+    @property
+    def final_objective(self) -> float:
+        """Objective at the last iteration (NaN when empty)."""
+        if not self.records:
+            return float("nan")
+        return self.records[-1].objective
+
+    def improvement(self) -> float:
+        """Objective decrease from the first to the last iteration."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[0].objective - self.records[-1].objective
+
+    def is_monotone_nonincreasing(self, rtol: float = 1e-6) -> bool:
+        """Whether the recorded objectives never increase beyond ``rtol``."""
+        objectives = self.objectives
+        for previous, current in zip(objectives, objectives[1:]):
+            if current > previous * (1.0 + rtol) + rtol:
+                return False
+        return True

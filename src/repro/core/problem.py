@@ -1,0 +1,254 @@
+"""Problem (8)/(9): the weighted energy/completion-time minimisation.
+
+:class:`JointProblem` packages the system model with the two weight
+parameters ``(w1, w2)`` (and, optionally, the fixed completion-time budget
+used in Sections VII-C/VII-D, where ``w1 = 1, w2 = 0`` and the total delay
+appears as a hard constraint instead of an objective term).  It knows how to
+
+* evaluate the weighted objective of any allocation,
+* check feasibility against constraints (8a)-(8c) and (9a),
+* produce the initial feasible points the paper's experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, InfeasibleProblemError
+from ..system import SystemModel
+from ..wireless.rate import min_bandwidth_for_rate
+from .allocation import ResourceAllocation
+
+__all__ = ["ProblemWeights", "JointProblem", "FeasibilityReport"]
+
+
+@dataclass(frozen=True)
+class ProblemWeights:
+    """The weight pair ``(w1, w2)`` with ``w1 + w2 = 1`` (Section IV).
+
+    ``w1`` weights total energy, ``w2`` weights total completion time.  The
+    deadline-constrained experiments use ``(1, 0)`` together with
+    ``JointProblem.deadline_s``.
+    """
+
+    energy: float
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.energy < 0.0 or self.time < 0.0:
+            raise ConfigurationError("weights must be non-negative")
+        if abs(self.energy + self.time - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"weights must sum to 1, got {self.energy} + {self.time}"
+            )
+
+    @classmethod
+    def from_energy_weight(cls, w1: float) -> "ProblemWeights":
+        """Build ``(w1, 1 - w1)``."""
+        return cls(energy=float(w1), time=float(1.0 - w1))
+
+    def as_tuple(self) -> tuple[float, float]:
+        return self.energy, self.time
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(w1={self.energy:g}, w2={self.time:g})"
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a feasibility check against constraints (8a)-(8c), (9a)."""
+
+    power_violation: float
+    frequency_violation: float
+    bandwidth_violation: float
+    deadline_violation: float
+
+    @property
+    def is_feasible(self) -> bool:
+        """All constraint violations below a 1e-6 relative tolerance."""
+        return (
+            self.power_violation <= 1e-6
+            and self.frequency_violation <= 1e-6
+            and self.bandwidth_violation <= 1e-6
+            and self.deadline_violation <= 1e-6
+        )
+
+    @property
+    def worst_violation(self) -> float:
+        return max(
+            self.power_violation,
+            self.frequency_violation,
+            self.bandwidth_violation,
+            self.deadline_violation,
+        )
+
+
+@dataclass(frozen=True)
+class JointProblem:
+    """Problem (9): minimise ``w1 E + w2 T`` over ``(p, B, f)``."""
+
+    system: SystemModel
+    weights: ProblemWeights = field(
+        default_factory=lambda: ProblemWeights(energy=0.5, time=0.5)
+    )
+    #: Optional hard bound on the total completion time (seconds over all
+    #: ``R_g`` rounds).  Used by the Section VII-C / VII-D experiments.
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ConfigurationError("deadline_s must be positive when given")
+        if (
+            self.deadline_s is None
+            and self.weights.time == 0.0
+            and self.weights.energy == 0.0
+        ):
+            raise ConfigurationError("at least one weight must be positive")
+
+    # -- shorthands ---------------------------------------------------------
+    @property
+    def energy_weight(self) -> float:
+        return self.weights.energy
+
+    @property
+    def time_weight(self) -> float:
+        return self.weights.time
+
+    @property
+    def round_deadline_s(self) -> float | None:
+        """Per-round deadline implied by ``deadline_s`` (or None)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s / self.system.global_rounds
+
+    # -- objective -----------------------------------------------------------
+    def objective(self, allocation: ResourceAllocation) -> float:
+        """Weighted objective ``w1 E + w2 T`` of an allocation."""
+        energy = allocation.total_energy_j(self.system)
+        time = allocation.total_time_s(self.system)
+        return self.energy_weight * energy + self.time_weight * time
+
+    def objective_terms(self, allocation: ResourceAllocation) -> dict[str, float]:
+        """Detailed objective decomposition for reporting."""
+        transmission, computation = allocation.energy_breakdown_j(self.system)
+        total_time = allocation.total_time_s(self.system)
+        energy = transmission + computation
+        return {
+            "energy_j": energy,
+            "transmission_energy_j": transmission,
+            "computation_energy_j": computation,
+            "completion_time_s": total_time,
+            "objective": self.energy_weight * energy + self.time_weight * total_time,
+        }
+
+    # -- feasibility -----------------------------------------------------------
+    def feasibility(self, allocation: ResourceAllocation) -> FeasibilityReport:
+        """Constraint violations of an allocation (relative magnitudes)."""
+        system = self.system
+        p, b, f = allocation.power_w, allocation.bandwidth_hz, allocation.frequency_hz
+
+        def _box_violation(x: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+            scale = np.maximum(1e-30, np.maximum(np.abs(lo), np.abs(hi)))
+            below = np.maximum(lo - x, 0.0) / scale
+            above = np.maximum(x - hi, 0.0) / scale
+            return float(np.max(np.maximum(below, above), initial=0.0))
+
+        power_violation = _box_violation(p, system.min_power_w, system.max_power_w)
+        frequency_violation = _box_violation(
+            f, system.min_frequency_hz, system.max_frequency_hz
+        )
+        bandwidth_violation = max(
+            0.0,
+            (float(b.sum()) - system.total_bandwidth_hz) / system.total_bandwidth_hz,
+        )
+        if self.deadline_s is None:
+            deadline_violation = 0.0
+        else:
+            total_time = allocation.total_time_s(system)
+            deadline_violation = max(0.0, (total_time - self.deadline_s) / self.deadline_s)
+        return FeasibilityReport(
+            power_violation=power_violation,
+            frequency_violation=frequency_violation,
+            bandwidth_violation=bandwidth_violation,
+            deadline_violation=deadline_violation,
+        )
+
+    def is_feasible(self, allocation: ResourceAllocation, *, rtol: float = 1e-6) -> bool:
+        """Whether the allocation satisfies every constraint within ``rtol``."""
+        report = self.feasibility(allocation)
+        return report.worst_violation <= rtol
+
+    # -- initial points ----------------------------------------------------------
+    def initial_allocation(
+        self, *, bandwidth_fraction: float = 1.0, power_at_max: bool = True
+    ) -> ResourceAllocation:
+        """A feasible starting point for Algorithm 2.
+
+        The default mirrors the paper's initialisation: transmit at maximum
+        power and split the (possibly fractional) bandwidth equally.  The CPU
+        frequency starts at its maximum so the point is also feasible when a
+        hard deadline is set (if even that fails, the deadline itself is
+        infeasible and an :class:`InfeasibleProblemError` is raised).
+        """
+        system = self.system
+        n = system.num_devices
+        if not 0.0 < bandwidth_fraction <= 1.0:
+            raise ConfigurationError("bandwidth_fraction must lie in (0, 1]")
+        power = system.max_power_w if power_at_max else system.min_power_w.copy()
+        power = np.asarray(power, dtype=float).copy()
+        # A zero minimum power with ``power_at_max=False`` would give zero
+        # rate; nudge to a strictly positive value.
+        power = np.maximum(power, 1e-6)
+        bandwidth = np.full(n, system.total_bandwidth_hz * bandwidth_fraction / n)
+        frequency = system.max_frequency_hz.copy()
+        allocation = ResourceAllocation(
+            power_w=power, bandwidth_hz=bandwidth, frequency_hz=frequency
+        )
+        if self.deadline_s is not None and not self.is_feasible(allocation, rtol=1e-6):
+            raise InfeasibleProblemError(
+                "no feasible allocation exists: even maximum power/frequency with an "
+                f"equal bandwidth split misses the {self.deadline_s:.1f} s deadline"
+            )
+        return allocation
+
+    def min_rate_requirements(
+        self, frequency_hz: np.ndarray, round_deadline_s: float
+    ) -> np.ndarray:
+        """Per-device minimum rates ``r_min_n = d_n / (T - R_l c_n D_n / f_n)``.
+
+        This is the rate each device needs so that computation plus upload
+        fits inside the per-round deadline ``T`` (constraint (9a) rewritten
+        as in Section V-B).  Devices whose computation alone exceeds the
+        deadline make the requirement infinite.
+        """
+        compute_time = self.system.computation_time_s(frequency_hz)
+        slack = round_deadline_s - compute_time
+        rates = np.full(slack.shape, np.inf)
+        ok = slack > 0.0
+        rates[ok] = self.system.upload_bits[ok] / slack[ok]
+        return rates
+
+    def check_rate_requirements_supportable(self, min_rate_bps: np.ndarray) -> None:
+        """Raise if the rate requirements cannot be met even at maximum power.
+
+        The check allocates to every device the minimum bandwidth it needs at
+        maximum power and verifies the bandwidth budget can hold them all.
+        """
+        system = self.system
+        if np.any(~np.isfinite(min_rate_bps)):
+            raise InfeasibleProblemError(
+                "some devices cannot finish their computation inside the deadline"
+            )
+        needed = min_bandwidth_for_rate(
+            np.asarray(min_rate_bps, dtype=float),
+            system.max_power_w,
+            system.gains,
+            system.noise_psd_w_per_hz,
+            bandwidth_cap_hz=system.total_bandwidth_hz,
+        )
+        if np.any(~np.isfinite(needed)) or needed.sum() > system.total_bandwidth_hz * (1 + 1e-9):
+            raise InfeasibleProblemError(
+                "the bandwidth budget cannot support the per-device rate requirements"
+            )

@@ -1,0 +1,222 @@
+"""Subproblem 1: CPU frequencies and the per-round deadline (problem (10)).
+
+Given the upload times ``T^up_n`` implied by the current ``(p, B)``,
+Subproblem 1 chooses the CPU frequencies ``f_n`` and the per-round deadline
+``T`` minimising
+
+    w1 R_g sum_n kappa R_l c_n D_n f_n^2  +  w2 R_g T
+    s.t.  f_min <= f_n <= f_max,
+          R_l c_n D_n / f_n + T^up_n <= T.
+
+Two solvers are provided:
+
+* ``method="primal"`` (default, exact): for a fixed ``T`` the optimal
+  frequency is ``f_n(T) = clip(R_l c_n D_n / (T - T^up_n), f_min, f_max)``
+  (energy is increasing in ``f``, so each device runs as slowly as the
+  deadline allows), and the remaining one-dimensional problem in ``T`` is
+  convex — solved by golden section.  This handles the frequency box
+  exactly.
+* ``method="dual"`` (paper-faithful): the Lagrangian dual (17) is a concave
+  maximisation over the scaled simplex ``sum lambda_n = w2 R_g``; its
+  water-filling solution gives ``f_n = (lambda_n / (2 w1 R_g kappa))^(1/3)``
+  (eq. (16)), clipped into the box as in eq. (18) (the paper's eq. (18) has
+  an obvious typo — it clips with ``f_min`` twice — which we fix by clipping
+  to ``[f_min, f_max]``).
+
+A third mode handles the deadline-constrained experiments of Sections
+VII-C/VII-D: when ``round_deadline_s`` is given, ``T`` is not a variable and
+every device simply runs at the slowest feasible frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, InfeasibleProblemError
+from ..solvers.scalar import golden_section_scalar
+from ..solvers.waterfilling import maximize_concave_on_simplex
+from ..system import SystemModel
+
+__all__ = ["Subproblem1Result", "solve_subproblem1"]
+
+
+@dataclass(frozen=True)
+class Subproblem1Result:
+    """Solution of Subproblem 1."""
+
+    frequency_hz: np.ndarray
+    round_deadline_s: float
+    objective: float
+    dual_variables: np.ndarray | None = None
+    method: str = "primal"
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.frequency_hz.shape[0])
+
+
+def _frequency_for_deadline(
+    system: SystemModel, upload_time_s: np.ndarray, round_deadline_s: float
+) -> np.ndarray:
+    """Slowest feasible frequency per device for a fixed per-round deadline."""
+    slack = round_deadline_s - upload_time_s
+    if np.any(slack <= 0.0):
+        raise InfeasibleProblemError(
+            "round deadline leaves no time for computation on some devices"
+        )
+    needed = system.cycles_per_round / slack
+    if np.any(needed > system.max_frequency_hz * (1.0 + 1e-9)):
+        raise InfeasibleProblemError(
+            "round deadline cannot be met even at the maximum CPU frequency"
+        )
+    return np.clip(needed, system.min_frequency_hz, system.max_frequency_hz)
+
+
+def _objective(
+    system: SystemModel,
+    w1: float,
+    w2: float,
+    frequency_hz: np.ndarray,
+    round_deadline_s: float,
+) -> float:
+    energy_per_round = float(system.computation_energy_j(frequency_hz).sum())
+    return system.global_rounds * (w1 * energy_per_round + w2 * round_deadline_s)
+
+
+def _solve_primal(
+    system: SystemModel,
+    w1: float,
+    w2: float,
+    upload_time_s: np.ndarray,
+) -> Subproblem1Result:
+    """Exact solution by one-dimensional search over the deadline ``T``."""
+    cycles = system.cycles_per_round
+    f_min = system.min_frequency_hz
+    f_max = system.max_frequency_hz
+
+    t_lower = float(np.max(upload_time_s + cycles / f_max))
+    t_upper = float(np.max(upload_time_s + cycles / f_min))
+
+    if w2 <= 0.0:
+        # Only energy matters and T is free: run every CPU at its minimum.
+        frequency = f_min.copy()
+        deadline = t_upper
+        return Subproblem1Result(
+            frequency_hz=frequency,
+            round_deadline_s=deadline,
+            objective=_objective(system, w1, w2, frequency, deadline),
+            method="primal",
+        )
+
+    def frequencies_at(deadline: float) -> np.ndarray:
+        slack = np.maximum(deadline - upload_time_s, 1e-300)
+        return np.clip(cycles / slack, f_min, f_max)
+
+    def objective_at(deadline: float) -> float:
+        return _objective(system, w1, w2, frequencies_at(deadline), deadline)
+
+    if w1 <= 0.0:
+        # Only time matters: the smallest feasible deadline is optimal.
+        deadline = t_lower
+    elif t_upper <= t_lower * (1.0 + 1e-12):
+        deadline = t_lower
+    else:
+        deadline, _ = golden_section_scalar(
+            objective_at, t_lower, t_upper, tol=1e-12
+        )
+    frequency = frequencies_at(deadline)
+    # Report the deadline actually realised by the chosen frequencies (it can
+    # only be smaller than the searched value, never larger).
+    realised = float(np.max(upload_time_s + cycles / frequency))
+    deadline = min(deadline, realised) if w2 > 0 else realised
+    deadline = max(deadline, realised)
+    return Subproblem1Result(
+        frequency_hz=frequency,
+        round_deadline_s=deadline,
+        objective=_objective(system, w1, w2, frequency, deadline),
+        method="primal",
+    )
+
+
+def _solve_dual(
+    system: SystemModel,
+    w1: float,
+    w2: float,
+    upload_time_s: np.ndarray,
+) -> Subproblem1Result:
+    """Paper-faithful solution through the dual problem (17)."""
+    if w1 <= 0.0 or w2 <= 0.0:
+        # The dual derivation divides by both weights; defer to the primal
+        # solver for the degenerate corners.
+        return _solve_primal(system, w1, w2, upload_time_s)
+    cycles_local = system.local_iterations * system.cycles_per_sample * system.num_samples
+    rg = system.global_rounds
+    kappa = system.effective_capacitance
+    # h = R_l (w1 kappa R_g)^(1/3); the dual objective coefficient of
+    # lambda^(2/3) is (2^(-2/3) + 2^(1/3)) h c_n D_n.  Using per-device kappa
+    # keeps the formula valid for heterogeneous fleets.
+    h = system.local_iterations * (w1 * kappa * rg) ** (1.0 / 3.0)
+    coeff = (2.0 ** (-2.0 / 3.0) + 2.0 ** (1.0 / 3.0)) * h * (
+        system.cycles_per_sample * system.num_samples
+    )
+    lambdas, _eta = maximize_concave_on_simplex(coeff, upload_time_s, w2 * rg)
+    frequency = (lambdas / (2.0 * w1 * rg * kappa)) ** (1.0 / 3.0)
+    frequency = np.clip(frequency, system.min_frequency_hz, system.max_frequency_hz)
+    deadline = float(np.max(upload_time_s + cycles_local / frequency))
+    return Subproblem1Result(
+        frequency_hz=frequency,
+        round_deadline_s=deadline,
+        objective=_objective(system, w1, w2, frequency, deadline),
+        dual_variables=lambdas,
+        method="dual",
+    )
+
+
+def solve_subproblem1(
+    system: SystemModel,
+    energy_weight: float,
+    time_weight: float,
+    upload_time_s: np.ndarray,
+    *,
+    round_deadline_s: float | None = None,
+    method: str = "primal",
+) -> Subproblem1Result:
+    """Solve Subproblem 1 for fixed upload times.
+
+    Parameters
+    ----------
+    energy_weight, time_weight:
+        The weights ``w1`` and ``w2``.
+    upload_time_s:
+        Upload times ``T^up_n`` implied by the current ``(p, B)``.
+    round_deadline_s:
+        If given, the per-round deadline is fixed (Sections VII-C/VII-D) and
+        only the frequencies are optimised.
+    method:
+        ``"primal"`` (exact) or ``"dual"`` (paper's problem (17)).
+    """
+    upload = np.asarray(upload_time_s, dtype=float)
+    if upload.shape != (system.num_devices,):
+        raise ConfigurationError(
+            f"upload_time_s must have shape ({system.num_devices},), got {upload.shape}"
+        )
+    if np.any(~np.isfinite(upload)) or np.any(upload < 0.0):
+        raise ConfigurationError("upload times must be finite and non-negative")
+    if energy_weight < 0.0 or time_weight < 0.0:
+        raise ConfigurationError("weights must be non-negative")
+
+    if round_deadline_s is not None:
+        frequency = _frequency_for_deadline(system, upload, round_deadline_s)
+        return Subproblem1Result(
+            frequency_hz=frequency,
+            round_deadline_s=float(round_deadline_s),
+            objective=_objective(system, energy_weight, time_weight, frequency, round_deadline_s),
+            method="deadline",
+        )
+    if method == "primal":
+        return _solve_primal(system, energy_weight, time_weight, upload)
+    if method == "dual":
+        return _solve_dual(system, energy_weight, time_weight, upload)
+    raise ConfigurationError(f"unknown Subproblem 1 method: {method!r}")

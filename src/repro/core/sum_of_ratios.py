@@ -1,0 +1,245 @@
+"""Algorithm 1: the Newton-like sum-of-ratios solver for Subproblem 2.
+
+Subproblem 2 minimises the total communication energy
+
+    w1 R_g sum_n p_n d_n / G_n(p_n, B_n)
+
+subject to the power box, the bandwidth budget and the per-device rate
+requirements — an NP-hard sum-of-ratios problem.  Theorem 1 (after Jong's
+parametric transformation) reduces it to finding auxiliary variables
+``(beta, nu)`` such that the solution ``(p, B)`` of the subtractive problem
+SP2_v2 satisfies
+
+    phi_1,n = -p_n d_n + beta_n G_n = 0     and
+    phi_2,n = -w1 R_g  + nu_n  G_n  = 0.
+
+Algorithm 1 alternates (i) solving SP2_v2 for the current ``(beta, nu)`` and
+(ii) a damped Newton update of ``(beta, nu)`` towards the exact ratios at
+the new point.  Because the Jacobian of ``phi`` is ``diag(G_n)`` for both
+blocks, the Newton direction is simply the difference between the exact
+ratios and the current auxiliary values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InfeasibleProblemError
+from ..solvers.newton import damped_newton_step
+from ..system import SystemModel
+from .convergence import ConvergenceHistory
+from .subproblem2 import SP2Result, solve_sp2_v2, solve_sp2_v2_numeric
+
+__all__ = ["SumOfRatiosConfig", "SumOfRatiosResult", "SumOfRatiosSolver"]
+
+
+@dataclass(frozen=True)
+class SumOfRatiosConfig:
+    """Hyper-parameters of Algorithm 1."""
+
+    #: Maximum number of outer iterations (``i_0`` in the paper).
+    max_iterations: int = 30
+    #: Damping base ``xi`` of the Newton-like update, in (0, 1).
+    damping_xi: float = 0.5
+    #: Sufficient-decrease constant ``epsilon`` of condition (29), in (0, 1).
+    damping_eps: float = 0.01
+    #: Relative tolerance on the residual ``|phi(beta, nu)|``.
+    residual_tol: float = 1e-6
+    #: Relative tolerance on the change of ``(p, B)`` between iterations.
+    step_tol: float = 1e-8
+    #: Whether to fall back to the numeric SP2_v2 solver when the
+    #: closed-form path fails or returns an infeasible point.
+    use_numeric_fallback: bool = True
+
+
+@dataclass(frozen=True)
+class SumOfRatiosResult:
+    """Outcome of Algorithm 1."""
+
+    power_w: np.ndarray
+    bandwidth_hz: np.ndarray
+    nu: np.ndarray
+    beta: np.ndarray
+    communication_energy_j: float
+    converged: bool
+    iterations: int
+    feasible: bool
+    history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+
+
+class SumOfRatiosSolver:
+    """Solver object binding a system, an energy weight and a configuration."""
+
+    def __init__(
+        self,
+        system: SystemModel,
+        energy_weight: float,
+        config: SumOfRatiosConfig | None = None,
+    ) -> None:
+        if energy_weight <= 0.0:
+            raise ValueError(
+                "Algorithm 1 requires a positive energy weight; with w1 = 0 the "
+                "communication energy does not appear in the objective"
+            )
+        self.system = system
+        self.energy_weight = float(energy_weight)
+        self.config = config or SumOfRatiosConfig()
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def _scale(self) -> float:
+        """The constant ``w1 R_g`` multiplying every ratio."""
+        return self.energy_weight * self.system.global_rounds
+
+    def _rates(self, power: np.ndarray, bandwidth: np.ndarray) -> np.ndarray:
+        rates = self.system.rates_bps(power, bandwidth)
+        if np.any(rates <= 0.0):
+            raise InfeasibleProblemError(
+                "an iterate produced a zero uplink rate; the initial point must "
+                "give every device positive power and bandwidth"
+            )
+        return rates
+
+    def _solve_inner(
+        self,
+        nu: np.ndarray,
+        beta: np.ndarray,
+        min_rate_bps: np.ndarray,
+        incumbent_power: np.ndarray,
+        incumbent_bandwidth: np.ndarray,
+    ) -> SP2Result:
+        """Solve SP2_v2, falling back to the numeric solver and, as a last
+        resort, to the (feasible) incumbent point."""
+        from .subproblem2 import sp2_objective
+
+        try:
+            result = solve_sp2_v2(self.system, nu, beta, min_rate_bps)
+            if result.feasible or not self.config.use_numeric_fallback:
+                return result
+        except InfeasibleProblemError:
+            if not self.config.use_numeric_fallback:
+                raise
+        try:
+            return solve_sp2_v2_numeric(self.system, nu, beta, min_rate_bps)
+        except InfeasibleProblemError:
+            return SP2Result(
+                power_w=incumbent_power.copy(),
+                bandwidth_hz=incumbent_bandwidth.copy(),
+                objective=sp2_objective(
+                    self.system, nu, beta, incumbent_power, incumbent_bandwidth
+                ),
+                bandwidth_multiplier=0.0,
+                rate_multipliers=np.zeros_like(incumbent_power),
+                feasible=True,
+                method="incumbent",
+            )
+
+    def _residual(
+        self,
+        beta: np.ndarray,
+        nu: np.ndarray,
+        power: np.ndarray,
+        rates: np.ndarray,
+    ) -> np.ndarray:
+        phi1 = -power * self.system.upload_bits + beta * rates
+        phi2 = -self._scale + nu * rates
+        return np.concatenate([phi1, phi2])
+
+    def communication_energy(self, power: np.ndarray, bandwidth: np.ndarray) -> float:
+        """Total transmission energy ``R_g sum p d / r`` of an allocation."""
+        rates = self._rates(power, bandwidth)
+        return self.system.global_rounds * float(
+            np.sum(power * self.system.upload_bits / rates)
+        )
+
+    # -- main loop ---------------------------------------------------------
+    def solve(
+        self,
+        min_rate_bps: np.ndarray,
+        initial_power_w: np.ndarray,
+        initial_bandwidth_hz: np.ndarray,
+    ) -> SumOfRatiosResult:
+        """Run Algorithm 1 from a feasible ``(p, B)`` starting point."""
+        system = self.system
+        config = self.config
+        min_rate = np.maximum(np.asarray(min_rate_bps, dtype=float), 0.0)
+        power = np.asarray(initial_power_w, dtype=float).copy()
+        bandwidth = np.asarray(initial_bandwidth_hz, dtype=float).copy()
+
+        rates = self._rates(power, bandwidth)
+        beta = power * system.upload_bits / rates
+        nu = self._scale / rates
+
+        history = ConvergenceHistory()
+        converged = False
+        feasible = True
+        residual_scale = float(
+            np.linalg.norm(np.concatenate([power * system.upload_bits, np.full_like(power, self._scale)]))
+        )
+        residual_scale = max(residual_scale, 1e-12)
+
+        iteration = 0
+        for iteration in range(1, config.max_iterations + 1):
+            inner = self._solve_inner(nu, beta, min_rate, power, bandwidth)
+            new_power, new_bandwidth = inner.power_w, inner.bandwidth_hz
+            feasible = inner.feasible
+            new_rates = self._rates(new_power, new_bandwidth)
+
+            residual = self._residual(beta, nu, new_power, new_rates)
+            residual_norm = float(np.linalg.norm(residual))
+            objective = self.energy_weight * system.global_rounds * float(
+                np.sum(new_power * system.upload_bits / new_rates)
+            )
+            step_change = float(
+                np.linalg.norm(new_power - power) / max(np.linalg.norm(power), 1e-30)
+                + np.linalg.norm(new_bandwidth - bandwidth)
+                / max(np.linalg.norm(bandwidth), 1e-30)
+            )
+            history.append(
+                objective,
+                residual=residual_norm,
+                step_change=step_change,
+                note=inner.method,
+            )
+
+            power, bandwidth = new_power, new_bandwidth
+            if residual_norm <= config.residual_tol * residual_scale:
+                converged = True
+                break
+            if iteration > 1 and step_change <= config.step_tol:
+                converged = True
+                break
+
+            # Damped Newton-like update of (beta, nu) — steps 5-6 of Algorithm 1.
+            alpha = np.concatenate([beta, nu])
+            target_beta = power * system.upload_bits / new_rates
+            target_nu = self._scale / new_rates
+            direction = np.concatenate([target_beta - beta, target_nu - nu])
+
+            def residual_of_alpha(a: np.ndarray) -> np.ndarray:
+                half = a.shape[0] // 2
+                return self._residual(a[:half], a[half:], power, new_rates)
+
+            update = damped_newton_step(
+                alpha,
+                residual_of_alpha,
+                direction,
+                xi=config.damping_xi,
+                eps=config.damping_eps,
+            )
+            half = update.alpha.shape[0] // 2
+            beta, nu = update.alpha[:half], update.alpha[half:]
+
+        return SumOfRatiosResult(
+            power_w=power,
+            bandwidth_hz=bandwidth,
+            nu=nu,
+            beta=beta,
+            communication_energy_j=self.communication_energy(power, bandwidth),
+            converged=converged,
+            iterations=iteration,
+            feasible=feasible,
+            history=history,
+        )

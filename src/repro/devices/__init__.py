@@ -1,0 +1,26 @@
+"""Device substrate: CPU, radio and battery models plus fleet generation.
+
+The paper's per-device quantities (equations (2)-(7)) are all simple
+analytical models of the device hardware: the CPU burns
+``kappa * c_n * D_n * f_n^2`` joules per local iteration and takes
+``c_n * D_n / f_n`` seconds; the radio burns ``p_n * d_n / r_n`` joules per
+upload.  This package implements those models, per-device parameter
+profiles, and a generator of heterogeneous device fleets matching
+Section VII-A.
+"""
+
+from .battery import Battery, BatteryDrainedError
+from .cpu import CpuModel
+from .fleet import DeviceFleet, generate_fleet
+from .profiles import DeviceProfile
+from .radio import RadioModel
+
+__all__ = [
+    "Battery",
+    "BatteryDrainedError",
+    "CpuModel",
+    "DeviceFleet",
+    "generate_fleet",
+    "DeviceProfile",
+    "RadioModel",
+]

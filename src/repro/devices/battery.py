@@ -1,0 +1,75 @@
+"""Simple battery bookkeeping for low-battery scenarios.
+
+The paper motivates the energy weight ``w1`` with low-battery devices; the
+:class:`Battery` class lets examples and the FL simulator track how much of
+a device's budget the chosen allocation actually consumes over ``R_g``
+rounds, and fail loudly when a device would die mid-training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ReproError
+
+__all__ = ["Battery", "BatteryDrainedError"]
+
+
+class BatteryDrainedError(ReproError):
+    """Raised when an energy draw exceeds the remaining battery charge."""
+
+
+@dataclass
+class Battery:
+    """Energy reservoir with draw tracking."""
+
+    capacity_j: float
+    charge_j: float = field(default=None)  # type: ignore[assignment]
+    drawn_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0.0:
+            raise ValueError("battery capacity must be positive")
+        if self.charge_j is None:
+            self.charge_j = self.capacity_j
+        if not 0.0 <= self.charge_j <= self.capacity_j:
+            raise ValueError("charge must lie in [0, capacity]")
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of the full capacity, in [0, 1]."""
+        return self.charge_j / self.capacity_j
+
+    def can_supply(self, energy_j: float) -> bool:
+        """Whether a draw of ``energy_j`` is possible without going negative."""
+        return energy_j <= self.charge_j + 1e-12
+
+    def draw(self, energy_j: float) -> float:
+        """Consume ``energy_j`` joules; returns the remaining charge.
+
+        Raises :class:`BatteryDrainedError` if the draw exceeds the charge.
+        """
+        if energy_j < 0.0:
+            raise ValueError("energy draw must be non-negative")
+        if not self.can_supply(energy_j):
+            raise BatteryDrainedError(
+                f"draw of {energy_j:.3f} J exceeds remaining charge {self.charge_j:.3f} J"
+            )
+        self.charge_j -= energy_j
+        self.drawn_j += energy_j
+        return self.charge_j
+
+    def recharge(self, energy_j: float | None = None) -> None:
+        """Recharge by ``energy_j`` joules (fully if omitted)."""
+        if energy_j is None:
+            self.charge_j = self.capacity_j
+            return
+        if energy_j < 0.0:
+            raise ValueError("recharge energy must be non-negative")
+        self.charge_j = min(self.capacity_j, self.charge_j + energy_j)
+
+    def rounds_supported(self, energy_per_round_j: float) -> int:
+        """How many FL rounds the current charge can sustain."""
+        if energy_per_round_j <= 0.0:
+            raise ValueError("energy_per_round_j must be positive")
+        return int(self.charge_j // energy_per_round_j)

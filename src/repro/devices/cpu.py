@@ -1,0 +1,101 @@
+"""CPU computation time and energy (equations (4), (5) and (7))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..exceptions import ConfigurationError
+
+__all__ = ["CpuModel"]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Dynamic-voltage-frequency-scaling CPU energy/latency model.
+
+    One local iteration over ``D_n`` samples costs ``c_n D_n`` cycles, takes
+    ``c_n D_n / f`` seconds, and burns ``kappa c_n D_n f^2`` joules (the
+    energy per cycle at frequency ``f`` is ``kappa f^2``).
+    """
+
+    effective_capacitance: float = constants.EFFECTIVE_CAPACITANCE
+
+    def __post_init__(self) -> None:
+        if self.effective_capacitance <= 0.0:
+            raise ConfigurationError("effective_capacitance must be positive")
+
+    def iteration_time_s(
+        self,
+        cycles_per_sample: np.ndarray | float,
+        num_samples: np.ndarray | float,
+        frequency_hz: np.ndarray | float,
+    ) -> np.ndarray:
+        """Wall-clock seconds of one local iteration: ``c D / f``."""
+        c = np.asarray(cycles_per_sample, dtype=float)
+        d = np.asarray(num_samples, dtype=float)
+        f = np.asarray(frequency_hz, dtype=float)
+        if np.any(f <= 0.0):
+            raise ValueError("CPU frequency must be strictly positive")
+        return c * d / f
+
+    def iteration_energy_j(
+        self,
+        cycles_per_sample: np.ndarray | float,
+        num_samples: np.ndarray | float,
+        frequency_hz: np.ndarray | float,
+    ) -> np.ndarray:
+        """Energy (J) of one local iteration: ``kappa c D f^2`` (eq. (4))."""
+        c = np.asarray(cycles_per_sample, dtype=float)
+        d = np.asarray(num_samples, dtype=float)
+        f = np.asarray(frequency_hz, dtype=float)
+        return self.effective_capacitance * c * d * f**2
+
+    def round_time_s(
+        self,
+        cycles_per_sample: np.ndarray | float,
+        num_samples: np.ndarray | float,
+        frequency_hz: np.ndarray | float,
+        local_iterations: int,
+    ) -> np.ndarray:
+        """Computation time of one global round (eq. (7)): ``R_l c D / f``."""
+        return local_iterations * self.iteration_time_s(
+            cycles_per_sample, num_samples, frequency_hz
+        )
+
+    def round_energy_j(
+        self,
+        cycles_per_sample: np.ndarray | float,
+        num_samples: np.ndarray | float,
+        frequency_hz: np.ndarray | float,
+        local_iterations: int,
+    ) -> np.ndarray:
+        """Computation energy of one global round (eq. (5)): ``kappa R_l c D f^2``."""
+        return local_iterations * self.iteration_energy_j(
+            cycles_per_sample, num_samples, frequency_hz
+        )
+
+    def frequency_for_deadline(
+        self,
+        cycles_per_sample: np.ndarray | float,
+        num_samples: np.ndarray | float,
+        local_iterations: int,
+        deadline_s: np.ndarray | float,
+    ) -> np.ndarray:
+        """Smallest frequency finishing ``local_iterations`` within ``deadline_s``.
+
+        Entries with a non-positive deadline are returned as ``np.inf``
+        (no finite frequency can meet them).
+        """
+        c = np.asarray(cycles_per_sample, dtype=float)
+        d = np.asarray(num_samples, dtype=float)
+        t = np.asarray(deadline_s, dtype=float)
+        c, d, t = np.broadcast_arrays(c, d, np.asarray(t, dtype=float))
+        freq = np.full(t.shape, np.inf)
+        ok = t > 0.0
+        freq[ok] = local_iterations * c[ok] * d[ok] / t[ok]
+        if freq.ndim == 0:
+            return freq[()]
+        return freq

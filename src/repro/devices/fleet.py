@@ -1,0 +1,193 @@
+"""Fleet generation: a heterogeneous set of device profiles.
+
+Section VII-A draws the per-sample CPU requirement ``c_n`` uniformly from
+``[1, 3] * 1e4`` cycles and gives every device 500 samples; Fig. 4 instead
+splits a fixed total of 25 000 samples equally.  :func:`generate_fleet`
+covers both, plus optional heterogeneity in dataset sizes for the FL
+simulator examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..exceptions import ConfigurationError
+from .profiles import DeviceProfile
+
+__all__ = ["DeviceFleet", "generate_fleet"]
+
+
+@dataclass(frozen=True)
+class DeviceFleet:
+    """An ordered collection of :class:`DeviceProfile` with array views.
+
+    The optimizer consumes numpy arrays; the FL simulator and examples
+    prefer per-device objects.  This class provides both views over the same
+    data.
+    """
+
+    profiles: tuple[DeviceProfile, ...]
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ConfigurationError("a fleet needs at least one device")
+        object.__setattr__(self, "profiles", tuple(self.profiles))
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self) -> Iterator[DeviceProfile]:
+        return iter(self.profiles)
+
+    def __getitem__(self, index: int) -> DeviceProfile:
+        return self.profiles[index]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.profiles)
+
+    # -- array views ------------------------------------------------------
+    @property
+    def cycles_per_sample(self) -> np.ndarray:
+        return np.array([p.cycles_per_sample for p in self.profiles], dtype=float)
+
+    @property
+    def num_samples(self) -> np.ndarray:
+        return np.array([p.num_samples for p in self.profiles], dtype=float)
+
+    @property
+    def upload_bits(self) -> np.ndarray:
+        return np.array([p.upload_bits for p in self.profiles], dtype=float)
+
+    @property
+    def min_frequency_hz(self) -> np.ndarray:
+        return np.array([p.min_frequency_hz for p in self.profiles], dtype=float)
+
+    @property
+    def max_frequency_hz(self) -> np.ndarray:
+        return np.array([p.max_frequency_hz for p in self.profiles], dtype=float)
+
+    @property
+    def min_power_w(self) -> np.ndarray:
+        return np.array([p.min_power_w for p in self.profiles], dtype=float)
+
+    @property
+    def max_power_w(self) -> np.ndarray:
+        return np.array([p.max_power_w for p in self.profiles], dtype=float)
+
+    @property
+    def effective_capacitance(self) -> np.ndarray:
+        return np.array([p.effective_capacitance for p in self.profiles], dtype=float)
+
+    @property
+    def total_samples(self) -> int:
+        return int(self.num_samples.sum())
+
+    def sample_fractions(self) -> np.ndarray:
+        """FedAvg aggregation weights ``D_n / D``."""
+        samples = self.num_samples
+        return samples / samples.sum()
+
+    # -- transformations --------------------------------------------------
+    def with_max_power_w(self, max_power_w: float) -> "DeviceFleet":
+        """Fleet copy with every device's maximum transmit power replaced."""
+        return DeviceFleet(
+            tuple(
+                p.with_power_range(min(p.min_power_w, max_power_w), max_power_w)
+                for p in self.profiles
+            )
+        )
+
+    def with_max_frequency_hz(self, max_frequency_hz: float) -> "DeviceFleet":
+        """Fleet copy with every device's maximum CPU frequency replaced."""
+        return DeviceFleet(
+            tuple(
+                p.with_frequency_range(
+                    min(p.min_frequency_hz, max_frequency_hz), max_frequency_hz
+                )
+                for p in self.profiles
+            )
+        )
+
+    def with_samples_per_device(self, num_samples: int) -> "DeviceFleet":
+        """Fleet copy with every device's dataset size replaced."""
+        return DeviceFleet(tuple(p.with_samples(num_samples) for p in self.profiles))
+
+    def subset(self, indices: Sequence[int]) -> "DeviceFleet":
+        """Fleet restricted to the given device indices."""
+        return DeviceFleet(tuple(self.profiles[i] for i in indices))
+
+
+def generate_fleet(
+    num_devices: int = constants.DEFAULT_NUM_DEVICES,
+    *,
+    rng: np.random.Generator | int | None = None,
+    samples_per_device: int | None = constants.DEFAULT_SAMPLES_PER_DEVICE,
+    total_samples: int | None = None,
+    upload_bits: float = constants.DEFAULT_UPLOAD_BITS,
+    cycles_range: tuple[float, float] = constants.CPU_CYCLES_PER_SAMPLE_RANGE,
+    min_frequency_hz: float = constants.DEFAULT_MIN_FREQUENCY_HZ,
+    max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ,
+    min_power_w: float = constants.DEFAULT_MIN_POWER_W,
+    max_power_w: float = constants.DEFAULT_MAX_POWER_W,
+    effective_capacitance: float = constants.EFFECTIVE_CAPACITANCE,
+    sample_imbalance: float = 0.0,
+) -> DeviceFleet:
+    """Generate a heterogeneous fleet matching Section VII-A.
+
+    Parameters
+    ----------
+    samples_per_device:
+        Samples on every device (the default 500).  Ignored when
+        ``total_samples`` is given.
+    total_samples:
+        If given, distribute this many samples across the fleet (equally when
+        ``sample_imbalance`` is 0, Dirichlet-skewed otherwise) — the setting
+        of Fig. 4.
+    sample_imbalance:
+        0 gives equal datasets; larger values skew the dataset sizes using a
+        Dirichlet distribution with concentration ``1 / sample_imbalance``.
+    """
+    if num_devices <= 0:
+        raise ConfigurationError("num_devices must be positive")
+    if cycles_range[0] <= 0.0 or cycles_range[1] < cycles_range[0]:
+        raise ConfigurationError("cycles_range must be positive and ordered")
+    if sample_imbalance < 0.0:
+        raise ConfigurationError("sample_imbalance must be non-negative")
+    generator = np.random.default_rng(rng)
+    cycles = generator.uniform(cycles_range[0], cycles_range[1], size=num_devices)
+
+    if total_samples is not None:
+        if total_samples < num_devices:
+            raise ConfigurationError("total_samples must be at least num_devices")
+        if sample_imbalance == 0.0:
+            samples = np.full(num_devices, total_samples // num_devices, dtype=int)
+            samples[: total_samples % num_devices] += 1
+        else:
+            concentration = 1.0 / sample_imbalance
+            shares = generator.dirichlet(np.full(num_devices, concentration))
+            samples = np.maximum((shares * total_samples).astype(int), 1)
+    else:
+        if samples_per_device is None or samples_per_device <= 0:
+            raise ConfigurationError("samples_per_device must be positive")
+        samples = np.full(num_devices, int(samples_per_device), dtype=int)
+
+    profiles = tuple(
+        DeviceProfile(
+            cycles_per_sample=float(cycles[i]),
+            num_samples=int(samples[i]),
+            upload_bits=upload_bits,
+            min_frequency_hz=min_frequency_hz,
+            max_frequency_hz=max_frequency_hz,
+            min_power_w=min_power_w,
+            max_power_w=max_power_w,
+            effective_capacitance=effective_capacitance,
+            name=f"device-{i:03d}",
+        )
+        for i in range(num_devices)
+    )
+    return DeviceFleet(profiles)

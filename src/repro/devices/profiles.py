@@ -1,0 +1,76 @@
+"""Per-device hardware and workload profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .. import constants
+from ..exceptions import ConfigurationError
+
+__all__ = ["DeviceProfile"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of one participating device.
+
+    Attributes mirror the per-device symbols of Table I in the paper:
+
+    * ``cycles_per_sample`` — ``c_n``, CPU cycles needed per training sample;
+    * ``num_samples`` — ``D_n``, local dataset size;
+    * ``upload_bits`` — ``d_n``, size of one model upload in bits;
+    * ``min_frequency_hz`` / ``max_frequency_hz`` — CPU frequency range;
+    * ``min_power_w`` / ``max_power_w`` — transmit power range;
+    * ``effective_capacitance`` — ``kappa`` of the CPU.
+    """
+
+    cycles_per_sample: float
+    num_samples: int = constants.DEFAULT_SAMPLES_PER_DEVICE
+    upload_bits: float = constants.DEFAULT_UPLOAD_BITS
+    min_frequency_hz: float = constants.DEFAULT_MIN_FREQUENCY_HZ
+    max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ
+    min_power_w: float = constants.DEFAULT_MIN_POWER_W
+    max_power_w: float = constants.DEFAULT_MAX_POWER_W
+    effective_capacitance: float = constants.EFFECTIVE_CAPACITANCE
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_sample <= 0.0:
+            raise ConfigurationError("cycles_per_sample must be positive")
+        if self.num_samples <= 0:
+            raise ConfigurationError("num_samples must be positive")
+        if self.upload_bits <= 0.0:
+            raise ConfigurationError("upload_bits must be positive")
+        if not 0.0 < self.min_frequency_hz <= self.max_frequency_hz:
+            raise ConfigurationError(
+                "frequencies must satisfy 0 < min_frequency_hz <= max_frequency_hz"
+            )
+        if not 0.0 <= self.min_power_w <= self.max_power_w:
+            raise ConfigurationError(
+                "powers must satisfy 0 <= min_power_w <= max_power_w"
+            )
+        if self.max_power_w <= 0.0:
+            raise ConfigurationError("max_power_w must be positive")
+        if self.effective_capacitance <= 0.0:
+            raise ConfigurationError("effective_capacitance must be positive")
+
+    @property
+    def cycles_per_local_iteration(self) -> float:
+        """Total CPU cycles of one local iteration: ``c_n * D_n``."""
+        return self.cycles_per_sample * self.num_samples
+
+    def with_samples(self, num_samples: int) -> "DeviceProfile":
+        """Copy of this profile with a different dataset size."""
+        return replace(self, num_samples=num_samples)
+
+    def with_power_range(self, min_power_w: float, max_power_w: float) -> "DeviceProfile":
+        """Copy of this profile with a different transmit-power range."""
+        return replace(self, min_power_w=min_power_w, max_power_w=max_power_w)
+
+    def with_frequency_range(
+        self, min_frequency_hz: float, max_frequency_hz: float
+    ) -> "DeviceProfile":
+        """Copy of this profile with a different CPU frequency range."""
+        return replace(
+            self, min_frequency_hz=min_frequency_hz, max_frequency_hz=max_frequency_hz
+        )

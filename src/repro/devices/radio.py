@@ -1,0 +1,74 @@
+"""Uplink radio time and energy (equations (2) and (3))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..wireless.noise import NoiseModel
+from ..wireless.rate import shannon_rate
+
+__all__ = ["RadioModel"]
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Uplink transmission model over an FDMA sub-band.
+
+    The transmission time of device ``n`` is ``T^up_n = d_n / r_n`` with the
+    Shannon rate ``r_n`` of eq. (1), and the transmission energy is
+    ``E^trans_n = p_n T^up_n`` (eqs. (2)-(3)).  The downlink is ignored, as
+    in the paper, because the base station transmits at much higher power.
+    """
+
+    noise: NoiseModel = field(default_factory=NoiseModel)
+
+    def rate_bps(
+        self,
+        power_w: np.ndarray | float,
+        bandwidth_hz: np.ndarray | float,
+        gain: np.ndarray | float,
+    ) -> np.ndarray:
+        """Achievable uplink rate (bit/s)."""
+        return shannon_rate(power_w, bandwidth_hz, gain, self.noise.effective_psd_w_per_hz)
+
+    def upload_time_s(
+        self,
+        upload_bits: np.ndarray | float,
+        power_w: np.ndarray | float,
+        bandwidth_hz: np.ndarray | float,
+        gain: np.ndarray | float,
+    ) -> np.ndarray:
+        """Time (s) to upload ``upload_bits`` at the achievable rate.
+
+        Devices with zero rate (e.g. zero bandwidth) get an infinite upload
+        time, which keeps downstream feasibility checks honest.
+        """
+        bits = np.asarray(upload_bits, dtype=float)
+        rate = self.rate_bps(power_w, bandwidth_hz, gain)
+        bits, rate = np.broadcast_arrays(bits, rate)
+        time = np.full(rate.shape, np.inf)
+        ok = rate > 0.0
+        time[ok] = bits[ok] / rate[ok]
+        if time.ndim == 0:
+            return time[()]
+        return time
+
+    def upload_energy_j(
+        self,
+        upload_bits: np.ndarray | float,
+        power_w: np.ndarray | float,
+        bandwidth_hz: np.ndarray | float,
+        gain: np.ndarray | float,
+    ) -> np.ndarray:
+        """Energy (J) of one upload: ``p * d / r``."""
+        p = np.asarray(power_w, dtype=float)
+        time = self.upload_time_s(upload_bits, power_w, bandwidth_hz, gain)
+        p, time = np.broadcast_arrays(p, time)
+        # Guard the 0 * inf corner (zero power, zero bandwidth) explicitly.
+        with np.errstate(invalid="ignore"):
+            energy = np.where(p == 0.0, 0.0, p * time)
+        if energy.ndim == 0:
+            return energy[()]
+        return energy

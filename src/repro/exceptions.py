@@ -1,0 +1,31 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is inconsistent or out of its valid range."""
+
+
+class InfeasibleProblemError(ReproError):
+    """The optimization problem has no feasible point under the constraints."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed in a way that cannot be recovered from."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its iteration budget without converging."""

@@ -1,0 +1,131 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Four internal choices of the proposed algorithm are compared on the same
+random drops:
+
+* the Subproblem-1 solver (exact primal search vs the paper's dual
+  water-filling with clipping);
+* the damping base ``xi`` of the Newton-like update in Algorithm 1;
+* the initial-point strategy of Algorithm 2 (equal split vs delay-min);
+* the SP2_v2 solver (closed-form KKT vs numeric dual decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.allocator import AllocatorConfig
+from ..core.problem import JointProblem, ProblemWeights
+from ..core.subproblem1 import solve_subproblem1
+from ..core.subproblem2 import solve_sp2_v2, solve_sp2_v2_numeric
+from ..core.sum_of_ratios import SumOfRatiosConfig
+from .base import SweepConfig, average_metrics, solve_proposed
+from .results import ResultTable
+
+__all__ = ["AblationConfig", "run_ablation"]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Sweep definition for the ablation study."""
+
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(num_devices=25, num_trials=2))
+    energy_weight: float = 0.5
+    damping_values: tuple[float, ...] = (0.25, 0.5, 0.75)
+
+    @classmethod
+    def paper(cls) -> "AblationConfig":
+        """A larger-scale ablation at the paper's device count."""
+        return cls(sweep=SweepConfig(num_devices=50, num_trials=10))
+
+
+def _sp2_solver_agreement(system, energy_weight: float) -> dict[str, float]:
+    """Objective gap between the closed-form and numeric SP2_v2 solvers."""
+    problem = JointProblem(system, ProblemWeights.from_energy_weight(energy_weight))
+    allocation = problem.initial_allocation(bandwidth_fraction=0.5)
+    upload = system.upload_time_s(allocation.power_w, allocation.bandwidth_hz)
+    sp1 = solve_subproblem1(system, energy_weight, 1.0 - energy_weight, upload)
+    min_rate = problem.min_rate_requirements(sp1.frequency_hz, sp1.round_deadline_s)
+    rates = system.rates_bps(allocation.power_w, allocation.bandwidth_hz)
+    beta = allocation.power_w * system.upload_bits / rates
+    nu = energy_weight * system.global_rounds / rates
+    kkt = solve_sp2_v2(system, nu, beta, min_rate)
+    numeric = solve_sp2_v2_numeric(system, nu, beta, min_rate)
+    scale = max(abs(numeric.objective), 1e-12)
+    return {
+        "kkt_objective": kkt.objective,
+        "numeric_objective": numeric.objective,
+        "relative_gap": (kkt.objective - numeric.objective) / scale,
+    }
+
+
+def run_ablation(config: AblationConfig | None = None) -> ResultTable:
+    """Run the ablation grid and collect the weighted objectives."""
+    config = config or AblationConfig()
+    sweep = config.sweep
+    table = ResultTable(
+        name="ablation",
+        columns=["variant", "setting", "objective", "energy_j", "time_s"],
+        metadata={"experiment": "ablation", "w1": config.energy_weight},
+    )
+
+    def run_with(allocator: AllocatorConfig) -> dict[str, float]:
+        metrics = []
+        for trial in range(sweep.num_trials):
+            system = sweep.scenario(seed=sweep.base_seed + trial)
+            result = solve_proposed(system, config.energy_weight, allocator_config=allocator)
+            metrics.append(result.summary())
+        return average_metrics(metrics)
+
+    # Subproblem-1 solver.
+    for method in ("primal", "dual"):
+        averaged = run_with(replace(sweep.allocator, subproblem1_method=method))
+        table.add_row(
+            variant="subproblem1",
+            setting=method,
+            objective=averaged["objective"],
+            energy_j=averaged["energy_j"],
+            time_s=averaged["completion_time_s"],
+        )
+
+    # Damping base of the Newton-like update.
+    for xi in config.damping_values:
+        allocator = replace(
+            sweep.allocator, sum_of_ratios=SumOfRatiosConfig(damping_xi=xi)
+        )
+        averaged = run_with(allocator)
+        table.add_row(
+            variant="damping_xi",
+            setting=f"{xi:g}",
+            objective=averaged["objective"],
+            energy_j=averaged["energy_j"],
+            time_s=averaged["completion_time_s"],
+        )
+
+    # Initial-point strategy.
+    for strategy in ("equal", "delay_min"):
+        averaged = run_with(replace(sweep.allocator, initial_strategy=strategy))
+        table.add_row(
+            variant="initialisation",
+            setting=strategy,
+            objective=averaged["objective"],
+            energy_j=averaged["energy_j"],
+            time_s=averaged["completion_time_s"],
+        )
+
+    # Agreement between the two SP2_v2 solvers (reported as objectives).
+    gaps = []
+    for trial in range(sweep.num_trials):
+        system = sweep.scenario(seed=sweep.base_seed + trial)
+        gaps.append(_sp2_solver_agreement(system, config.energy_weight))
+    averaged_gap = average_metrics(gaps)
+    table.add_row(
+        variant="sp2_solver",
+        setting="kkt_vs_numeric",
+        objective=float(np.abs(averaged_gap["relative_gap"])),
+        energy_j=averaged_gap["kkt_objective"],
+        time_s=averaged_gap["numeric_objective"],
+    )
+    return table

@@ -1,0 +1,117 @@
+"""Shared machinery for the per-figure experiment runners.
+
+The paper evaluates every scheme on random user drops and reports averages;
+this module provides the drop/solve/average loop so each ``figN`` module
+only has to declare its sweep grid and the schemes to compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .. import constants
+from ..core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
+from ..core.problem import JointProblem, ProblemWeights
+from ..baselines.registry import get_baseline
+from ..scenario import ScenarioConfig, build_scenario
+from ..system import SystemModel
+
+__all__ = [
+    "PAPER_WEIGHT_PAIRS",
+    "SweepConfig",
+    "average_metrics",
+    "solve_proposed",
+    "solve_baseline",
+    "sweep_scenarios",
+]
+
+#: The five weight pairs the paper compares in Figs. 2-4.
+PAPER_WEIGHT_PAIRS: tuple[tuple[float, float], ...] = (
+    (0.9, 0.1),
+    (0.7, 0.3),
+    (0.5, 0.5),
+    (0.3, 0.7),
+    (0.1, 0.9),
+)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Common knobs of every figure experiment."""
+
+    num_devices: int = constants.DEFAULT_NUM_DEVICES
+    num_trials: int = 3
+    base_seed: int = 0
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM
+    local_iterations: int = constants.DEFAULT_LOCAL_ITERATIONS
+    global_rounds: int = constants.DEFAULT_GLOBAL_ROUNDS
+    max_power_dbm: float = constants.DEFAULT_MAX_POWER_DBM
+    max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ
+    allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
+
+    def scenario(self, *, seed: int, **overrides: Any) -> SystemModel:
+        """Build one random drop with this sweep's shared parameters."""
+        params: dict[str, Any] = {
+            "num_devices": self.num_devices,
+            "radius_km": self.radius_km,
+            "local_iterations": self.local_iterations,
+            "global_rounds": self.global_rounds,
+            "max_power_dbm": self.max_power_dbm,
+            "max_frequency_hz": self.max_frequency_hz,
+            "seed": seed,
+        }
+        params.update(overrides)
+        return build_scenario(ScenarioConfig(**params))
+
+
+def solve_proposed(
+    system: SystemModel,
+    energy_weight: float,
+    *,
+    deadline_s: float | None = None,
+    allocator_config: AllocatorConfig | None = None,
+) -> AllocationResult:
+    """Run the proposed algorithm (Algorithm 2) on one scenario."""
+    weights = ProblemWeights.from_energy_weight(energy_weight)
+    problem = JointProblem(system, weights, deadline_s=deadline_s)
+    allocator = ResourceAllocator(allocator_config)
+    return allocator.solve(problem)
+
+
+def solve_baseline(
+    name: str,
+    system: SystemModel,
+    energy_weight: float,
+    *,
+    deadline_s: float | None = None,
+    **kwargs: Any,
+) -> AllocationResult:
+    """Run a named baseline on one scenario."""
+    weights = ProblemWeights.from_energy_weight(energy_weight)
+    problem = JointProblem(system, weights, deadline_s=deadline_s)
+    return get_baseline(name)(problem, **kwargs)
+
+
+def average_metrics(results: list[Mapping[str, float]]) -> dict[str, float]:
+    """Average a list of scalar-metric dictionaries key by key."""
+    if not results:
+        raise ValueError("cannot average an empty result list")
+    keys = results[0].keys()
+    return {key: float(np.mean([r[key] for r in results])) for key in keys}
+
+
+def sweep_scenarios(
+    config: SweepConfig,
+    solve: Callable[[SystemModel, int], Mapping[str, float]],
+    **scenario_overrides: Any,
+) -> dict[str, float]:
+    """Average ``solve(system, trial_seed)`` over the configured random drops."""
+    metrics = []
+    for trial in range(config.num_trials):
+        seed = config.base_seed + trial
+        system = config.scenario(seed=seed, **scenario_overrides)
+        metrics.append(dict(solve(system, seed)))
+    return average_metrics(metrics)

@@ -1,0 +1,67 @@
+"""Figure 4: energy and delay versus the number of devices.
+
+The total dataset is fixed at 25 000 samples and split equally, so adding
+devices shrinks every local dataset.  Expected behaviour: both energy and
+delay fall as the device count grows (less computation per device), with a
+possible slight delay increase for the most energy-focused weight pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .base import PAPER_WEIGHT_PAIRS, SweepConfig, average_metrics, solve_proposed
+from .results import ResultTable
+
+__all__ = ["Fig4Config", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Sweep definition for Figure 4."""
+
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(num_trials=2))
+    num_devices_grid: tuple[int, ...] = (20, 40, 60, 80)
+    total_samples: int = 25_000
+    weight_pairs: tuple[tuple[float, float], ...] = PAPER_WEIGHT_PAIRS
+
+    @classmethod
+    def paper(cls) -> "Fig4Config":
+        """The full setting: 20-80 devices, 100 drops."""
+        return cls(
+            sweep=SweepConfig(num_trials=100),
+            num_devices_grid=(20, 30, 40, 50, 60, 70, 80),
+        )
+
+
+def run_fig4(config: Fig4Config | None = None) -> ResultTable:
+    """Regenerate the Figure-4 series."""
+    config = config or Fig4Config()
+    table = ResultTable(
+        name="fig4",
+        columns=["num_devices", "scheme", "w1", "w2", "energy_j", "time_s", "objective"],
+        metadata={"figure": "4", "x_axis": "num_devices", "total_samples": config.total_samples},
+    )
+    for num_devices in config.num_devices_grid:
+        sweep = replace(config.sweep, num_devices=num_devices)
+        for w1, w2 in config.weight_pairs:
+            metrics = []
+            for trial in range(sweep.num_trials):
+                system = sweep.scenario(
+                    seed=sweep.base_seed + trial,
+                    samples_per_device=None,
+                    total_samples=config.total_samples,
+                )
+                result = solve_proposed(system, w1, allocator_config=sweep.allocator)
+                metrics.append(result.summary())
+            averaged = average_metrics(metrics)
+            table.add_row(
+                num_devices=num_devices,
+                scheme="proposed",
+                w1=w1,
+                w2=w2,
+                energy_j=averaged["energy_j"],
+                time_s=averaged["completion_time_s"],
+                objective=averaged["objective"],
+            )
+    return table

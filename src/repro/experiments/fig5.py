@@ -1,0 +1,64 @@
+"""Figure 5: energy and delay versus the radius of the deployment area.
+
+Devices keep 500 samples each (so the total workload grows with ``N``) and
+the weights are fixed at ``w1 = w2 = 0.5``.  Expected behaviour: the total
+completion time grows with the radius (weaker channels force slower
+uploads), while the energy has no clean monotone relationship with the
+radius (the optimizer trades power, frequency and time against each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .base import SweepConfig, average_metrics, solve_proposed
+from .results import ResultTable
+
+__all__ = ["Fig5Config", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Sweep definition for Figure 5."""
+
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(num_trials=2))
+    radius_km_grid: tuple[float, ...] = (0.1, 0.5, 0.9, 1.3)
+    num_devices_grid: tuple[int, ...] = (20, 50, 80)
+    energy_weight: float = 0.5
+
+    @classmethod
+    def paper(cls) -> "Fig5Config":
+        """The full setting: radii 0.1-1.5 km, 100 drops."""
+        return cls(
+            sweep=SweepConfig(num_trials=100),
+            radius_km_grid=(0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5),
+        )
+
+
+def run_fig5(config: Fig5Config | None = None) -> ResultTable:
+    """Regenerate the Figure-5 series."""
+    config = config or Fig5Config()
+    table = ResultTable(
+        name="fig5",
+        columns=["radius_km", "num_devices", "energy_j", "time_s", "objective"],
+        metadata={"figure": "5", "x_axis": "radius_km", "w1": config.energy_weight},
+    )
+    for radius_km in config.radius_km_grid:
+        for num_devices in config.num_devices_grid:
+            sweep = replace(config.sweep, radius_km=radius_km, num_devices=num_devices)
+            metrics = []
+            for trial in range(sweep.num_trials):
+                system = sweep.scenario(seed=sweep.base_seed + trial)
+                result = solve_proposed(
+                    system, config.energy_weight, allocator_config=sweep.allocator
+                )
+                metrics.append(result.summary())
+            averaged = average_metrics(metrics)
+            table.add_row(
+                radius_km=radius_km,
+                num_devices=num_devices,
+                energy_j=averaged["energy_j"],
+                time_s=averaged["completion_time_s"],
+                objective=averaged["objective"],
+            )
+    return table

@@ -1,0 +1,68 @@
+"""Figure 6: energy and delay versus the FL schedule (R_l and R_g).
+
+The number of local iterations per round is swept from 10 to 110 for
+several global-round counts, with ``w1 = w2 = 0.5``.  Expected behaviour:
+energy and delay both grow with ``R_l`` and with ``R_g`` (they are
+essentially multiplicative factors on the per-round cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .base import SweepConfig, average_metrics, solve_proposed
+from .results import ResultTable
+
+__all__ = ["Fig6Config", "run_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Sweep definition for Figure 6."""
+
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(num_devices=30, num_trials=1))
+    local_iterations_grid: tuple[int, ...] = (10, 50, 110)
+    global_rounds_grid: tuple[int, ...] = (50, 200, 400)
+    energy_weight: float = 0.5
+
+    @classmethod
+    def paper(cls) -> "Fig6Config":
+        """The full setting: R_l in 10..110, R_g in {50, 100, 200, 300, 400}."""
+        return cls(
+            sweep=SweepConfig(num_devices=50, num_trials=100),
+            local_iterations_grid=(10, 30, 50, 70, 90, 110),
+            global_rounds_grid=(50, 100, 200, 300, 400),
+        )
+
+
+def run_fig6(config: Fig6Config | None = None) -> ResultTable:
+    """Regenerate the Figure-6 series."""
+    config = config or Fig6Config()
+    table = ResultTable(
+        name="fig6",
+        columns=["local_iterations", "global_rounds", "energy_j", "time_s", "objective"],
+        metadata={"figure": "6", "x_axis": "local_iterations", "w1": config.energy_weight},
+    )
+    for global_rounds in config.global_rounds_grid:
+        for local_iterations in config.local_iterations_grid:
+            sweep = replace(
+                config.sweep,
+                local_iterations=local_iterations,
+                global_rounds=global_rounds,
+            )
+            metrics = []
+            for trial in range(sweep.num_trials):
+                system = sweep.scenario(seed=sweep.base_seed + trial)
+                result = solve_proposed(
+                    system, config.energy_weight, allocator_config=sweep.allocator
+                )
+                metrics.append(result.summary())
+            averaged = average_metrics(metrics)
+            table.add_row(
+                local_iterations=local_iterations,
+                global_rounds=global_rounds,
+                energy_j=averaged["energy_j"],
+                time_s=averaged["completion_time_s"],
+                objective=averaged["objective"],
+            )
+    return table

@@ -1,0 +1,70 @@
+"""Figure 7: joint optimisation versus single-resource optimisation.
+
+At ``w1 = 1, w2 = 0`` with a hard completion-time budget ``T`` (swept from
+100 to 150 s) and ``p_max = 10`` dBm, the paper compares the proposed joint
+algorithm against optimising only the communication side (fixed CPU
+frequency) and only the computation side (fixed power/bandwidth).  Expected
+behaviour: the proposed scheme uses the least energy at every budget, all
+three curves fall as the budget loosens, and the gaps shrink for large
+budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base import SweepConfig, average_metrics, solve_baseline, solve_proposed
+from .results import ResultTable
+
+__all__ = ["Fig7Config", "run_fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Sweep definition for Figure 7."""
+
+    sweep: SweepConfig = field(
+        default_factory=lambda: SweepConfig(num_devices=30, num_trials=2, max_power_dbm=10.0)
+    )
+    deadline_s_grid: tuple[float, ...] = (100.0, 120.0, 150.0)
+    schemes: tuple[str, ...] = ("proposed", "communication_only", "computation_only")
+
+    @classmethod
+    def paper(cls) -> "Fig7Config":
+        """The full setting: deadlines 100-150 s, 50 devices."""
+        return cls(
+            sweep=SweepConfig(num_devices=50, num_trials=100, max_power_dbm=10.0),
+            deadline_s_grid=(100.0, 110.0, 120.0, 130.0, 140.0, 150.0),
+        )
+
+
+def run_fig7(config: Fig7Config | None = None) -> ResultTable:
+    """Regenerate the Figure-7 series."""
+    config = config or Fig7Config()
+    sweep = config.sweep
+    table = ResultTable(
+        name="fig7",
+        columns=["deadline_s", "scheme", "energy_j", "time_s", "feasible"],
+        metadata={"figure": "7", "x_axis": "deadline_s", "w1": 1.0, "w2": 0.0},
+    )
+    for deadline in config.deadline_s_grid:
+        for scheme in config.schemes:
+            metrics = []
+            for trial in range(sweep.num_trials):
+                system = sweep.scenario(seed=sweep.base_seed + trial)
+                if scheme == "proposed":
+                    result = solve_proposed(
+                        system, 1.0, deadline_s=deadline, allocator_config=sweep.allocator
+                    )
+                else:
+                    result = solve_baseline(scheme, system, 1.0, deadline_s=deadline)
+                metrics.append(result.summary())
+            averaged = average_metrics(metrics)
+            table.add_row(
+                deadline_s=deadline,
+                scheme=scheme,
+                energy_j=averaged["energy_j"],
+                time_s=averaged["completion_time_s"],
+                feasible=averaged["feasible"],
+            )
+    return table

@@ -1,0 +1,66 @@
+"""Figure 8: the proposed algorithm versus Scheme 1 ([7], Yang et al.).
+
+At ``w1 = 1, w2 = 0`` with hard completion-time budgets ``T`` of 80, 100 and
+150 s, the maximum transmit power is swept from 5 to 12 dBm.  Expected
+behaviour: the proposed algorithm uses less energy than Scheme 1 at every
+point, and the gap widens as the deadline tightens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .base import SweepConfig, average_metrics, solve_baseline, solve_proposed
+from .results import ResultTable
+
+__all__ = ["Fig8Config", "run_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    """Sweep definition for Figure 8."""
+
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(num_devices=30, num_trials=2))
+    max_power_dbm_grid: tuple[float, ...] = (5.0, 8.0, 12.0)
+    deadline_s_grid: tuple[float, ...] = (80.0, 100.0, 150.0)
+
+    @classmethod
+    def paper(cls) -> "Fig8Config":
+        """The full setting: 5-12 dBm, deadlines {80, 100, 150} s, 50 devices."""
+        return cls(
+            sweep=SweepConfig(num_devices=50, num_trials=100),
+            max_power_dbm_grid=(5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0),
+        )
+
+
+def run_fig8(config: Fig8Config | None = None) -> ResultTable:
+    """Regenerate the Figure-8 series."""
+    config = config or Fig8Config()
+    table = ResultTable(
+        name="fig8",
+        columns=["max_power_dbm", "deadline_s", "scheme", "energy_j", "feasible"],
+        metadata={"figure": "8", "x_axis": "max_power_dbm", "w1": 1.0, "w2": 0.0},
+    )
+    for deadline in config.deadline_s_grid:
+        for p_max_dbm in config.max_power_dbm_grid:
+            sweep = replace(config.sweep, max_power_dbm=p_max_dbm)
+            for scheme in ("proposed", "scheme1"):
+                metrics = []
+                for trial in range(sweep.num_trials):
+                    system = sweep.scenario(seed=sweep.base_seed + trial)
+                    if scheme == "proposed":
+                        result = solve_proposed(
+                            system, 1.0, deadline_s=deadline, allocator_config=sweep.allocator
+                        )
+                    else:
+                        result = solve_baseline(scheme, system, 1.0, deadline_s=deadline)
+                    metrics.append(result.summary())
+                averaged = average_metrics(metrics)
+                table.add_row(
+                    max_power_dbm=p_max_dbm,
+                    deadline_s=deadline,
+                    scheme=scheme,
+                    energy_j=averaged["energy_j"],
+                    feasible=averaged["feasible"],
+                )
+    return table

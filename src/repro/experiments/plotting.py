@@ -1,0 +1,92 @@
+"""ASCII line plots for terminal-friendly figure previews.
+
+Matplotlib is not available offline, so the examples and experiment runners
+render their series as simple character plots — enough to eyeball the
+trends the paper's figures show (who is above whom, where lines cross).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series over a shared x-axis as ASCII art.
+
+    Each series gets its own marker character; the legend maps markers back
+    to series names.  Returns the plot as a single string.
+    """
+    if not x_values:
+        raise ValueError("x_values must not be empty")
+    if not series:
+        raise ValueError("series must not be empty")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+
+    all_y = [v for values in series.values() for v in values if v == v]  # skip NaN
+    if not all_y:
+        raise ValueError("series contain no finite values")
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return int(round((y_max - y) / (y_max - y_min) * (height - 1)))
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            if y != y:  # NaN
+                continue
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = 11
+    for row_index, row in enumerate(grid):
+        y_value = y_max - (y_max - y_min) * row_index / (height - 1)
+        prefix = f"{y_value:>{label_width}.3g} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_min:<.4g}"
+        + " " * max(1, width - 16)
+        + f"{x_max:>.4g}"
+    )
+    if x_label:
+        lines.append(" " * label_width + f"  x: {x_label}")
+    if y_label:
+        lines.append(" " * label_width + f"  y: {y_label}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Registry mapping experiment names to their runners.
+
+``run_experiment("fig2")`` regenerates the Figure-2 table with the default
+(scaled-down) configuration; passing a config object switches to any other
+setting, e.g. ``run_experiment("fig2", Fig2Config.paper())``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..exceptions import ConfigurationError
+from .ablation import run_ablation
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .results import ResultTable
+from .samples import run_samples_sweep
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+ExperimentFn = Callable[..., ResultTable]
+
+#: All registered experiment runners, keyed by figure/experiment id.
+EXPERIMENTS: dict[str, ExperimentFn] = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "samples": run_samples_sweep,
+    "ablation": run_ablation,
+}
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    """Look up an experiment runner by name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(f"unknown experiment {name!r}; known: {known}") from exc
+
+
+def run_experiment(name: str, config: Any | None = None) -> ResultTable:
+    """Run an experiment by name with an optional configuration object."""
+    runner = get_experiment(name)
+    if config is None:
+        return runner()
+    return runner(config)

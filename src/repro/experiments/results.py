@@ -1,0 +1,128 @@
+"""Result tables: the rows/series the paper's figures report.
+
+A :class:`ResultTable` is a small, dependency-free tabular container with
+named columns, JSON/CSV serialisation and markdown rendering — enough to
+print the same series a figure plots and to archive benchmark outputs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of homogeneous result rows."""
+
+    name: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; every table column must be provided."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        extra = [c for c in values if c not in self.columns]
+        if extra:
+            raise ValueError(f"row has unknown columns {extra}")
+        self.rows.append({c: values[c] for c in self.columns})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria: Any) -> "ResultTable":
+        """Rows whose columns equal the given criteria, as a new table."""
+        selected = [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in criteria.items())
+        ]
+        return ResultTable(
+            name=self.name, columns=list(self.columns), rows=selected, metadata=dict(self.metadata)
+        )
+
+    def series(self, x: str, y: str, **criteria: Any) -> tuple[list[Any], list[Any]]:
+        """The ``(x, y)`` series of the rows matching ``criteria``."""
+        table = self.filter(**criteria) if criteria else self
+        return table.column(x), table.column(y)
+
+    # -- rendering -----------------------------------------------------------
+    def to_markdown(self, float_format: str = "{:.4g}") -> str:
+        """Render as a GitHub-flavoured markdown table."""
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        header = "| " + " | ".join(self.columns) + " |"
+        divider = "| " + " | ".join("---" for _ in self.columns) + " |"
+        body = [
+            "| " + " | ".join(fmt(row[c]) for c in self.columns) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([header, divider, *body])
+
+    # -- persistence -----------------------------------------------------------
+    def to_json(self, path: str | Path) -> Path:
+        """Write the table (rows + metadata) to a JSON file."""
+        path = Path(path)
+        payload = {
+            "name": self.name,
+            "columns": self.columns,
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }
+        path.write_text(json.dumps(payload, indent=2, default=float))
+        return path
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ResultTable":
+        """Load a table previously written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            name=payload["name"],
+            columns=list(payload["columns"]),
+            rows=list(payload["rows"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the rows to a CSV file."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns)
+            writer.writeheader()
+            writer.writerows(self.rows)
+        return path
+
+    @classmethod
+    def from_rows(
+        cls, name: str, rows: Iterable[dict[str, Any]], metadata: dict[str, Any] | None = None
+    ) -> "ResultTable":
+        """Build a table from an iterable of dict rows (columns inferred)."""
+        rows = list(rows)
+        if not rows:
+            raise ValueError("cannot infer columns from an empty row set")
+        columns = list(rows[0].keys())
+        table = cls(name=name, columns=columns, metadata=metadata or {})
+        for row in rows:
+            table.add_row(**row)
+        return table

@@ -1,0 +1,59 @@
+"""Samples-per-device sweep (the text experiment at the end of Section VII-B).
+
+The paper states that, keeping every other parameter fixed, the number of
+samples on each device is positively correlated with both energy and delay.
+This experiment verifies that claim numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .base import SweepConfig, average_metrics, solve_proposed
+from .results import ResultTable
+
+__all__ = ["SamplesConfig", "run_samples_sweep"]
+
+
+@dataclass(frozen=True)
+class SamplesConfig:
+    """Sweep definition for the samples-per-device experiment."""
+
+    sweep: SweepConfig = field(default_factory=lambda: SweepConfig(num_devices=30, num_trials=1))
+    samples_grid: tuple[int, ...] = (250, 500, 1000)
+    energy_weight: float = 0.5
+
+    @classmethod
+    def paper(cls) -> "SamplesConfig":
+        """A denser sweep at the paper's scale."""
+        return cls(
+            sweep=SweepConfig(num_devices=50, num_trials=20),
+            samples_grid=(100, 250, 500, 750, 1000, 1500),
+        )
+
+
+def run_samples_sweep(config: SamplesConfig | None = None) -> ResultTable:
+    """Regenerate the samples-per-device series."""
+    config = config or SamplesConfig()
+    table = ResultTable(
+        name="samples",
+        columns=["samples_per_device", "energy_j", "time_s", "objective"],
+        metadata={"experiment": "samples-per-device", "w1": config.energy_weight},
+    )
+    for samples in config.samples_grid:
+        sweep = config.sweep
+        metrics = []
+        for trial in range(sweep.num_trials):
+            system = sweep.scenario(seed=sweep.base_seed + trial, samples_per_device=samples)
+            result = solve_proposed(
+                system, config.energy_weight, allocator_config=sweep.allocator
+            )
+            metrics.append(result.summary())
+        averaged = average_metrics(metrics)
+        table.add_row(
+            samples_per_device=samples,
+            energy_j=averaged["energy_j"],
+            time_s=averaged["completion_time_s"],
+            objective=averaged["objective"],
+        )
+    return table

@@ -1,0 +1,43 @@
+"""A from-scratch FedAvg simulator (numpy only).
+
+The paper's evaluation treats the number of global rounds ``R_g``, local
+iterations ``R_l`` and upload size ``d_n`` as exogenous constants; this
+package provides the federated-learning substrate that realises them, so
+that examples and extension experiments can connect the resource allocation
+to actual training behaviour (accuracy versus wall-clock time and energy):
+
+* :mod:`repro.fl.datasets` — synthetic classification datasets;
+* :mod:`repro.fl.partition` — IID / Dirichlet non-IID client partitioning;
+* :mod:`repro.fl.models` — numpy softmax-regression and MLP models;
+* :mod:`repro.fl.optimizer` — minibatch SGD;
+* :mod:`repro.fl.client` / :mod:`repro.fl.server` — FedAvg participants;
+* :mod:`repro.fl.simulation` — the system-aware simulation that prices every
+  round with the wireless/CPU models and a chosen resource allocation.
+"""
+
+from .client import Client
+from .datasets import SyntheticClassificationDataset, make_classification_dataset
+from .metrics import accuracy, cross_entropy
+from .models import MLPClassifier, SoftmaxRegression
+from .optimizer import SGDConfig
+from .partition import dirichlet_partition, iid_partition
+from .server import FedAvgServer, TrainingHistory
+from .simulation import FederatedSimulation, RoundCost, SimulationReport
+
+__all__ = [
+    "Client",
+    "SyntheticClassificationDataset",
+    "make_classification_dataset",
+    "accuracy",
+    "cross_entropy",
+    "MLPClassifier",
+    "SoftmaxRegression",
+    "SGDConfig",
+    "dirichlet_partition",
+    "iid_partition",
+    "FedAvgServer",
+    "TrainingHistory",
+    "FederatedSimulation",
+    "RoundCost",
+    "SimulationReport",
+]

@@ -1,0 +1,28 @@
+"""Evaluation metrics for the FedAvg simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "cross_entropy"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == labels))
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of the true labels."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if probabilities.ndim != 2 or probabilities.shape[0] != labels.shape[0]:
+        raise ValueError("probabilities must be (num_samples, num_classes)")
+    picked = probabilities[np.arange(labels.shape[0]), labels]
+    return float(-np.mean(np.log(picked + eps)))

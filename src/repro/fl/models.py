@@ -1,0 +1,196 @@
+"""Numpy models for the FedAvg simulator.
+
+Both models expose the same tiny interface the FL stack needs:
+
+* ``get_weights()`` / ``set_weights(flat)`` — the model parameters as one
+  flat float64 vector (this is what devices "upload"; its size in bits is
+  what the paper's ``d_n`` abstracts);
+* ``loss_and_gradient(x, y)`` — mean cross-entropy and its flat gradient;
+* ``predict_proba(x)`` / ``predict(x)`` — inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SoftmaxRegression", "MLPClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+class SoftmaxRegression:
+    """Multinomial logistic regression with L2 regularisation."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        *,
+        l2: float = 1e-4,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_features <= 0 or num_classes < 2:
+            raise ConfigurationError("need positive features and at least two classes")
+        if l2 < 0.0:
+            raise ConfigurationError("l2 must be non-negative")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.l2 = l2
+        generator = np.random.default_rng(rng)
+        self._weights = 0.01 * generator.normal(size=(num_features + 1, num_classes))
+
+    # -- parameter plumbing -------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self._weights.size
+
+    def get_weights(self) -> np.ndarray:
+        return self._weights.ravel().copy()
+
+    def set_weights(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=float)
+        if flat.size != self.num_parameters:
+            raise ConfigurationError(
+                f"expected {self.num_parameters} parameters, got {flat.size}"
+            )
+        self._weights = flat.reshape(self._weights.shape).copy()
+
+    def upload_bits(self, bits_per_parameter: int = 32) -> float:
+        """Size of one model upload, for consistency checks against ``d_n``."""
+        return float(self.num_parameters * bits_per_parameter)
+
+    # -- inference / training ------------------------------------------------
+    def _with_bias(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return _softmax(self._with_bias(np.asarray(x, dtype=float)) @ self._weights)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def loss_and_gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+        x_b = self._with_bias(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=int)
+        probs = _softmax(x_b @ self._weights)
+        targets = _one_hot(y, self.num_classes)
+        eps = 1e-12
+        loss = -np.mean(np.sum(targets * np.log(probs + eps), axis=1))
+        loss += 0.5 * self.l2 * float(np.sum(self._weights**2))
+        grad = x_b.T @ (probs - targets) / x_b.shape[0] + self.l2 * self._weights
+        return float(loss), grad.ravel()
+
+    def clone(self) -> "SoftmaxRegression":
+        copy = SoftmaxRegression(self.num_features, self.num_classes, l2=self.l2, rng=0)
+        copy.set_weights(self.get_weights())
+        return copy
+
+
+class MLPClassifier:
+    """One-hidden-layer perceptron with tanh activation."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden_units: int = 32,
+        *,
+        l2: float = 1e-4,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if hidden_units <= 0:
+            raise ConfigurationError("hidden_units must be positive")
+        if l2 < 0.0:
+            raise ConfigurationError("l2 must be non-negative")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.hidden_units = hidden_units
+        self.l2 = l2
+        generator = np.random.default_rng(rng)
+        scale1 = 1.0 / np.sqrt(num_features)
+        scale2 = 1.0 / np.sqrt(hidden_units)
+        self._w1 = generator.normal(scale=scale1, size=(num_features, hidden_units))
+        self._b1 = np.zeros(hidden_units)
+        self._w2 = generator.normal(scale=scale2, size=(hidden_units, num_classes))
+        self._b2 = np.zeros(num_classes)
+
+    # -- parameter plumbing -------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self._w1.size + self._b1.size + self._w2.size + self._b2.size
+
+    def get_weights(self) -> np.ndarray:
+        return np.concatenate(
+            [self._w1.ravel(), self._b1, self._w2.ravel(), self._b2]
+        ).copy()
+
+    def set_weights(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=float)
+        if flat.size != self.num_parameters:
+            raise ConfigurationError(
+                f"expected {self.num_parameters} parameters, got {flat.size}"
+            )
+        sizes = [self._w1.size, self._b1.size, self._w2.size, self._b2.size]
+        parts = np.split(flat, np.cumsum(sizes)[:-1])
+        self._w1 = parts[0].reshape(self._w1.shape).copy()
+        self._b1 = parts[1].copy()
+        self._w2 = parts[2].reshape(self._w2.shape).copy()
+        self._b2 = parts[3].copy()
+
+    def upload_bits(self, bits_per_parameter: int = 32) -> float:
+        """Size of one model upload, for consistency checks against ``d_n``."""
+        return float(self.num_parameters * bits_per_parameter)
+
+    # -- inference / training ------------------------------------------------
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.tanh(x @ self._w1 + self._b1)
+        logits = hidden @ self._w2 + self._b2
+        return hidden, logits
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        _, logits = self._forward(np.asarray(x, dtype=float))
+        return _softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def loss_and_gradient(self, x: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        hidden, logits = self._forward(x)
+        probs = _softmax(logits)
+        targets = _one_hot(y, self.num_classes)
+        eps = 1e-12
+        loss = -np.mean(np.sum(targets * np.log(probs + eps), axis=1))
+        loss += 0.5 * self.l2 * float(np.sum(self._w1**2) + np.sum(self._w2**2))
+
+        batch = x.shape[0]
+        delta_out = (probs - targets) / batch
+        grad_w2 = hidden.T @ delta_out + self.l2 * self._w2
+        grad_b2 = delta_out.sum(axis=0)
+        delta_hidden = (delta_out @ self._w2.T) * (1.0 - hidden**2)
+        grad_w1 = x.T @ delta_hidden + self.l2 * self._w1
+        grad_b1 = delta_hidden.sum(axis=0)
+        gradient = np.concatenate(
+            [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
+        )
+        return float(loss), gradient
+
+    def clone(self) -> "MLPClassifier":
+        copy = MLPClassifier(
+            self.num_features, self.num_classes, self.hidden_units, l2=self.l2, rng=0
+        )
+        copy.set_weights(self.get_weights())
+        return copy

@@ -1,0 +1,58 @@
+"""Minibatch SGD used for the local training steps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SGDConfig", "sgd_steps"]
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Hyper-parameters of the local optimiser."""
+
+    learning_rate: float = 0.1
+    batch_size: int = 32
+    momentum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0.0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigurationError("momentum must lie in [0, 1)")
+
+
+def sgd_steps(
+    model,
+    features: np.ndarray,
+    labels: np.ndarray,
+    num_iterations: int,
+    config: SGDConfig,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Run ``num_iterations`` SGD steps in place on ``model``.
+
+    Each iteration samples one minibatch (with replacement when the dataset
+    is smaller than the batch size).  Returns the last minibatch loss.
+    """
+    generator = np.random.default_rng(rng)
+    num_samples = features.shape[0]
+    velocity = np.zeros(model.num_parameters)
+    last_loss = float("nan")
+    for _ in range(num_iterations):
+        if num_samples <= config.batch_size:
+            batch_idx = np.arange(num_samples)
+        else:
+            batch_idx = generator.choice(num_samples, size=config.batch_size, replace=False)
+        loss, gradient = model.loss_and_gradient(features[batch_idx], labels[batch_idx])
+        velocity = config.momentum * velocity - config.learning_rate * gradient
+        model.set_weights(model.get_weights() + velocity)
+        last_loss = loss
+    return last_loss

@@ -1,0 +1,65 @@
+"""Client data partitioning: IID and Dirichlet non-IID splits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["iid_partition", "dirichlet_partition"]
+
+
+def iid_partition(
+    num_samples: int,
+    num_clients: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> list[np.ndarray]:
+    """Shuffle the sample indices and split them evenly across clients."""
+    if num_clients <= 0:
+        raise ConfigurationError("num_clients must be positive")
+    if num_samples < num_clients:
+        raise ConfigurationError("need at least one sample per client")
+    generator = np.random.default_rng(rng)
+    indices = generator.permutation(num_samples)
+    return [np.sort(chunk) for chunk in np.array_split(indices, num_clients)]
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    *,
+    concentration: float = 0.5,
+    min_samples_per_client: int = 2,
+    rng: np.random.Generator | int | None = None,
+    max_retries: int = 50,
+) -> list[np.ndarray]:
+    """Label-skewed partition: class proportions per client follow a Dirichlet.
+
+    Smaller ``concentration`` means more skew (each client sees fewer
+    classes); ``concentration -> infinity`` approaches the IID split.
+    """
+    if num_clients <= 0:
+        raise ConfigurationError("num_clients must be positive")
+    if concentration <= 0.0:
+        raise ConfigurationError("concentration must be positive")
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    generator = np.random.default_rng(rng)
+
+    for _ in range(max_retries):
+        client_indices: list[list[int]] = [[] for _ in range(num_clients)]
+        for cls in classes:
+            cls_indices = np.flatnonzero(labels == cls)
+            generator.shuffle(cls_indices)
+            proportions = generator.dirichlet(np.full(num_clients, concentration))
+            cuts = (np.cumsum(proportions)[:-1] * len(cls_indices)).astype(int)
+            for client, chunk in enumerate(np.split(cls_indices, cuts)):
+                client_indices[client].extend(chunk.tolist())
+        sizes = np.array([len(c) for c in client_indices])
+        if np.all(sizes >= min_samples_per_client):
+            return [np.sort(np.array(c, dtype=int)) for c in client_indices]
+    raise ConfigurationError(
+        "could not produce a partition with the requested minimum client size; "
+        "increase concentration or decrease num_clients"
+    )

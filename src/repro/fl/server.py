@@ -1,0 +1,129 @@
+"""The FedAvg aggregation server (the base station of Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .client import Client
+from .metrics import accuracy
+
+__all__ = ["FedAvgServer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-round training metrics."""
+
+    rounds: list[int] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    test_loss: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+    def append(self, round_index: int, train_loss: float, test_loss: float, test_accuracy: float) -> None:
+        self.rounds.append(round_index)
+        self.train_loss.append(train_loss)
+        self.test_loss.append(test_loss)
+        self.test_accuracy.append(test_accuracy)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+class FedAvgServer:
+    """Coordinates FedAvg global rounds over a set of clients."""
+
+    def __init__(
+        self,
+        model,
+        clients: list[Client],
+        *,
+        test_x: np.ndarray | None = None,
+        test_y: np.ndarray | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not clients:
+            raise ConfigurationError("the server needs at least one client")
+        self.model = model
+        self.clients = list(clients)
+        self.test_x = None if test_x is None else np.asarray(test_x, dtype=float)
+        self.test_y = None if test_y is None else np.asarray(test_y, dtype=int)
+        self._rng = np.random.default_rng(rng)
+        self.global_weights = model.get_weights()
+        self.history = TrainingHistory()
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def aggregation_weights(self, clients: list[Client]) -> np.ndarray:
+        """FedAvg weights ``D_n / D`` over the participating clients."""
+        counts = np.array([c.num_samples for c in clients], dtype=float)
+        return counts / counts.sum()
+
+    def run_round(
+        self, round_index: int, local_iterations: int, *, participation: float = 1.0
+    ) -> tuple[float, float, float]:
+        """Run one global round; returns (train loss, test loss, test accuracy).
+
+        ``participation`` selects a random fraction of clients for the round
+        (FedAvg with partial participation); the paper's system model uses
+        full participation.
+        """
+        if not 0.0 < participation <= 1.0:
+            raise ConfigurationError("participation must lie in (0, 1]")
+        if participation >= 1.0:
+            selected = self.clients
+        else:
+            count = max(1, int(round(participation * self.num_clients)))
+            chosen = self._rng.choice(self.num_clients, size=count, replace=False)
+            selected = [self.clients[i] for i in chosen]
+
+        updates = []
+        losses = []
+        for client in selected:
+            weights, loss = client.local_update(
+                self.model,
+                self.global_weights,
+                local_iterations,
+                rng=self._rng,
+            )
+            updates.append(weights)
+            losses.append(loss)
+
+        agg_weights = self.aggregation_weights(selected)
+        self.global_weights = np.average(np.stack(updates), axis=0, weights=agg_weights)
+        self.model.set_weights(self.global_weights)
+
+        train_loss = float(np.average(losses, weights=agg_weights))
+        test_loss, test_acc = self.evaluate()
+        self.history.append(round_index, train_loss, test_loss, test_acc)
+        return train_loss, test_loss, test_acc
+
+    def evaluate(self) -> tuple[float, float]:
+        """Loss and accuracy of the current global model on the test split."""
+        if self.test_x is None or self.test_y is None:
+            return float("nan"), float("nan")
+        self.model.set_weights(self.global_weights)
+        probs = self.model.predict_proba(self.test_x)
+        eps = 1e-12
+        picked = probs[np.arange(self.test_y.shape[0]), self.test_y]
+        loss = float(-np.mean(np.log(picked + eps)))
+        acc = accuracy(np.argmax(probs, axis=1), self.test_y)
+        return loss, acc
+
+    def fit(
+        self, global_rounds: int, local_iterations: int, *, participation: float = 1.0
+    ) -> TrainingHistory:
+        """Run ``global_rounds`` rounds of FedAvg and return the history."""
+        if global_rounds <= 0:
+            raise ConfigurationError("global_rounds must be positive")
+        for round_index in range(1, global_rounds + 1):
+            self.run_round(round_index, local_iterations, participation=participation)
+        return self.history

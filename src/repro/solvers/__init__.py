@@ -1,0 +1,57 @@
+"""From-scratch convex-optimization toolkit.
+
+The paper solves its convex subproblems with CVX (MATLAB).  That package is
+not available here, and every subproblem in the paper has either a
+closed-form KKT solution or a one-dimensional dual, so this package
+implements the required numerical machinery directly:
+
+* :mod:`repro.solvers.bisection` — scalar and vectorised bisection root
+  finding (used for the dual variable of the bandwidth constraint).
+* :mod:`repro.solvers.scalar` — golden-section / ternary minimisation of
+  one-dimensional convex functions, scalar and vectorised.
+* :mod:`repro.solvers.projection` — Euclidean projections onto boxes, the
+  probability simplex and scaled simplices.
+* :mod:`repro.solvers.waterfilling` — water-filling style solvers for
+  separable concave maximisation over a simplex (Subproblem 1's dual).
+* :mod:`repro.solvers.lambert` — Lambert-W helpers (Theorem 2 / Appendix B).
+* :mod:`repro.solvers.boxlp` — linear programs with box constraints and one
+  budget constraint (problem (A.6)).
+* :mod:`repro.solvers.dual_decomposition` — generic dual decomposition for
+  separable convex problems coupled by a single budget constraint (numeric
+  fallback / cross-check for the closed-form SP2_v2 solver).
+* :mod:`repro.solvers.newton` — damped Newton-like root finding used by the
+  sum-of-ratios outer loop (Algorithm 1).
+* :mod:`repro.solvers.kkt` — KKT residual diagnostics used by the tests.
+"""
+
+from .bisection import bisect_scalar, bisect_vector, expand_bracket
+from .boxlp import solve_box_budget_lp
+from .dual_decomposition import minimize_separable_with_budget
+from .lambert import lambert_w_principal, solve_x_log_x
+from .newton import DampedNewtonResult, damped_newton_step
+from .projection import (
+    project_box,
+    project_capped_simplex,
+    project_simplex,
+)
+from .scalar import golden_section_scalar, golden_section_vector
+from .waterfilling import maximize_concave_on_simplex, power_waterfilling
+
+__all__ = [
+    "bisect_scalar",
+    "bisect_vector",
+    "expand_bracket",
+    "solve_box_budget_lp",
+    "minimize_separable_with_budget",
+    "lambert_w_principal",
+    "solve_x_log_x",
+    "DampedNewtonResult",
+    "damped_newton_step",
+    "project_box",
+    "project_simplex",
+    "project_capped_simplex",
+    "golden_section_scalar",
+    "golden_section_vector",
+    "maximize_concave_on_simplex",
+    "power_waterfilling",
+]

@@ -1,0 +1,127 @@
+"""Bisection root finding, scalar and vectorised.
+
+The solvers in :mod:`repro.core` repeatedly need the root of a monotone
+scalar function (e.g. the bandwidth dual variable ``mu`` in Appendix B, or
+the simplex dual variable ``eta`` in Subproblem 1's water-filling).  The
+vectorised variant finds one root per device simultaneously, which keeps
+Algorithm 2 fast for the paper's 50-80 device sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..exceptions import SolverError
+
+__all__ = ["bisect_scalar", "bisect_vector", "expand_bracket"]
+
+
+def expand_bracket(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    grow: float = 4.0,
+    max_expansions: int = 200,
+) -> Tuple[float, float]:
+    """Grow ``hi`` geometrically until ``func`` changes sign on ``[lo, hi]``.
+
+    ``func`` is assumed monotone.  Raises :class:`SolverError` if no sign
+    change is found after ``max_expansions`` expansions.
+    """
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo == 0.0:
+        return lo, lo
+    if f_hi == 0.0:
+        return hi, hi
+    if np.sign(f_lo) != np.sign(f_hi):
+        return lo, hi
+    for _ in range(max_expansions):
+        hi = lo + (hi - lo) * grow
+        f_hi = func(hi)
+        if f_hi == 0.0 or np.sign(f_lo) != np.sign(f_hi):
+            return lo, hi
+    raise SolverError(
+        f"could not bracket a root: f({lo})={f_lo:.3g}, f({hi})={f_hi:.3g}"
+    )
+
+
+def bisect_scalar(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of a monotone scalar function on ``[lo, hi]`` by bisection.
+
+    The function values at the endpoints must have opposite signs (a zero at
+    an endpoint is also accepted).  The returned point ``x`` satisfies
+    ``hi - lo <= tol * max(1, |x|)`` or ``func(x) == 0``.
+    """
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if np.sign(f_lo) == np.sign(f_hi):
+        raise SolverError(
+            "bisect_scalar requires a sign change: "
+            f"f({lo})={f_lo:.3g}, f({hi})={f_hi:.3g}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = func(mid)
+        if f_mid == 0.0:
+            return mid
+        if np.sign(f_mid) == np.sign(f_lo):
+            lo, f_lo = mid, f_mid
+        else:
+            hi, f_hi = mid, f_mid
+        if hi - lo <= tol * max(1.0, abs(mid)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def bisect_vector(
+    func: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Element-wise bisection for a vector of independent monotone equations.
+
+    ``func`` maps an array of candidate points (one per equation) to the
+    array of residuals.  Each ``[lo[i], hi[i]]`` interval must bracket a sign
+    change of residual ``i``.
+    """
+    lo = np.array(lo, dtype=float, copy=True)
+    hi = np.array(hi, dtype=float, copy=True)
+    if lo.shape != hi.shape:
+        raise ValueError("lo and hi must have the same shape")
+    f_lo = np.asarray(func(lo), dtype=float)
+    f_hi = np.asarray(func(hi), dtype=float)
+    bad = (np.sign(f_lo) == np.sign(f_hi)) & (f_lo != 0.0) & (f_hi != 0.0)
+    if np.any(bad):
+        idx = int(np.flatnonzero(bad)[0])
+        raise SolverError(
+            "bisect_vector requires a sign change in every interval; "
+            f"index {idx} has f(lo)={f_lo[idx]:.3g}, f(hi)={f_hi[idx]:.3g}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = np.asarray(func(mid), dtype=float)
+        go_left = np.sign(f_mid) == np.sign(f_lo)
+        lo = np.where(go_left, mid, lo)
+        f_lo = np.where(go_left, f_mid, f_lo)
+        hi = np.where(go_left, hi, mid)
+        if np.all(hi - lo <= tol * np.maximum(1.0, np.abs(mid))):
+            break
+    return 0.5 * (lo + hi)

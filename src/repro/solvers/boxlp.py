@@ -1,0 +1,80 @@
+"""Linear program with box constraints and a single budget constraint.
+
+Problem (A.6) of the paper — after the Lambert-W step has fixed the SNR of
+every device whose rate constraint is inactive — reduces to
+
+    minimize    sum_n  c_n * x_n
+    subject to  lo_n <= x_n <= hi_n            (from the power box)
+                sum_n x_n <= budget            (remaining bandwidth)
+
+This is solved exactly by a greedy argument: start every variable at its
+lower bound, then spend the remaining budget on the variables with the most
+negative cost coefficient first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InfeasibleProblemError
+
+__all__ = ["BoxBudgetLPResult", "solve_box_budget_lp"]
+
+
+@dataclass(frozen=True)
+class BoxBudgetLPResult:
+    """Solution of a box-constrained budget LP."""
+
+    x: np.ndarray
+    objective: float
+    budget_used: float
+    budget_slack: float
+
+
+def solve_box_budget_lp(
+    costs: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    budget: float,
+    *,
+    atol: float = 1e-9,
+) -> BoxBudgetLPResult:
+    """Solve ``min c.x  s.t.  lower <= x <= upper,  sum(x) <= budget``.
+
+    Raises :class:`InfeasibleProblemError` when ``sum(lower) > budget`` (the
+    lower bounds alone exceed the budget) or any ``lower > upper``.
+    """
+    c = np.asarray(costs, dtype=float)
+    lo = np.asarray(lower, dtype=float)
+    hi = np.asarray(upper, dtype=float)
+    if not (c.shape == lo.shape == hi.shape):
+        raise ValueError("costs, lower and upper must have identical shapes")
+    if np.any(lo > hi + atol):
+        raise InfeasibleProblemError("box LP has lower > upper for some variable")
+    hi = np.maximum(hi, lo)
+    if lo.sum() > budget + atol:
+        raise InfeasibleProblemError(
+            f"box LP lower bounds sum to {lo.sum():.6g} > budget {budget:.6g}"
+        )
+
+    x = lo.copy()
+    remaining = budget - lo.sum()
+    # Only variables with negative cost want more than their lower bound.
+    order = np.argsort(c)
+    for idx in order:
+        if c[idx] >= 0.0 or remaining <= atol:
+            break
+        room = hi[idx] - x[idx]
+        grant = min(room, remaining)
+        x[idx] += grant
+        remaining -= grant
+
+    used = float(x.sum())
+    return BoxBudgetLPResult(
+        x=x,
+        objective=float(c @ x),
+        budget_used=used,
+        budget_slack=float(budget - used),
+    )

@@ -1,0 +1,59 @@
+"""KKT residual diagnostics.
+
+The closed-form solvers in :mod:`repro.core` are derived from KKT
+conditions; these helpers quantify how well a candidate solution satisfies
+stationarity, primal feasibility and complementary slackness, so the tests
+can assert optimality without an external convex solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KKTReport", "box_constraint_violation", "budget_violation", "complementary_slackness"]
+
+
+@dataclass(frozen=True)
+class KKTReport:
+    """Aggregated constraint-violation summary for a candidate solution."""
+
+    max_box_violation: float
+    budget_violation: float
+    max_inequality_violation: float
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether all violations are within a 1e-6 relative tolerance."""
+        return (
+            self.max_box_violation <= 1e-6
+            and self.budget_violation <= 1e-6
+            and self.max_inequality_violation <= 1e-6
+        )
+
+
+def box_constraint_violation(
+    x: np.ndarray, lower: np.ndarray | float, upper: np.ndarray | float
+) -> float:
+    """Worst relative violation of ``lower <= x <= upper``."""
+    x_arr = np.asarray(x, dtype=float)
+    lo = np.broadcast_to(np.asarray(lower, dtype=float), x_arr.shape)
+    hi = np.broadcast_to(np.asarray(upper, dtype=float), x_arr.shape)
+    scale = np.maximum(1.0, np.maximum(np.abs(lo), np.abs(hi)))
+    below = np.maximum(lo - x_arr, 0.0) / scale
+    above = np.maximum(x_arr - hi, 0.0) / scale
+    return float(np.max(np.maximum(below, above), initial=0.0))
+
+
+def budget_violation(x: np.ndarray, budget: float) -> float:
+    """Relative violation of ``sum(x) <= budget``."""
+    total = float(np.sum(np.asarray(x, dtype=float)))
+    return max(0.0, (total - budget) / max(1.0, abs(budget)))
+
+
+def complementary_slackness(multiplier: np.ndarray | float, slack: np.ndarray | float) -> float:
+    """Magnitude of ``multiplier * slack`` (should vanish at optimality)."""
+    m = np.asarray(multiplier, dtype=float)
+    s = np.asarray(slack, dtype=float)
+    return float(np.max(np.abs(m * s), initial=0.0))

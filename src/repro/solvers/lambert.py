@@ -1,0 +1,70 @@
+"""Lambert-W helpers used by the Appendix-B closed forms.
+
+Theorem 2 / Appendix B of the paper express the KKT solution of SP2_v2 in
+terms of the principal branch of the Lambert-W function: the per-device
+SNR factor ``x = 1 + p g / (N0 B)`` satisfies
+
+    x * ln(x) - x + 1 = mu / j,        j = nu * d * N0 / g,   mu >= 0,
+
+whose solution is ``x = (mu - j) / (j * W0((mu - j) / (e * j)))`` for
+``mu != j`` and ``x = e`` for ``mu = j``.  This module provides a robust
+vectorised evaluation of that root: it uses :func:`scipy.special.lambertw`
+when the argument is in the principal branch's domain and a guarded Newton
+iteration on ``x ln x - x + 1 = rhs`` otherwise (also used as a cross-check
+in the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = ["lambert_w_principal", "solve_x_log_x"]
+
+
+def lambert_w_principal(z: np.ndarray | float) -> np.ndarray:
+    """Principal branch ``W0(z)`` for real ``z >= -1/e``, returned as float.
+
+    Values marginally below ``-1/e`` (from round-off) are clamped to the
+    branch point, where ``W0 = -1``.
+    """
+    z_arr = np.asarray(z, dtype=float)
+    clamped = np.maximum(z_arr, -1.0 / np.e)
+    w = np.real(special.lambertw(clamped, k=0))
+    # Exactly at (or within round-off of) the branch point scipy can return
+    # NaN; the limit value there is -1.
+    return np.where(np.isnan(w), -1.0, w)
+
+
+def solve_x_log_x(rhs: np.ndarray | float, *, tol: float = 1e-12, max_iter: int = 100) -> np.ndarray:
+    """Solve ``x * ln(x) - x + 1 = rhs`` for ``x >= 1`` given ``rhs >= 0``.
+
+    The left-hand side is zero at ``x = 1`` and strictly increasing for
+    ``x > 1`` (its derivative is ``ln x``), so the root is unique.  A damped
+    Newton iteration with a multiplicative update keeps the iterate above 1.
+    """
+    rhs_arr = np.asarray(rhs, dtype=float)
+    if np.any(rhs_arr < -1e-12):
+        raise ValueError("rhs must be non-negative")
+    rhs_arr = np.maximum(rhs_arr, 0.0)
+
+    # Initial guess: for small rhs, x ~ 1 + sqrt(2 rhs); for large rhs,
+    # x ~ rhs / ln(rhs).  Blend the two.
+    small = 1.0 + np.sqrt(2.0 * rhs_arr)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        large = np.where(rhs_arr > np.e, rhs_arr / np.maximum(np.log(rhs_arr), 1.0), small)
+    x = np.where(rhs_arr > np.e, large, small)
+    x = np.maximum(x, 1.0 + 1e-15)
+
+    for _ in range(max_iter):
+        log_x = np.log(x)
+        f = x * log_x - x + 1.0 - rhs_arr
+        # Guard the derivative away from 0 near x = 1.
+        df = np.maximum(log_x, 1e-12)
+        step = f / df
+        x_new = np.maximum(x - step, 0.5 * (x + 1.0))
+        if np.all(np.abs(x_new - x) <= tol * np.maximum(1.0, np.abs(x_new))):
+            x = x_new
+            break
+        x = x_new
+    return np.where(rhs_arr == 0.0, 1.0, x)

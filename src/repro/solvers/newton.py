@@ -1,0 +1,100 @@
+"""Damped Newton-like updates for the sum-of-ratios outer loop (Algorithm 1).
+
+Jong's modified-Newton method updates the auxiliary variables
+``alpha = (beta, nu)`` of the parametric subtractive problem by the damped
+step (29)-(31) of the paper:
+
+    sigma   = -J(alpha)^-1 phi(alpha)
+    alpha'  = alpha + xi^j sigma,
+
+where ``j`` is the smallest non-negative integer with
+
+    |phi(alpha + xi^j sigma)| <= (1 - eps * xi^j) |phi(alpha)|.
+
+Because the Jacobian of ``phi`` is diagonal (``diag(G_n)`` for both halves),
+the full Newton step simply resets ``beta_n`` to ``p_n d_n / G_n`` and
+``nu_n`` to ``w1 R_g / G_n``; the damping interpolates between the current
+value and that target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["DampedNewtonResult", "damped_newton_step"]
+
+
+@dataclass(frozen=True)
+class DampedNewtonResult:
+    """Outcome of one damped Newton-like update."""
+
+    alpha: np.ndarray
+    residual_norm: float
+    step_exponent: int
+    step_size: float
+    accepted: bool
+
+
+def damped_newton_step(
+    alpha: np.ndarray,
+    residual: Callable[[np.ndarray], np.ndarray],
+    newton_direction: np.ndarray,
+    *,
+    xi: float = 0.5,
+    eps: float = 0.01,
+    max_backtracks: int = 30,
+) -> DampedNewtonResult:
+    """Perform one damped Newton update with the Armijo-like rule (29).
+
+    Parameters
+    ----------
+    alpha:
+        Current iterate of the auxiliary variables.
+    residual:
+        Function returning ``phi(alpha)`` as an array.
+    newton_direction:
+        The full Newton step ``sigma = -J^-1 phi(alpha)`` (already computed
+        by the caller, who knows the diagonal Jacobian).
+    xi, eps:
+        Damping base and sufficient-decrease constant, both in ``(0, 1)``.
+    max_backtracks:
+        Maximum exponent ``j`` tried before accepting the smallest step.
+    """
+    if not 0.0 < xi < 1.0:
+        raise ValueError(f"xi must be in (0, 1), got {xi}")
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    alpha = np.asarray(alpha, dtype=float)
+    direction = np.asarray(newton_direction, dtype=float)
+    base_norm = float(np.linalg.norm(residual(alpha)))
+    if base_norm == 0.0:
+        return DampedNewtonResult(
+            alpha=alpha, residual_norm=0.0, step_exponent=0, step_size=1.0, accepted=True
+        )
+    for j in range(max_backtracks + 1):
+        step = xi**j
+        candidate = alpha + step * direction
+        norm = float(np.linalg.norm(residual(candidate)))
+        if norm <= (1.0 - eps * step) * base_norm:
+            return DampedNewtonResult(
+                alpha=candidate,
+                residual_norm=norm,
+                step_exponent=j,
+                step_size=step,
+                accepted=True,
+            )
+    # No step satisfied the decrease condition; take the smallest step anyway
+    # so the outer loop can still make progress (matches the behaviour of a
+    # bounded line search).
+    step = xi**max_backtracks
+    candidate = alpha + step * direction
+    return DampedNewtonResult(
+        alpha=candidate,
+        residual_norm=float(np.linalg.norm(residual(candidate))),
+        step_exponent=max_backtracks,
+        step_size=step,
+        accepted=False,
+    )

@@ -1,0 +1,81 @@
+"""Euclidean projections onto simple convex sets.
+
+Used by the projected-gradient fallback solvers and by the tests that check
+feasibility of solutions produced by the closed-form KKT solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_box", "project_simplex", "project_capped_simplex"]
+
+
+def project_box(x: np.ndarray, lo: np.ndarray | float, hi: np.ndarray | float) -> np.ndarray:
+    """Project ``x`` onto the box ``[lo, hi]`` element-wise."""
+    return np.minimum(np.maximum(np.asarray(x, dtype=float), lo), hi)
+
+
+def project_simplex(x: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Project ``x`` onto the scaled simplex ``{y >= 0, sum(y) = total}``.
+
+    Uses the sorting algorithm of Held, Wolfe and Crowder (also popularised
+    by Duchi et al.), which runs in ``O(n log n)``.
+    """
+    if total <= 0.0:
+        raise ValueError(f"simplex total must be positive, got {total}")
+    v = np.asarray(x, dtype=float)
+    n = v.size
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u) - total
+    ind = np.arange(1, n + 1)
+    cond = u - css / ind > 0
+    if not np.any(cond):
+        # Degenerate input (e.g. all -inf); spread the mass uniformly.
+        return np.full_like(v, total / n)
+    rho = int(np.flatnonzero(cond)[-1])
+    theta = css[rho] / (rho + 1.0)
+    return np.maximum(v - theta, 0.0)
+
+
+def project_capped_simplex(
+    x: np.ndarray,
+    lo: np.ndarray | float,
+    hi: np.ndarray | float,
+    total: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Project onto ``{lo <= y <= hi, sum(y) = total}`` (a capped simplex).
+
+    Solved by bisecting the shift ``theta`` in ``y = clip(x - theta, lo, hi)``
+    so that the sum matches ``total``.  Raises :class:`ValueError` if the box
+    cannot hold ``total``.
+    """
+    v = np.asarray(x, dtype=float)
+    lo_arr = np.broadcast_to(np.asarray(lo, dtype=float), v.shape).copy()
+    hi_arr = np.broadcast_to(np.asarray(hi, dtype=float), v.shape).copy()
+    if np.any(lo_arr > hi_arr):
+        raise ValueError("capped simplex requires lo <= hi element-wise")
+    if total < lo_arr.sum() - 1e-9 or total > hi_arr.sum() + 1e-9:
+        raise ValueError(
+            f"total {total} outside achievable range "
+            f"[{lo_arr.sum()}, {hi_arr.sum()}]"
+        )
+
+    def shifted_sum(theta: float) -> float:
+        return float(np.clip(v - theta, lo_arr, hi_arr).sum()) - total
+
+    theta_lo = float(np.min(v - hi_arr)) - 1.0
+    theta_hi = float(np.max(v - lo_arr)) + 1.0
+    for _ in range(max_iter):
+        mid = 0.5 * (theta_lo + theta_hi)
+        if shifted_sum(mid) > 0.0:
+            theta_lo = mid
+        else:
+            theta_hi = mid
+        if theta_hi - theta_lo <= tol * max(1.0, abs(mid)):
+            break
+    theta = 0.5 * (theta_lo + theta_hi)
+    return np.clip(v - theta, lo_arr, hi_arr)

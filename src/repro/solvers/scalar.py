@@ -1,0 +1,111 @@
+"""Golden-section minimisation of one-dimensional convex functions.
+
+Two flavours are provided:
+
+* :func:`golden_section_scalar` minimises a scalar convex function on an
+  interval (used for the primal solution of Subproblem 1 over the round
+  deadline ``T``).
+* :func:`golden_section_vector` minimises many independent one-dimensional
+  convex functions simultaneously, each on its own interval, by evaluating a
+  vectorised objective (used by the dual-decomposition fallback solver for
+  SP2_v2, one sub-minimisation per device).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["golden_section_scalar", "golden_section_vector"]
+
+_INV_PHI = (np.sqrt(5.0) - 1.0) / 2.0  # 1 / golden ratio ~ 0.618
+_INV_PHI_SQ = (3.0 - np.sqrt(5.0)) / 2.0  # 1 / golden ratio squared ~ 0.382
+
+
+def golden_section_scalar(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> Tuple[float, float]:
+    """Minimise a unimodal (convex) scalar function on ``[lo, hi]``.
+
+    Returns ``(x_min, f(x_min))``.
+    """
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        return lo, func(lo)
+    a, b = lo, hi
+    h = b - a
+    c = a + _INV_PHI_SQ * h
+    d = a + _INV_PHI * h
+    fc = func(c)
+    fd = func(d)
+    for _ in range(max_iter):
+        if h <= tol * max(1.0, abs(a) + abs(b)):
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            h = b - a
+            c = a + _INV_PHI_SQ * h
+            fc = func(c)
+        else:
+            a, c, fc = c, d, fd
+            h = b - a
+            d = a + _INV_PHI * h
+            fd = func(d)
+    if fc < fd:
+        return c, fc
+    return d, fd
+
+
+def golden_section_vector(
+    func: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Minimise independent unimodal functions, one per array element.
+
+    ``func`` maps an array of candidate points to the array of objective
+    values (element ``i`` only depends on candidate ``i``).  Returns arrays
+    ``(x_min, f(x_min))``.
+    """
+    a = np.array(lo, dtype=float, copy=True)
+    b = np.array(hi, dtype=float, copy=True)
+    if a.shape != b.shape:
+        raise ValueError("lo and hi must have the same shape")
+    swap = b < a
+    a[swap], b[swap] = b[swap], a[swap]
+
+    h = b - a
+    c = a + _INV_PHI_SQ * h
+    d = a + _INV_PHI * h
+    fc = np.asarray(func(c), dtype=float)
+    fd = np.asarray(func(d), dtype=float)
+    for _ in range(max_iter):
+        if np.all(h <= tol * np.maximum(1.0, np.abs(a) + np.abs(b))):
+            break
+        left = fc < fd
+        # Shrink towards the left on ``left`` entries, to the right elsewhere.
+        b = np.where(left, d, b)
+        a = np.where(left, a, c)
+        h = b - a
+        new_c = a + _INV_PHI_SQ * h
+        new_d = a + _INV_PHI * h
+        # Where we moved left the old c becomes the new d; where we moved
+        # right the old d becomes the new c.  Re-evaluating both probe points
+        # keeps the vectorised bookkeeping simple and still converges at the
+        # golden-section rate.
+        c, d = new_c, new_d
+        fc = np.asarray(func(c), dtype=float)
+        fd = np.asarray(func(d), dtype=float)
+    x = np.where(fc < fd, c, d)
+    fx = np.where(fc < fd, fc, fd)
+    return x, fx

@@ -1,0 +1,103 @@
+"""Unit conversions used throughout the wireless federated-learning models.
+
+All internal computations use SI units (watts, hertz, seconds, joules,
+bits).  The paper — like most of the wireless literature — states its
+parameters in dBm (power), dB (gains / losses), MHz and kbits, so this
+module provides the conversions between the "paper" units and the SI units
+the solvers work with.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_per_hz_to_watt_per_hz",
+    "mhz_to_hz",
+    "hz_to_mhz",
+    "ghz_to_hz",
+    "hz_to_ghz",
+    "kbit_to_bit",
+    "bit_to_kbit",
+    "mbit_to_bit",
+    "km_to_m",
+    "m_to_km",
+]
+
+
+def dbm_to_watt(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** (dbm / 10.0) * 1e-3
+
+
+def watt_to_dbm(watt: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watt <= 0.0:
+        raise ValueError(f"power must be positive to express in dBm, got {watt}")
+    return 10.0 * math.log10(watt * 1e3)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a gain/attenuation in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to express in dB, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_per_hz_to_watt_per_hz(dbm_per_hz: float) -> float:
+    """Convert a power spectral density in dBm/Hz to W/Hz."""
+    return dbm_to_watt(dbm_per_hz)
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return mhz * 1e6
+
+
+def hz_to_mhz(hz: float) -> float:
+    """Convert hertz to megahertz."""
+    return hz / 1e6
+
+
+def ghz_to_hz(ghz: float) -> float:
+    """Convert gigahertz to hertz."""
+    return ghz * 1e9
+
+
+def hz_to_ghz(hz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hz / 1e9
+
+
+def kbit_to_bit(kbit: float) -> float:
+    """Convert kilobits to bits (1 kbit = 1000 bits)."""
+    return kbit * 1e3
+
+
+def bit_to_kbit(bit: float) -> float:
+    """Convert bits to kilobits."""
+    return bit / 1e3
+
+
+def mbit_to_bit(mbit: float) -> float:
+    """Convert megabits to bits."""
+    return mbit * 1e6
+
+
+def km_to_m(km: float) -> float:
+    """Convert kilometres to metres."""
+    return km * 1e3
+
+
+def m_to_km(m: float) -> float:
+    """Convert metres to kilometres."""
+    return m / 1e3

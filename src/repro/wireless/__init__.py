@@ -1,0 +1,38 @@
+"""Wireless-network substrate: topology, channel model, rates and spectrum.
+
+The paper evaluates its resource-allocation algorithm on a single-cell FDMA
+uplink: ``N`` devices are dropped uniformly in a disc around one base
+station, the channel gain of each device follows a 3GPP-style distance
+path loss plus log-normal shadowing, and the achievable uplink rate is the
+Shannon capacity of the allocated sub-band.  This package implements that
+substrate from scratch.
+"""
+
+from .channel import ChannelModel, ChannelState
+from .noise import NoiseModel
+from .pathloss import LogDistancePathLoss
+from .rate import (
+    min_bandwidth_for_rate,
+    required_power_for_rate,
+    shannon_rate,
+    spectral_efficiency,
+)
+from .shadowing import LogNormalShadowing
+from .spectrum import BandwidthAllocation, SpectrumManager
+from .topology import Topology, uniform_disc_topology
+
+__all__ = [
+    "ChannelModel",
+    "ChannelState",
+    "NoiseModel",
+    "LogDistancePathLoss",
+    "LogNormalShadowing",
+    "shannon_rate",
+    "spectral_efficiency",
+    "required_power_for_rate",
+    "min_bandwidth_for_rate",
+    "BandwidthAllocation",
+    "SpectrumManager",
+    "Topology",
+    "uniform_disc_topology",
+]

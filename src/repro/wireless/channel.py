@@ -1,0 +1,103 @@
+"""Static channel state: path loss + shadowing -> per-device channel gain.
+
+The resource-allocation problem of the paper treats the channel gain
+``g_n`` of each device as a known constant (large-scale fading only).  The
+:class:`ChannelModel` combines a topology, a path-loss law and a shadowing
+law into a :class:`ChannelState` that exposes the gains the optimizer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .noise import NoiseModel
+from .pathloss import LogDistancePathLoss
+from .shadowing import LogNormalShadowing
+from .topology import Topology
+
+__all__ = ["ChannelModel", "ChannelState"]
+
+
+@dataclass(frozen=True)
+class ChannelState:
+    """Realised large-scale channel for one user drop.
+
+    Attributes
+    ----------
+    gains:
+        Linear power gains ``g_n`` between each device and the base station.
+    distances_km:
+        Device-to-base-station distances, in kilometres.
+    path_loss_db / shadowing_db:
+        The two components of the loss, in dB, for inspection and tests.
+    """
+
+    gains: np.ndarray
+    distances_km: np.ndarray
+    path_loss_db: np.ndarray
+    shadowing_db: np.ndarray
+
+    def __post_init__(self) -> None:
+        gains = np.asarray(self.gains, dtype=float)
+        if np.any(gains <= 0.0):
+            raise ConfigurationError("channel gains must be strictly positive")
+        object.__setattr__(self, "gains", gains)
+        object.__setattr__(self, "distances_km", np.asarray(self.distances_km, dtype=float))
+        object.__setattr__(self, "path_loss_db", np.asarray(self.path_loss_db, dtype=float))
+        object.__setattr__(self, "shadowing_db", np.asarray(self.shadowing_db, dtype=float))
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices this state describes."""
+        return int(self.gains.shape[0])
+
+    def total_loss_db(self) -> np.ndarray:
+        """Total loss (path loss + shadowing) in dB."""
+        return self.path_loss_db + self.shadowing_db
+
+    def subset(self, indices: np.ndarray) -> "ChannelState":
+        """Channel state restricted to the given device indices."""
+        idx = np.asarray(indices)
+        return ChannelState(
+            gains=self.gains[idx],
+            distances_km=self.distances_km[idx],
+            path_loss_db=self.path_loss_db[idx],
+            shadowing_db=self.shadowing_db[idx],
+        )
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Generator of :class:`ChannelState` realisations for a topology."""
+
+    path_loss: LogDistancePathLoss = field(default_factory=LogDistancePathLoss)
+    shadowing: LogNormalShadowing = field(default_factory=LogNormalShadowing)
+    noise: NoiseModel = field(default_factory=NoiseModel)
+
+    def realize(
+        self, topology: Topology, rng: np.random.Generator | int | None = None
+    ) -> ChannelState:
+        """Sample the large-scale channel for every device in ``topology``."""
+        distances = topology.distances_km()
+        loss_db = self.path_loss.loss_db(distances)
+        shadow_db = self.shadowing.sample_db(topology.num_devices, rng)
+        gains = 10.0 ** (-(loss_db + shadow_db) / 10.0)
+        return ChannelState(
+            gains=gains,
+            distances_km=distances,
+            path_loss_db=loss_db,
+            shadowing_db=shadow_db,
+        )
+
+    def mean_gain_at(self, distance_km: float) -> float:
+        """Expected linear gain at a distance, averaging over shadowing.
+
+        For log-normal shadowing with standard deviation ``s`` dB the mean
+        linear factor is ``exp((s * ln10 / 10)^2 / 2)``.
+        """
+        base = float(self.path_loss.gain_linear(distance_km))
+        sigma_ln = self.shadowing.std_db * np.log(10.0) / 10.0
+        return base * float(np.exp(0.5 * sigma_ln**2))

@@ -1,0 +1,58 @@
+"""Receiver noise model.
+
+The paper uses additive white Gaussian noise with power spectral density
+``N0 = -174 dBm/Hz``; the noise power inside an allocated sub-band of width
+``B_n`` is ``N0 * B_n`` (this exact scaling with bandwidth is what makes the
+joint bandwidth/power optimization non-trivial — see the discussion of [3]
+in Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants, units
+from ..exceptions import ConfigurationError
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """White Gaussian noise with a flat power spectral density."""
+
+    psd_w_per_hz: float = constants.NOISE_PSD_W_PER_HZ
+    #: Additional receiver noise figure in dB (0 dB in the paper).
+    noise_figure_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.psd_w_per_hz <= 0.0:
+            raise ConfigurationError("noise PSD must be positive")
+        if self.noise_figure_db < 0.0:
+            raise ConfigurationError("noise figure must be non-negative")
+
+    @classmethod
+    def from_dbm_per_hz(cls, psd_dbm_per_hz: float, noise_figure_db: float = 0.0) -> "NoiseModel":
+        """Build a noise model from a PSD expressed in dBm/Hz."""
+        return cls(
+            psd_w_per_hz=units.dbm_per_hz_to_watt_per_hz(psd_dbm_per_hz),
+            noise_figure_db=noise_figure_db,
+        )
+
+    @property
+    def effective_psd_w_per_hz(self) -> float:
+        """PSD including the receiver noise figure."""
+        return self.psd_w_per_hz * units.db_to_linear(self.noise_figure_db)
+
+    def power_w(self, bandwidth_hz: np.ndarray | float) -> np.ndarray:
+        """Noise power (W) in a band of the given width."""
+        bw = np.asarray(bandwidth_hz, dtype=float)
+        if np.any(bw < 0.0):
+            raise ValueError("bandwidth must be non-negative")
+        return self.effective_psd_w_per_hz * bw
+
+    def psd_dbm_per_hz(self) -> float:
+        """PSD expressed in dBm/Hz (inverse of :meth:`from_dbm_per_hz`)."""
+        return units.watt_to_dbm(self.psd_w_per_hz)

@@ -1,0 +1,54 @@
+"""Log-normal shadow fading.
+
+Section VII-A adds shadow fading with an 8 dB standard deviation on top of
+the distance path loss.  Shadowing is drawn once per device (it models
+large-scale obstructions, not fast fading) and is therefore part of the
+static channel state used by the resource allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..exceptions import ConfigurationError
+
+__all__ = ["LogNormalShadowing"]
+
+
+@dataclass(frozen=True)
+class LogNormalShadowing:
+    """Zero-mean Gaussian shadowing in dB with the given standard deviation."""
+
+    std_db: float = constants.SHADOWING_STD_DB
+    #: Clip extreme draws to +/- ``clip_sigmas`` standard deviations so a
+    #: single unlucky device cannot make the whole problem numerically
+    #: degenerate (the paper averages over 100 drops instead).
+    clip_sigmas: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.std_db < 0.0:
+            raise ConfigurationError("shadowing std must be non-negative")
+        if self.clip_sigmas <= 0.0:
+            raise ConfigurationError("clip_sigmas must be positive")
+
+    def sample_db(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw one shadowing value (dB) per device."""
+        if num_devices <= 0:
+            raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
+        generator = np.random.default_rng(rng)
+        draws = generator.normal(0.0, self.std_db, size=num_devices)
+        limit = self.clip_sigmas * self.std_db
+        if limit > 0.0:
+            draws = np.clip(draws, -limit, limit)
+        return draws
+
+    def sample_linear(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw shadowing as a linear multiplicative gain factor."""
+        return 10.0 ** (self.sample_db(num_devices, rng) / 10.0)

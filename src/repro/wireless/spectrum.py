@@ -1,0 +1,118 @@
+"""FDMA spectrum management.
+
+In FDMA every device gets its own sub-band, so there is no interference
+between devices; the only coupling is the total-bandwidth budget
+``sum_n B_n <= B`` (constraint (8c)).  :class:`SpectrumManager` owns that
+budget and validates / normalises candidate allocations;
+:class:`BandwidthAllocation` is the immutable result handed to the rest of
+the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..exceptions import ConfigurationError
+
+__all__ = ["BandwidthAllocation", "SpectrumManager"]
+
+
+@dataclass(frozen=True)
+class BandwidthAllocation:
+    """A feasible FDMA bandwidth assignment."""
+
+    bandwidth_hz: np.ndarray
+    total_budget_hz: float
+
+    def __post_init__(self) -> None:
+        bw = np.asarray(self.bandwidth_hz, dtype=float)
+        if np.any(bw < 0.0):
+            raise ConfigurationError("bandwidth allocations must be non-negative")
+        object.__setattr__(self, "bandwidth_hz", bw)
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.bandwidth_hz.shape[0])
+
+    @property
+    def used_hz(self) -> float:
+        """Total allocated bandwidth."""
+        return float(self.bandwidth_hz.sum())
+
+    @property
+    def slack_hz(self) -> float:
+        """Unallocated bandwidth."""
+        return float(self.total_budget_hz - self.used_hz)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the budget in use."""
+        if self.total_budget_hz <= 0.0:
+            return 0.0
+        return self.used_hz / self.total_budget_hz
+
+    def is_feasible(self, rtol: float = 1e-6) -> bool:
+        """Whether the allocation respects the budget (within tolerance)."""
+        return self.used_hz <= self.total_budget_hz * (1.0 + rtol)
+
+
+class SpectrumManager:
+    """Owner of the shared uplink band."""
+
+    def __init__(self, total_bandwidth_hz: float = constants.DEFAULT_TOTAL_BANDWIDTH_HZ):
+        if total_bandwidth_hz <= 0.0:
+            raise ConfigurationError("total bandwidth must be positive")
+        self._total_bandwidth_hz = float(total_bandwidth_hz)
+
+    @property
+    def total_bandwidth_hz(self) -> float:
+        """The shared uplink budget ``B``."""
+        return self._total_bandwidth_hz
+
+    def equal_split(self, num_devices: int, fraction: float = 1.0) -> BandwidthAllocation:
+        """Split ``fraction`` of the budget equally among ``num_devices``.
+
+        The paper's baselines use ``fraction = 1`` (``B/N``) and
+        ``fraction = 0.5`` (``B/2N``, used to initialise Algorithm 2 in the
+        Scheme-1 comparison).
+        """
+        if num_devices <= 0:
+            raise ConfigurationError("num_devices must be positive")
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must lie in (0, 1]")
+        per_device = self._total_bandwidth_hz * fraction / num_devices
+        return BandwidthAllocation(
+            bandwidth_hz=np.full(num_devices, per_device),
+            total_budget_hz=self._total_bandwidth_hz,
+        )
+
+    def proportional_split(self, weights: np.ndarray) -> BandwidthAllocation:
+        """Split the whole budget proportionally to non-negative ``weights``."""
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0.0):
+            raise ConfigurationError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0.0:
+            raise ConfigurationError("weights must not all be zero")
+        return BandwidthAllocation(
+            bandwidth_hz=self._total_bandwidth_hz * w / total,
+            total_budget_hz=self._total_bandwidth_hz,
+        )
+
+    def allocate(self, bandwidth_hz: np.ndarray, *, normalize: bool = False) -> BandwidthAllocation:
+        """Wrap an explicit allocation, optionally rescaling it to fit the budget."""
+        bw = np.asarray(bandwidth_hz, dtype=float)
+        if np.any(bw < 0.0):
+            raise ConfigurationError("bandwidth allocations must be non-negative")
+        used = bw.sum()
+        if used > self._total_bandwidth_hz * (1.0 + 1e-9):
+            if not normalize:
+                raise ConfigurationError(
+                    f"allocation uses {used:.4g} Hz, exceeding the budget "
+                    f"{self._total_bandwidth_hz:.4g} Hz"
+                )
+            bw = bw * (self._total_bandwidth_hz / used)
+        return BandwidthAllocation(bandwidth_hz=bw, total_budget_hz=self._total_bandwidth_hz)

@@ -1,0 +1,93 @@
+"""Device placement around a single base station.
+
+Section VII-A drops devices uniformly at random in a circular area centred
+on the base station (default radius 0.25 km, swept up to 1.5 km in Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import constants
+from ..exceptions import ConfigurationError
+
+__all__ = ["Topology", "uniform_disc_topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Positions of the devices relative to the base station at the origin.
+
+    Attributes
+    ----------
+    positions_km:
+        Array of shape ``(N, 2)`` with Cartesian coordinates in kilometres.
+    radius_km:
+        Radius of the deployment disc the devices were drawn from.
+    """
+
+    positions_km: np.ndarray
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM
+    base_station_km: np.ndarray = field(
+        default_factory=lambda: np.zeros(2, dtype=float)
+    )
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions_km, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ConfigurationError(
+                f"positions_km must have shape (N, 2), got {positions.shape}"
+            )
+        object.__setattr__(self, "positions_km", positions)
+        object.__setattr__(
+            self, "base_station_km", np.asarray(self.base_station_km, dtype=float)
+        )
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the topology."""
+        return int(self.positions_km.shape[0])
+
+    def distances_km(self) -> np.ndarray:
+        """Euclidean distance of every device from the base station, in km."""
+        deltas = self.positions_km - self.base_station_km[None, :]
+        return np.linalg.norm(deltas, axis=1)
+
+    def subset(self, indices: np.ndarray) -> "Topology":
+        """Return a topology restricted to ``indices`` (preserving order)."""
+        return Topology(
+            positions_km=self.positions_km[np.asarray(indices)],
+            radius_km=self.radius_km,
+            base_station_km=self.base_station_km,
+        )
+
+
+def uniform_disc_topology(
+    num_devices: int,
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM,
+    *,
+    rng: np.random.Generator | int | None = None,
+    min_distance_km: float = 0.005,
+) -> Topology:
+    """Drop ``num_devices`` devices uniformly in a disc of ``radius_km``.
+
+    ``min_distance_km`` keeps devices from landing on top of the base
+    station, where the log-distance path-loss model is not defined.
+    """
+    if num_devices <= 0:
+        raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
+    if radius_km <= 0.0:
+        raise ConfigurationError(f"radius_km must be positive, got {radius_km}")
+    if min_distance_km < 0.0 or min_distance_km >= radius_km:
+        raise ConfigurationError(
+            f"min_distance_km must lie in [0, radius_km), got {min_distance_km}"
+        )
+    generator = np.random.default_rng(rng)
+    # Uniform density on a disc: radius ~ sqrt(U) * R.
+    low = (min_distance_km / radius_km) ** 2
+    radii = radius_km * np.sqrt(generator.uniform(low, 1.0, size=num_devices))
+    angles = generator.uniform(0.0, 2.0 * np.pi, size=num_devices)
+    positions = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+    return Topology(positions_km=positions, radius_km=radius_km)

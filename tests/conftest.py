@@ -1,0 +1,47 @@
+"""Shared fixtures: small systems/problems every test module can reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import JointProblem, ProblemWeights, build_paper_scenario
+from repro.core.allocator import AllocatorConfig, ResourceAllocator
+
+
+@pytest.fixture(scope="session")
+def tiny_system():
+    """A 6-device drop: enough structure to exercise every code path, fast."""
+    return build_paper_scenario(num_devices=6, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_system():
+    """A 15-device drop used by the heavier integration tests."""
+    return build_paper_scenario(num_devices=15, seed=42)
+
+
+@pytest.fixture()
+def balanced_problem(tiny_system):
+    """w1 = w2 = 0.5 on the tiny system."""
+    return JointProblem(tiny_system, ProblemWeights(energy=0.5, time=0.5))
+
+
+@pytest.fixture()
+def energy_problem(tiny_system):
+    """Energy-only objective (w1 = 1) with a generous completion-time budget."""
+    return JointProblem(
+        tiny_system, ProblemWeights(energy=1.0, time=0.0), deadline_s=200.0
+    )
+
+
+@pytest.fixture(scope="session")
+def solved_balanced(small_system):
+    """One full Algorithm-2 run shared by the result-inspection tests."""
+    problem = JointProblem(small_system, ProblemWeights(energy=0.5, time=0.5))
+    return problem, ResourceAllocator(AllocatorConfig()).solve(problem)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

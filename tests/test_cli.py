@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert set(printed) == set(EXPERIMENTS)
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig99"])
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_samples_and_save_outputs(tmp_path, capsys, monkeypatch):
+    # Swap in a fast stub experiment so the CLI test stays quick.
+    from repro.experiments.results import ResultTable
+
+    def fake_runner(config=None):
+        table = ResultTable(name="stub", columns=["x", "y"])
+        table.add_row(x=1, y=2.0)
+        return table
+
+    monkeypatch.setitem(EXPERIMENTS, "samples", fake_runner)
+    json_path = tmp_path / "out.json"
+    csv_path = tmp_path / "out.csv"
+    assert main(["run", "samples", "--output", str(json_path), "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "| x | y |" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["rows"] == [{"x": 1, "y": 2.0}]
+    assert csv_path.read_text().startswith("x,y")
+
+
+def test_paper_flag_uses_paper_config(monkeypatch, capsys):
+    import repro.experiments.fig2 as fig2_module
+
+    captured = {}
+
+    def fake_run(config=None):
+        captured["config"] = config
+        from repro.experiments.results import ResultTable
+
+        table = ResultTable(name="stub", columns=["a"])
+        table.add_row(a=1)
+        return table
+
+    monkeypatch.setitem(EXPERIMENTS, "fig2", fake_run)
+    assert main(["run", "fig2", "--paper"]) == 0
+    assert captured["config"] == fig2_module.Fig2Config.paper()
+    capsys.readouterr()

@@ -1,0 +1,46 @@
+"""Sanity checks of the Section VII-A constants."""
+
+import pytest
+
+from repro import constants, units
+
+
+def test_power_limits_match_dbm_values():
+    assert constants.DEFAULT_MAX_POWER_W == pytest.approx(units.dbm_to_watt(12.0))
+    assert constants.DEFAULT_MIN_POWER_W == pytest.approx(units.dbm_to_watt(0.0))
+    assert constants.DEFAULT_MIN_POWER_W < constants.DEFAULT_MAX_POWER_W
+
+
+def test_noise_psd_is_negative_174_dbm_per_hz():
+    assert constants.NOISE_PSD_DBM_PER_HZ == -174.0
+    assert constants.NOISE_PSD_W_PER_HZ == pytest.approx(
+        units.dbm_to_watt(-174.0)
+    )
+
+
+def test_bandwidth_and_frequency_defaults():
+    assert constants.DEFAULT_TOTAL_BANDWIDTH_HZ == pytest.approx(20e6)
+    assert constants.DEFAULT_MAX_FREQUENCY_HZ == pytest.approx(2e9)
+    assert constants.DEFAULT_MIN_FREQUENCY_HZ < constants.DEFAULT_MAX_FREQUENCY_HZ
+
+
+def test_fl_schedule_defaults():
+    assert constants.DEFAULT_LOCAL_ITERATIONS == 10
+    assert constants.DEFAULT_GLOBAL_ROUNDS == 400
+    assert constants.DEFAULT_SAMPLES_PER_DEVICE == 500
+    assert constants.DEFAULT_UPLOAD_BITS == pytest.approx(28100.0)
+
+
+def test_cpu_constants():
+    low, high = constants.CPU_CYCLES_PER_SAMPLE_RANGE
+    assert low == pytest.approx(1e4)
+    assert high == pytest.approx(3e4)
+    assert constants.EFFECTIVE_CAPACITANCE == pytest.approx(1e-28)
+
+
+def test_deployment_constants():
+    assert constants.DEFAULT_NUM_DEVICES == 50
+    assert constants.DEFAULT_CELL_RADIUS_KM == pytest.approx(0.25)
+    assert constants.PATH_LOSS_CONSTANT_DB == pytest.approx(128.1)
+    assert constants.PATH_LOSS_EXPONENT_DB_PER_DECADE == pytest.approx(37.6)
+    assert constants.SHADOWING_STD_DB == pytest.approx(8.0)

@@ -1,0 +1,101 @@
+"""Tests for the ResourceAllocation container."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import ResourceAllocation
+from repro.exceptions import ConfigurationError
+
+
+def _allocation(n=4, power=0.01, bandwidth=1e6, frequency=1e9):
+    return ResourceAllocation(
+        power_w=np.full(n, power),
+        bandwidth_hz=np.full(n, bandwidth),
+        frequency_hz=np.full(n, frequency),
+    )
+
+
+def test_shapes_must_match():
+    with pytest.raises(ConfigurationError):
+        ResourceAllocation(
+            power_w=np.ones(3), bandwidth_hz=np.ones(4), frequency_hz=np.ones(3)
+        )
+
+
+def test_negative_and_zero_values_rejected():
+    with pytest.raises(ConfigurationError):
+        _allocation(power=-0.1)
+    with pytest.raises(ConfigurationError):
+        _allocation(bandwidth=-1.0)
+    with pytest.raises(ConfigurationError):
+        _allocation(frequency=0.0)
+
+
+def test_as_vector_concatenates_blocks():
+    allocation = _allocation(n=2)
+    vector = allocation.as_vector()
+    assert vector.shape == (6,)
+    assert np.allclose(vector[:2], 0.01)
+    assert np.allclose(vector[2:4], 1e6)
+    assert np.allclose(vector[4:], 1e9)
+
+
+def test_distance_to_is_zero_for_identical_allocations():
+    a = _allocation()
+    b = _allocation()
+    assert a.distance_to(b) == pytest.approx(0.0)
+
+
+def test_distance_to_is_scale_free():
+    a = _allocation()
+    b = ResourceAllocation(
+        power_w=a.power_w * 1.01,
+        bandwidth_hz=a.bandwidth_hz * 1.01,
+        frequency_hz=a.frequency_hz * 1.01,
+    )
+    # The change is normalised by the other allocation's magnitude.
+    assert a.distance_to(b) == pytest.approx(0.01 / 1.01, rel=1e-6)
+    # The measure does not depend on the absolute unit scale of the blocks.
+    small = _allocation(power=1e-6, bandwidth=1e2, frequency=1e5)
+    small_shift = ResourceAllocation(
+        power_w=small.power_w * 1.01,
+        bandwidth_hz=small.bandwidth_hz * 1.01,
+        frequency_hz=small.frequency_hz * 1.01,
+    )
+    assert small.distance_to(small_shift) == pytest.approx(a.distance_to(b), rel=1e-9)
+
+
+def test_distance_requires_same_size():
+    with pytest.raises(ConfigurationError):
+        _allocation(n=3).distance_to(_allocation(n=4))
+
+
+def test_with_frequency_and_with_communication_return_copies():
+    allocation = _allocation(n=3)
+    updated = allocation.with_frequency(np.full(3, 5e8))
+    assert np.all(updated.frequency_hz == 5e8)
+    assert np.all(allocation.frequency_hz == 1e9)
+    updated2 = allocation.with_communication(np.full(3, 0.002), np.full(3, 2e6))
+    assert np.all(updated2.power_w == 0.002)
+    assert np.all(updated2.bandwidth_hz == 2e6)
+    assert np.all(updated2.frequency_hz == 1e9)
+
+
+def test_derived_metrics_against_system(tiny_system):
+    n = tiny_system.num_devices
+    allocation = ResourceAllocation(
+        power_w=tiny_system.max_power_w.copy(),
+        bandwidth_hz=np.full(n, tiny_system.total_bandwidth_hz / n),
+        frequency_hz=tiny_system.max_frequency_hz.copy(),
+    )
+    assert allocation.total_energy_j(tiny_system) == pytest.approx(
+        tiny_system.total_energy_j(
+            allocation.power_w, allocation.bandwidth_hz, allocation.frequency_hz
+        )
+    )
+    trans, comp = allocation.energy_breakdown_j(tiny_system)
+    assert trans + comp == pytest.approx(allocation.total_energy_j(tiny_system))
+    assert allocation.total_time_s(tiny_system) == pytest.approx(
+        tiny_system.global_rounds * allocation.round_time_s(tiny_system)
+    )
+    assert allocation.rates_bps(tiny_system).shape == (n,)

@@ -1,0 +1,143 @@
+"""Tests for Algorithm 2 (the alternating resource allocator)."""
+
+import numpy as np
+import pytest
+
+from repro import JointProblem, ProblemWeights
+from repro.core.allocator import AllocatorConfig, ResourceAllocator
+from repro.core.convergence import ConvergenceHistory
+from repro.exceptions import InfeasibleProblemError
+
+
+def test_result_is_feasible_and_converges(balanced_problem):
+    result = ResourceAllocator().solve(balanced_problem)
+    assert result.feasible
+    assert result.converged
+    assert balanced_problem.is_feasible(result.allocation)
+    assert result.energy_j > 0
+    assert result.completion_time_s > 0
+    assert result.objective == pytest.approx(
+        0.5 * result.energy_j + 0.5 * result.completion_time_s
+    )
+    assert result.transmission_energy_j + result.computation_energy_j == pytest.approx(
+        result.energy_j
+    )
+
+
+def test_beats_the_initial_allocation(balanced_problem):
+    allocator = ResourceAllocator()
+    initial = balanced_problem.initial_allocation(bandwidth_fraction=0.5)
+    result = allocator.solve(balanced_problem, initial_allocation=initial)
+    assert result.objective <= balanced_problem.objective(initial) * (1 + 1e-9)
+
+
+def test_objective_history_is_monotone_nonincreasing(balanced_problem):
+    result = ResourceAllocator().solve(balanced_problem)
+    assert isinstance(result.history, ConvergenceHistory)
+    assert len(result.history) >= 1
+    assert result.history.is_monotone_nonincreasing(rtol=1e-6)
+
+
+def test_weight_sweep_trades_energy_for_time(tiny_system):
+    allocator = ResourceAllocator()
+    energies, times = [], []
+    for w1 in (0.9, 0.5, 0.1):
+        problem = JointProblem(tiny_system, ProblemWeights.from_energy_weight(w1))
+        result = allocator.solve(problem)
+        energies.append(result.energy_j)
+        times.append(result.completion_time_s)
+    # Larger energy weight -> lower energy, higher completion time.
+    assert energies[0] < energies[1] < energies[2]
+    assert times[0] > times[1] > times[2]
+
+
+def test_pure_delay_minimisation_runs_everything_at_max(tiny_system):
+    problem = JointProblem(tiny_system, ProblemWeights(energy=0.0, time=1.0))
+    result = ResourceAllocator().solve(problem)
+    assert np.allclose(result.allocation.frequency_hz, tiny_system.max_frequency_hz)
+    assert np.allclose(result.allocation.power_w, tiny_system.max_power_w)
+    assert result.converged
+
+
+def test_deadline_mode_respects_the_budget(tiny_system):
+    fast = ResourceAllocator().solve(
+        JointProblem(tiny_system, ProblemWeights(energy=0.0, time=1.0))
+    )
+    deadline = fast.completion_time_s * 2.0
+    problem = JointProblem(
+        tiny_system, ProblemWeights(energy=1.0, time=0.0), deadline_s=deadline
+    )
+    result = ResourceAllocator().solve(problem)
+    assert result.feasible
+    assert result.completion_time_s <= deadline * (1 + 1e-6)
+    # The energy under a finite deadline exceeds the unconstrained minimum.
+    unconstrained = ResourceAllocator().solve(
+        JointProblem(tiny_system, ProblemWeights(energy=1.0, time=0.0))
+    )
+    assert result.energy_j >= unconstrained.energy_j - 1e-9
+
+
+def test_tighter_deadline_costs_more_energy(tiny_system):
+    fast = ResourceAllocator().solve(
+        JointProblem(tiny_system, ProblemWeights(energy=0.0, time=1.0))
+    )
+    allocator = ResourceAllocator()
+    loose = allocator.solve(
+        JointProblem(tiny_system, ProblemWeights(1.0, 0.0), deadline_s=fast.completion_time_s * 4)
+    )
+    tight = allocator.solve(
+        JointProblem(tiny_system, ProblemWeights(1.0, 0.0), deadline_s=fast.completion_time_s * 1.5)
+    )
+    assert tight.energy_j > loose.energy_j
+
+
+def test_impossible_deadline_raises(tiny_system):
+    fast = ResourceAllocator().solve(
+        JointProblem(tiny_system, ProblemWeights(energy=0.0, time=1.0))
+    )
+    problem = JointProblem(
+        tiny_system, ProblemWeights(1.0, 0.0), deadline_s=fast.completion_time_s * 0.5
+    )
+    with pytest.raises(InfeasibleProblemError):
+        ResourceAllocator().solve(problem)
+
+
+def test_initial_strategy_options(balanced_problem):
+    equal = ResourceAllocator(AllocatorConfig(initial_strategy="equal")).solve(balanced_problem)
+    delay = ResourceAllocator(AllocatorConfig(initial_strategy="delay_min")).solve(balanced_problem)
+    assert equal.feasible and delay.feasible
+    with pytest.raises(ValueError):
+        ResourceAllocator(AllocatorConfig(initial_strategy="bogus")).solve(balanced_problem)
+
+
+def test_subproblem1_dual_variant_produces_similar_objective(balanced_problem):
+    primal = ResourceAllocator(AllocatorConfig(subproblem1_method="primal")).solve(
+        balanced_problem
+    )
+    dual = ResourceAllocator(AllocatorConfig(subproblem1_method="dual")).solve(
+        balanced_problem
+    )
+    assert dual.objective == pytest.approx(primal.objective, rel=0.1)
+
+
+def test_iteration_budget_respected(balanced_problem):
+    config = AllocatorConfig(max_iterations=1, tolerance=0.0)
+    result = ResourceAllocator(config).solve(balanced_problem)
+    assert result.iterations == 1
+
+
+def test_summary_dictionary(balanced_problem):
+    result = ResourceAllocator().solve(balanced_problem)
+    summary = result.summary()
+    for key in (
+        "objective",
+        "energy_j",
+        "completion_time_s",
+        "transmission_energy_j",
+        "computation_energy_j",
+        "iterations",
+        "converged",
+        "feasible",
+    ):
+        assert key in summary
+    assert summary["feasible"] == 1.0

@@ -1,0 +1,58 @@
+"""Tests for the convergence-history container."""
+
+import math
+
+from repro.core.convergence import ConvergenceHistory, IterationRecord
+
+
+def test_append_assigns_consecutive_indices():
+    history = ConvergenceHistory()
+    first = history.append(10.0)
+    second = history.append(5.0, residual=0.1, note="step")
+    assert first.iteration == 0
+    assert second.iteration == 1
+    assert len(history) == 2
+    assert history[1].note == "step"
+
+
+def test_objectives_and_residuals_lists():
+    history = ConvergenceHistory()
+    history.append(3.0, residual=1.0)
+    history.append(2.0, residual=0.5)
+    assert history.objectives == [3.0, 2.0]
+    assert history.residuals == [1.0, 0.5]
+    assert history.final_objective == 2.0
+    assert history.improvement() == 1.0
+
+
+def test_empty_history_defaults():
+    history = ConvergenceHistory()
+    assert math.isnan(history.final_objective)
+    assert history.improvement() == 0.0
+    assert history.is_monotone_nonincreasing()
+
+
+def test_monotonicity_check():
+    decreasing = ConvergenceHistory()
+    for value in (5.0, 4.0, 4.0, 3.9):
+        decreasing.append(value)
+    assert decreasing.is_monotone_nonincreasing()
+
+    bumpy = ConvergenceHistory()
+    for value in (5.0, 4.0, 4.5):
+        bumpy.append(value)
+    assert not bumpy.is_monotone_nonincreasing()
+
+
+def test_iteration_records_are_immutable_dataclasses():
+    record = IterationRecord(iteration=0, objective=1.0)
+    assert record.objective == 1.0
+    assert math.isnan(record.residual)
+    assert record.note == ""
+
+
+def test_iterating_over_history():
+    history = ConvergenceHistory()
+    history.append(1.0)
+    history.append(0.5)
+    assert [r.objective for r in history] == [1.0, 0.5]

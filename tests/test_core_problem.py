@@ -1,0 +1,111 @@
+"""Tests for the JointProblem formulation (problem (8)/(9))."""
+
+import numpy as np
+import pytest
+
+from repro import JointProblem, ProblemWeights
+from repro.core.allocation import ResourceAllocation
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+
+
+def test_weights_must_sum_to_one():
+    ProblemWeights(energy=0.3, time=0.7)
+    with pytest.raises(ConfigurationError):
+        ProblemWeights(energy=0.3, time=0.3)
+    with pytest.raises(ConfigurationError):
+        ProblemWeights(energy=-0.1, time=1.1)
+
+
+def test_from_energy_weight():
+    weights = ProblemWeights.from_energy_weight(0.25)
+    assert weights.energy == pytest.approx(0.25)
+    assert weights.time == pytest.approx(0.75)
+    assert weights.as_tuple() == (0.25, 0.75)
+
+
+def test_objective_is_weighted_sum(balanced_problem):
+    allocation = balanced_problem.initial_allocation()
+    energy = allocation.total_energy_j(balanced_problem.system)
+    time = allocation.total_time_s(balanced_problem.system)
+    assert balanced_problem.objective(allocation) == pytest.approx(
+        0.5 * energy + 0.5 * time
+    )
+    terms = balanced_problem.objective_terms(allocation)
+    assert terms["energy_j"] == pytest.approx(energy)
+    assert terms["completion_time_s"] == pytest.approx(time)
+    assert terms["transmission_energy_j"] + terms["computation_energy_j"] == pytest.approx(energy)
+
+
+def test_initial_allocation_is_feasible(balanced_problem):
+    allocation = balanced_problem.initial_allocation()
+    assert balanced_problem.is_feasible(allocation)
+    half = balanced_problem.initial_allocation(bandwidth_fraction=0.5)
+    assert half.bandwidth_hz.sum() == pytest.approx(
+        0.5 * balanced_problem.system.total_bandwidth_hz
+    )
+
+
+def test_feasibility_detects_violations(balanced_problem):
+    system = balanced_problem.system
+    n = system.num_devices
+    allocation = ResourceAllocation(
+        power_w=system.max_power_w * 2.0,
+        bandwidth_hz=np.full(n, 2.0 * system.total_bandwidth_hz / n),
+        frequency_hz=system.max_frequency_hz * 2.0,
+    )
+    report = balanced_problem.feasibility(allocation)
+    assert report.power_violation > 0
+    assert report.bandwidth_violation > 0
+    assert report.frequency_violation > 0
+    assert not report.is_feasible
+    assert not balanced_problem.is_feasible(allocation)
+
+
+def test_deadline_violation_reported(tiny_system):
+    problem = JointProblem(
+        tiny_system, ProblemWeights(energy=1.0, time=0.0), deadline_s=1e-3
+    )
+    # With such an absurd deadline even the max-resource allocation fails.
+    with pytest.raises(InfeasibleProblemError):
+        problem.initial_allocation()
+
+
+def test_round_deadline_derived_from_total(tiny_system):
+    problem = JointProblem(
+        tiny_system, ProblemWeights(energy=1.0, time=0.0), deadline_s=200.0
+    )
+    assert problem.round_deadline_s == pytest.approx(200.0 / tiny_system.global_rounds)
+    free = JointProblem(tiny_system, ProblemWeights(energy=0.5, time=0.5))
+    assert free.round_deadline_s is None
+
+
+def test_min_rate_requirements(balanced_problem):
+    system = balanced_problem.system
+    frequency = system.max_frequency_hz.copy()
+    compute = system.computation_time_s(frequency)
+    deadline = float(np.max(compute)) * 3.0
+    rates = balanced_problem.min_rate_requirements(frequency, deadline)
+    assert np.all(np.isfinite(rates))
+    assert np.allclose(rates, system.upload_bits / (deadline - compute))
+    # A deadline below the compute time makes the requirement infinite.
+    tight = balanced_problem.min_rate_requirements(frequency, float(np.min(compute)) / 2)
+    assert np.all(np.isinf(tight))
+
+
+def test_check_rate_requirements_supportable(balanced_problem):
+    system = balanced_problem.system
+    modest = np.full(system.num_devices, 1e4)
+    balanced_problem.check_rate_requirements_supportable(modest)
+    with pytest.raises(InfeasibleProblemError):
+        balanced_problem.check_rate_requirements_supportable(
+            np.full(system.num_devices, np.inf)
+        )
+    with pytest.raises(InfeasibleProblemError):
+        balanced_problem.check_rate_requirements_supportable(
+            np.full(system.num_devices, 1e9)
+        )
+
+
+def test_invalid_problem_configurations(tiny_system):
+    with pytest.raises(ConfigurationError):
+        JointProblem(tiny_system, ProblemWeights(0.5, 0.5), deadline_s=0.0)

@@ -1,0 +1,119 @@
+"""Tests for Subproblem 1 (CPU frequency and round deadline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.subproblem1 import solve_subproblem1
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+
+
+def _upload_times(system, fraction=0.5):
+    n = system.num_devices
+    bandwidth = np.full(n, system.total_bandwidth_hz * fraction / n)
+    return system.upload_time_s(system.max_power_w, bandwidth)
+
+
+def test_primal_solution_respects_boxes_and_deadline(tiny_system):
+    upload = _upload_times(tiny_system)
+    result = solve_subproblem1(tiny_system, 0.5, 0.5, upload)
+    f = result.frequency_hz
+    assert np.all(f >= tiny_system.min_frequency_hz - 1e-6)
+    assert np.all(f <= tiny_system.max_frequency_hz + 1e-6)
+    per_device = upload + tiny_system.cycles_per_round / f
+    assert np.all(per_device <= result.round_deadline_s * (1 + 1e-9))
+
+
+def test_primal_objective_decreases_with_smaller_time_weight(tiny_system):
+    upload = _upload_times(tiny_system)
+    energy_focused = solve_subproblem1(tiny_system, 0.9, 0.1, upload)
+    time_focused = solve_subproblem1(tiny_system, 0.1, 0.9, upload)
+    # Energy-focused solutions run slower CPUs and accept a longer round.
+    assert energy_focused.round_deadline_s > time_focused.round_deadline_s
+    assert np.mean(energy_focused.frequency_hz) < np.mean(time_focused.frequency_hz)
+
+
+def test_primal_w2_zero_runs_at_min_frequency(tiny_system):
+    upload = _upload_times(tiny_system)
+    result = solve_subproblem1(tiny_system, 1.0, 0.0, upload)
+    assert np.allclose(result.frequency_hz, tiny_system.min_frequency_hz)
+
+
+def test_primal_w1_zero_runs_at_max_frequency(tiny_system):
+    upload = _upload_times(tiny_system)
+    result = solve_subproblem1(tiny_system, 0.0, 1.0, upload)
+    # The smallest feasible deadline requires every bottleneck device at its
+    # maximum frequency; the deadline equals the fastest achievable round.
+    expected = float(np.max(upload + tiny_system.cycles_per_round / tiny_system.max_frequency_hz))
+    assert result.round_deadline_s == pytest.approx(expected, rel=1e-9)
+
+
+def test_primal_is_optimal_against_grid_search(tiny_system):
+    upload = _upload_times(tiny_system)
+    w1, w2 = 0.6, 0.4
+    result = solve_subproblem1(tiny_system, w1, w2, upload)
+
+    def objective(deadline):
+        slack = np.maximum(deadline - upload, 1e-12)
+        f = np.clip(
+            tiny_system.cycles_per_round / slack,
+            tiny_system.min_frequency_hz,
+            tiny_system.max_frequency_hz,
+        )
+        energy = float(tiny_system.computation_energy_j(f).sum())
+        return tiny_system.global_rounds * (w1 * energy + w2 * deadline)
+
+    lower = float(np.max(upload + tiny_system.cycles_per_round / tiny_system.max_frequency_hz))
+    upper = float(np.max(upload + tiny_system.cycles_per_round / tiny_system.min_frequency_hz))
+    grid = np.linspace(lower, upper, 4000)
+    best = min(objective(t) for t in grid)
+    assert result.objective <= best * (1.0 + 1e-6)
+
+
+def test_dual_solution_close_to_primal(tiny_system):
+    upload = _upload_times(tiny_system)
+    primal = solve_subproblem1(tiny_system, 0.5, 0.5, upload, method="primal")
+    dual = solve_subproblem1(tiny_system, 0.5, 0.5, upload, method="dual")
+    assert dual.dual_variables is not None
+    assert np.all(dual.dual_variables >= 0.0)
+    # The dual multipliers must sum to w2 * R_g (constraint (17a)).
+    assert dual.dual_variables.sum() == pytest.approx(
+        0.5 * tiny_system.global_rounds, rel=1e-6
+    )
+    # Without active frequency boxes the two solutions agree closely.
+    assert dual.objective == pytest.approx(primal.objective, rel=0.05)
+
+
+def test_deadline_mode_picks_slowest_feasible_frequency(tiny_system):
+    upload = _upload_times(tiny_system)
+    compute_at_max = tiny_system.cycles_per_round / tiny_system.max_frequency_hz
+    deadline = float(np.max(upload + compute_at_max)) * 1.5
+    result = solve_subproblem1(tiny_system, 1.0, 0.0, upload, round_deadline_s=deadline)
+    assert result.method == "deadline"
+    per_device = upload + tiny_system.cycles_per_round / result.frequency_hz
+    assert np.all(per_device <= deadline * (1 + 1e-9))
+    # Devices not pinned at a box bound sit exactly on the deadline.
+    interior = (
+        (result.frequency_hz > tiny_system.min_frequency_hz * (1 + 1e-9))
+        & (result.frequency_hz < tiny_system.max_frequency_hz * (1 - 1e-9))
+    )
+    assert np.allclose(per_device[interior], deadline, rtol=1e-9)
+
+
+def test_deadline_mode_detects_infeasibility(tiny_system):
+    upload = _upload_times(tiny_system)
+    with pytest.raises(InfeasibleProblemError):
+        solve_subproblem1(tiny_system, 1.0, 0.0, upload, round_deadline_s=1e-6)
+
+
+def test_invalid_inputs_rejected(tiny_system):
+    upload = _upload_times(tiny_system)
+    with pytest.raises(ConfigurationError):
+        solve_subproblem1(tiny_system, 0.5, 0.5, upload[:-1])
+    with pytest.raises(ConfigurationError):
+        solve_subproblem1(tiny_system, -0.5, 0.5, upload)
+    with pytest.raises(ConfigurationError):
+        solve_subproblem1(tiny_system, 0.5, 0.5, upload, method="magic")
+    bad = upload.copy()
+    bad[0] = np.inf
+    with pytest.raises(ConfigurationError):
+        solve_subproblem1(tiny_system, 0.5, 0.5, bad)

@@ -1,0 +1,99 @@
+"""Tests for the SP2_v2 solvers (Theorem 2 / Appendix B and the fallback)."""
+
+import numpy as np
+import pytest
+
+from repro.core.subproblem2 import solve_sp2_v2, solve_sp2_v2_numeric, sp2_objective
+from repro.exceptions import InfeasibleProblemError
+
+
+def _setup(system, *, energy_weight=0.5, bandwidth_fraction=0.5, deadline_factor=1.0):
+    """Build (nu, beta, min_rate) from a feasible starting allocation."""
+    n = system.num_devices
+    power = system.max_power_w.copy()
+    bandwidth = np.full(n, system.total_bandwidth_hz * bandwidth_fraction / n)
+    rates = system.rates_bps(power, bandwidth)
+    upload = system.upload_bits / rates
+    compute = system.cycles_per_round / system.max_frequency_hz
+    deadline = float(np.max(upload + compute)) * deadline_factor
+    min_rate = system.upload_bits / np.maximum(deadline - compute, 1e-9)
+    beta = power * system.upload_bits / rates
+    nu = energy_weight * system.global_rounds / rates
+    return power, bandwidth, nu, beta, min_rate
+
+
+def test_kkt_solution_is_feasible(tiny_system):
+    _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.5)
+    result = solve_sp2_v2(tiny_system, nu, beta, min_rate)
+    assert result.feasible
+    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
+    assert np.all(rates >= min_rate * (1 - 1e-6))
+    assert result.bandwidth_hz.sum() <= tiny_system.total_bandwidth_hz * (1 + 1e-6)
+    assert np.all(result.power_w <= tiny_system.max_power_w * (1 + 1e-9))
+    assert np.all(result.power_w >= tiny_system.min_power_w * (1 - 1e-9))
+
+
+def test_kkt_improves_over_the_starting_point(tiny_system):
+    power, bandwidth, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.5)
+    start = sp2_objective(tiny_system, nu, beta, power, bandwidth)
+    result = solve_sp2_v2(tiny_system, nu, beta, min_rate)
+    assert result.objective <= start + 1e-9
+
+
+def test_kkt_and_numeric_agree(tiny_system):
+    _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.3)
+    kkt = solve_sp2_v2(tiny_system, nu, beta, min_rate)
+    numeric = solve_sp2_v2_numeric(tiny_system, nu, beta, min_rate)
+    scale = max(abs(numeric.objective), 1e-9)
+    # The closed-form KKT path must never be meaningfully worse than the
+    # numeric fallback, and the two must land in the same ballpark.
+    assert kkt.objective <= numeric.objective + 0.05 * scale
+    assert abs(kkt.objective - numeric.objective) / scale < 0.5
+
+
+def test_numeric_solution_is_feasible(tiny_system):
+    _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.3)
+    result = solve_sp2_v2_numeric(tiny_system, nu, beta, min_rate)
+    assert result.feasible
+    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
+    assert np.all(rates >= min_rate * (1 - 1e-6))
+    assert result.bandwidth_hz.sum() <= tiny_system.total_bandwidth_hz * (1 + 1e-6)
+
+
+def test_zero_rate_requirements_are_handled(tiny_system):
+    _, _, nu, beta, _ = _setup(tiny_system)
+    min_rate = np.zeros(tiny_system.num_devices)
+    result = solve_sp2_v2(tiny_system, nu, beta, min_rate)
+    assert result.feasible
+    # No rate constraints: all multipliers vanish.
+    assert np.allclose(result.rate_multipliers, 0.0)
+
+
+def test_tight_rate_requirements_still_feasible(tiny_system):
+    # Deadline exactly at the initial round time: the requirements equal the
+    # initial rates and the feasible set is razor thin.
+    _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.0)
+    result = solve_sp2_v2(tiny_system, nu, beta, min_rate)
+    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
+    assert np.all(rates >= min_rate * (1 - 1e-6))
+
+
+def test_impossible_requirements_raise(tiny_system):
+    _, _, nu, beta, _ = _setup(tiny_system)
+    min_rate = np.full(tiny_system.num_devices, 1e9)  # far beyond the budget
+    with pytest.raises(InfeasibleProblemError):
+        solve_sp2_v2_numeric(tiny_system, nu, beta, min_rate)
+
+
+def test_kkt_multipliers_are_nonnegative(tiny_system):
+    _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.2)
+    result = solve_sp2_v2(tiny_system, nu, beta, min_rate)
+    assert result.bandwidth_multiplier >= 0.0
+    assert np.all(result.rate_multipliers >= 0.0)
+
+
+def test_objective_helper_matches_definition(tiny_system):
+    power, bandwidth, nu, beta, _ = _setup(tiny_system)
+    rates = tiny_system.rates_bps(power, bandwidth)
+    expected = float(np.sum(nu * (power * tiny_system.upload_bits - beta * rates)))
+    assert sp2_objective(tiny_system, nu, beta, power, bandwidth) == pytest.approx(expected)

@@ -1,0 +1,93 @@
+"""Tests for Algorithm 1 (the Newton-like sum-of-ratios solver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sum_of_ratios import SumOfRatiosConfig, SumOfRatiosSolver
+
+
+def _setup(system, *, bandwidth_fraction=0.5, deadline_factor=1.5):
+    n = system.num_devices
+    power = system.max_power_w.copy()
+    bandwidth = np.full(n, system.total_bandwidth_hz * bandwidth_fraction / n)
+    rates = system.rates_bps(power, bandwidth)
+    upload = system.upload_bits / rates
+    compute = system.cycles_per_round / system.max_frequency_hz
+    deadline = float(np.max(upload + compute)) * deadline_factor
+    min_rate = system.upload_bits / np.maximum(deadline - compute, 1e-9)
+    return power, bandwidth, min_rate
+
+
+def test_requires_positive_energy_weight(tiny_system):
+    with pytest.raises(ValueError):
+        SumOfRatiosSolver(tiny_system, 0.0)
+
+
+def test_solution_is_feasible_and_not_worse(tiny_system):
+    power, bandwidth, min_rate = _setup(tiny_system)
+    solver = SumOfRatiosSolver(tiny_system, 0.5)
+    start_energy = solver.communication_energy(power, bandwidth)
+    result = solver.solve(min_rate, power, bandwidth)
+    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
+    assert np.all(rates >= min_rate * (1 - 1e-6))
+    assert result.bandwidth_hz.sum() <= tiny_system.total_bandwidth_hz * (1 + 1e-6)
+    assert np.all(result.power_w <= tiny_system.max_power_w * (1 + 1e-9))
+    assert result.communication_energy_j <= start_energy * (1 + 1e-9)
+    assert result.feasible
+
+
+def test_reduces_communication_energy_substantially(tiny_system):
+    # A loose deadline leaves plenty of room: the solver should cut the
+    # transmission energy well below the max-power starting point.
+    power, bandwidth, min_rate = _setup(tiny_system, deadline_factor=4.0)
+    solver = SumOfRatiosSolver(tiny_system, 0.9)
+    start_energy = solver.communication_energy(power, bandwidth)
+    result = solver.solve(min_rate, power, bandwidth)
+    assert result.communication_energy_j < 0.9 * start_energy
+
+
+def test_auxiliary_variables_satisfy_ratio_conditions(tiny_system):
+    power, bandwidth, min_rate = _setup(tiny_system)
+    solver = SumOfRatiosSolver(tiny_system, 0.7)
+    result = solver.solve(min_rate, power, bandwidth)
+    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
+    # At convergence beta_n ~ p_n d_n / G_n and nu_n ~ w1 R_g / G_n (eqs. (22)-(23)).
+    target_beta = result.power_w * tiny_system.upload_bits / rates
+    target_nu = 0.7 * tiny_system.global_rounds / rates
+    assert np.allclose(result.beta, target_beta, rtol=1e-2)
+    assert np.allclose(result.nu, target_nu, rtol=1e-2)
+
+
+def test_history_is_recorded(tiny_system):
+    power, bandwidth, min_rate = _setup(tiny_system)
+    solver = SumOfRatiosSolver(tiny_system, 0.5, SumOfRatiosConfig(max_iterations=10))
+    result = solver.solve(min_rate, power, bandwidth)
+    assert len(result.history) >= 1
+    assert result.iterations == len(result.history)
+    assert np.isfinite(result.history.final_objective)
+
+
+def test_respects_iteration_budget(tiny_system):
+    power, bandwidth, min_rate = _setup(tiny_system)
+    solver = SumOfRatiosSolver(
+        tiny_system, 0.5, SumOfRatiosConfig(max_iterations=2, residual_tol=0.0, step_tol=0.0)
+    )
+    result = solver.solve(min_rate, power, bandwidth)
+    assert result.iterations <= 2
+
+
+def test_incumbent_fallback_when_requirements_are_tight(tiny_system):
+    # Rate requirements equal to the current rates with a full-bandwidth
+    # start: the feasible set is essentially the starting point, and the
+    # solver must return something at least as good and still feasible.
+    n = tiny_system.num_devices
+    power = tiny_system.max_power_w.copy()
+    bandwidth = np.full(n, tiny_system.total_bandwidth_hz / n)
+    min_rate = tiny_system.rates_bps(power, bandwidth)
+    solver = SumOfRatiosSolver(tiny_system, 0.5)
+    result = solver.solve(min_rate, power, bandwidth)
+    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
+    assert np.all(rates >= min_rate * (1 - 1e-6))
+    assert result.communication_energy_j <= solver.communication_energy(power, bandwidth) * (
+        1 + 1e-9
+    )

@@ -1,0 +1,58 @@
+"""Tests for the min-max upload-time bandwidth allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.uplink_delay import minimize_max_upload_time
+from repro.exceptions import InfeasibleProblemError
+
+
+def test_allocation_respects_budget(tiny_system):
+    result = minimize_max_upload_time(tiny_system)
+    assert result.bandwidth_hz.sum() == pytest.approx(
+        tiny_system.total_bandwidth_hz, rel=1e-6
+    )
+    assert np.all(result.bandwidth_hz > 0)
+    assert np.all(result.power_w == tiny_system.max_power_w)
+
+
+def test_beats_equal_split(tiny_system):
+    result = minimize_max_upload_time(tiny_system)
+    n = tiny_system.num_devices
+    equal = np.full(n, tiny_system.total_bandwidth_hz / n)
+    equal_time = float(
+        np.max(tiny_system.upload_bits / tiny_system.rates_bps(tiny_system.max_power_w, equal))
+    )
+    assert result.max_upload_time_s <= equal_time * (1 + 1e-9)
+
+
+def test_upload_times_are_nearly_equalised(tiny_system):
+    # At the min-max optimum every device's upload takes (almost) the same
+    # time — otherwise bandwidth could be shifted from a fast device to the
+    # slowest one.
+    result = minimize_max_upload_time(tiny_system)
+    times = tiny_system.upload_bits / tiny_system.rates_bps(
+        result.power_w, result.bandwidth_hz
+    )
+    assert float(np.std(times) / np.mean(times)) < 0.05
+
+
+def test_weak_channels_receive_more_bandwidth(tiny_system):
+    result = minimize_max_upload_time(tiny_system)
+    order = np.argsort(tiny_system.gains)
+    # The weakest-channel device gets at least as much bandwidth as the
+    # strongest-channel device.
+    assert result.bandwidth_hz[order[0]] >= result.bandwidth_hz[order[-1]]
+
+
+def test_custom_power_vector(tiny_system):
+    lower_power = tiny_system.max_power_w * 0.5
+    result = minimize_max_upload_time(tiny_system, power_w=lower_power)
+    assert result.max_upload_time_s >= minimize_max_upload_time(tiny_system).max_upload_time_s
+
+
+def test_zero_power_rejected(tiny_system):
+    with pytest.raises(InfeasibleProblemError):
+        minimize_max_upload_time(
+            tiny_system, power_w=np.zeros(tiny_system.num_devices)
+        )

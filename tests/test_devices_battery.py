@@ -1,0 +1,65 @@
+"""Tests for the battery bookkeeping used by the low-battery scenarios."""
+
+import pytest
+
+from repro.devices import Battery, BatteryDrainedError
+
+
+def test_new_battery_is_full():
+    battery = Battery(capacity_j=10.0)
+    assert battery.charge_j == 10.0
+    assert battery.state_of_charge == 1.0
+    assert battery.drawn_j == 0.0
+
+
+def test_draw_reduces_charge_and_tracks_total():
+    battery = Battery(capacity_j=10.0)
+    remaining = battery.draw(3.0)
+    assert remaining == pytest.approx(7.0)
+    battery.draw(2.0)
+    assert battery.drawn_j == pytest.approx(5.0)
+    assert battery.state_of_charge == pytest.approx(0.5)
+
+
+def test_overdraw_raises():
+    battery = Battery(capacity_j=1.0)
+    with pytest.raises(BatteryDrainedError):
+        battery.draw(2.0)
+    # The failed draw must not change the state.
+    assert battery.charge_j == pytest.approx(1.0)
+
+
+def test_can_supply_checks_without_mutating():
+    battery = Battery(capacity_j=5.0)
+    assert battery.can_supply(5.0)
+    assert not battery.can_supply(5.1)
+    assert battery.charge_j == 5.0
+
+
+def test_recharge_partial_and_full():
+    battery = Battery(capacity_j=10.0)
+    battery.draw(6.0)
+    battery.recharge(2.0)
+    assert battery.charge_j == pytest.approx(6.0)
+    battery.recharge()
+    assert battery.charge_j == pytest.approx(10.0)
+    battery.recharge(100.0)
+    assert battery.charge_j == pytest.approx(10.0)  # capped at capacity
+
+
+def test_rounds_supported():
+    battery = Battery(capacity_j=10.0)
+    assert battery.rounds_supported(3.0) == 3
+    with pytest.raises(ValueError):
+        battery.rounds_supported(0.0)
+
+
+def test_invalid_construction_and_draws():
+    with pytest.raises(ValueError):
+        Battery(capacity_j=0.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=1.0, charge_j=2.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=1.0).draw(-1.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=1.0).recharge(-1.0)

@@ -1,0 +1,67 @@
+"""Tests for the CPU time/energy model (eqs. (4), (5), (7))."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CpuModel
+from repro.exceptions import ConfigurationError
+
+
+def test_iteration_time_formula():
+    cpu = CpuModel()
+    assert cpu.iteration_time_s(2e4, 500, 1e9) == pytest.approx(2e4 * 500 / 1e9)
+
+
+def test_iteration_energy_formula():
+    cpu = CpuModel(effective_capacitance=1e-28)
+    energy = cpu.iteration_energy_j(2e4, 500, 1e9)
+    assert energy == pytest.approx(1e-28 * 2e4 * 500 * 1e18)
+
+
+def test_round_quantities_scale_with_local_iterations():
+    cpu = CpuModel()
+    single = cpu.iteration_energy_j(2e4, 500, 1e9)
+    assert cpu.round_energy_j(2e4, 500, 1e9, local_iterations=10) == pytest.approx(10 * single)
+    single_t = cpu.iteration_time_s(2e4, 500, 1e9)
+    assert cpu.round_time_s(2e4, 500, 1e9, local_iterations=10) == pytest.approx(10 * single_t)
+
+
+def test_energy_is_quadratic_in_frequency():
+    cpu = CpuModel()
+    e1 = cpu.iteration_energy_j(2e4, 500, 1e9)
+    e2 = cpu.iteration_energy_j(2e4, 500, 2e9)
+    assert e2 == pytest.approx(4.0 * e1)
+
+
+def test_time_is_inverse_in_frequency():
+    cpu = CpuModel()
+    t1 = cpu.iteration_time_s(2e4, 500, 1e9)
+    t2 = cpu.iteration_time_s(2e4, 500, 2e9)
+    assert t2 == pytest.approx(t1 / 2.0)
+
+
+def test_frequency_for_deadline_inverts_time():
+    cpu = CpuModel()
+    freq = cpu.frequency_for_deadline(2e4, 500, 10, deadline_s=0.5)
+    assert cpu.round_time_s(2e4, 500, freq, 10) == pytest.approx(0.5)
+
+
+def test_frequency_for_nonpositive_deadline_is_infinite():
+    cpu = CpuModel()
+    assert np.isinf(cpu.frequency_for_deadline(2e4, 500, 10, deadline_s=0.0))
+
+
+def test_vectorised_inputs():
+    cpu = CpuModel()
+    cycles = np.array([1e4, 2e4, 3e4])
+    freq = np.array([1e9, 1e9, 2e9])
+    times = cpu.iteration_time_s(cycles, 500, freq)
+    assert times.shape == (3,)
+    assert times[1] == pytest.approx(2.0 * times[0])
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        CpuModel(effective_capacitance=0.0)
+    with pytest.raises(ValueError):
+        CpuModel().iteration_time_s(2e4, 500, 0.0)

@@ -1,0 +1,96 @@
+"""Tests for fleet generation."""
+
+import numpy as np
+import pytest
+
+from repro.devices import DeviceFleet, DeviceProfile, generate_fleet
+from repro.exceptions import ConfigurationError
+
+
+def test_default_fleet_matches_paper_setting():
+    fleet = generate_fleet(50, rng=0)
+    assert fleet.num_devices == 50
+    assert np.all(fleet.num_samples == 500)
+    assert np.all(fleet.cycles_per_sample >= 1e4)
+    assert np.all(fleet.cycles_per_sample <= 3e4)
+    assert np.all(fleet.upload_bits == pytest.approx(28100.0))
+    assert fleet.total_samples == 25_000
+
+
+def test_total_samples_split_equally():
+    fleet = generate_fleet(7, rng=1, samples_per_device=None, total_samples=25_000)
+    assert fleet.total_samples == 25_000
+    sizes = fleet.num_samples
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_imbalanced_split_varies_sizes():
+    fleet = generate_fleet(
+        10, rng=2, samples_per_device=None, total_samples=10_000, sample_imbalance=1.0
+    )
+    sizes = fleet.num_samples
+    assert sizes.min() >= 1
+    assert sizes.std() > 0.0
+
+
+def test_sample_fractions_sum_to_one():
+    fleet = generate_fleet(20, rng=3)
+    assert fleet.sample_fractions().sum() == pytest.approx(1.0)
+
+
+def test_with_max_power_and_frequency():
+    fleet = generate_fleet(5, rng=4)
+    capped = fleet.with_max_power_w(0.005).with_max_frequency_hz(1e9)
+    assert np.all(capped.max_power_w == 0.005)
+    assert np.all(capped.max_frequency_hz == 1e9)
+    # The original fleet is unchanged (immutability).
+    assert np.all(fleet.max_frequency_hz == 2e9)
+
+
+def test_with_samples_per_device():
+    fleet = generate_fleet(5, rng=5).with_samples_per_device(100)
+    assert np.all(fleet.num_samples == 100)
+
+
+def test_subset_and_iteration():
+    fleet = generate_fleet(6, rng=6)
+    subset = fleet.subset([0, 2, 4])
+    assert subset.num_devices == 3
+    assert subset[1].name == fleet[2].name
+    assert len(list(iter(fleet))) == 6
+
+
+def test_reproducible_with_seed():
+    a = generate_fleet(10, rng=9)
+    b = generate_fleet(10, rng=9)
+    assert np.allclose(a.cycles_per_sample, b.cycles_per_sample)
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        generate_fleet(0)
+    with pytest.raises(ConfigurationError):
+        generate_fleet(5, samples_per_device=None, total_samples=3)
+    with pytest.raises(ConfigurationError):
+        generate_fleet(5, samples_per_device=0)
+    with pytest.raises(ConfigurationError):
+        generate_fleet(5, cycles_range=(3e4, 1e4))
+    with pytest.raises(ConfigurationError):
+        DeviceFleet(())
+    with pytest.raises(ConfigurationError):
+        generate_fleet(5, sample_imbalance=-1.0)
+
+
+def test_fleet_array_views_have_consistent_shapes():
+    fleet = generate_fleet(8, rng=11)
+    for array in (
+        fleet.cycles_per_sample,
+        fleet.num_samples,
+        fleet.upload_bits,
+        fleet.min_frequency_hz,
+        fleet.max_frequency_hz,
+        fleet.min_power_w,
+        fleet.max_power_w,
+        fleet.effective_capacitance,
+    ):
+        assert array.shape == (8,)

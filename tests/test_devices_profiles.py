@@ -1,0 +1,56 @@
+"""Tests for device profiles."""
+
+import pytest
+
+from repro import constants
+from repro.devices import DeviceProfile
+from repro.exceptions import ConfigurationError
+
+
+def _profile(**overrides):
+    defaults = dict(cycles_per_sample=2e4)
+    defaults.update(overrides)
+    return DeviceProfile(**defaults)
+
+
+def test_defaults_follow_the_paper_table():
+    profile = _profile()
+    assert profile.num_samples == constants.DEFAULT_SAMPLES_PER_DEVICE
+    assert profile.upload_bits == pytest.approx(28100.0)
+    assert profile.max_frequency_hz == pytest.approx(2e9)
+    assert profile.effective_capacitance == pytest.approx(1e-28)
+
+
+def test_cycles_per_local_iteration():
+    profile = _profile(cycles_per_sample=1.5e4, num_samples=400)
+    assert profile.cycles_per_local_iteration == pytest.approx(6e6)
+
+
+def test_with_samples_returns_modified_copy():
+    profile = _profile()
+    other = profile.with_samples(100)
+    assert other.num_samples == 100
+    assert profile.num_samples == constants.DEFAULT_SAMPLES_PER_DEVICE
+
+
+def test_with_power_range_and_frequency_range():
+    profile = _profile()
+    other = profile.with_power_range(0.001, 0.002).with_frequency_range(1e8, 1e9)
+    assert other.min_power_w == 0.001
+    assert other.max_power_w == 0.002
+    assert other.max_frequency_hz == 1e9
+
+
+def test_invalid_profiles_rejected():
+    with pytest.raises(ConfigurationError):
+        _profile(cycles_per_sample=0.0)
+    with pytest.raises(ConfigurationError):
+        _profile(num_samples=0)
+    with pytest.raises(ConfigurationError):
+        _profile(upload_bits=0.0)
+    with pytest.raises(ConfigurationError):
+        _profile(min_frequency_hz=3e9)  # above the default max
+    with pytest.raises(ConfigurationError):
+        _profile(min_power_w=1.0)  # above the default max power
+    with pytest.raises(ConfigurationError):
+        _profile(effective_capacitance=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the uplink radio time/energy model (eqs. (2)-(3))."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.devices import RadioModel
+from repro.wireless.rate import shannon_rate
+
+
+@pytest.fixture()
+def radio():
+    return RadioModel()
+
+
+def test_rate_matches_shannon_formula(radio):
+    p, b, g = 0.01, 4e5, 1e-10
+    assert radio.rate_bps(p, b, g) == pytest.approx(
+        shannon_rate(p, b, g, constants.NOISE_PSD_W_PER_HZ)
+    )
+
+
+def test_upload_time_is_bits_over_rate(radio):
+    p, b, g = 0.01, 4e5, 1e-10
+    rate = radio.rate_bps(p, b, g)
+    assert radio.upload_time_s(28100.0, p, b, g) == pytest.approx(28100.0 / rate)
+
+
+def test_upload_time_infinite_without_bandwidth(radio):
+    assert np.isinf(radio.upload_time_s(28100.0, 0.01, 0.0, 1e-10))
+
+
+def test_upload_energy_is_power_times_time(radio):
+    p, b, g = 0.005, 4e5, 1e-10
+    time = radio.upload_time_s(28100.0, p, b, g)
+    assert radio.upload_energy_j(28100.0, p, b, g) == pytest.approx(p * time)
+
+
+def test_zero_power_zero_energy(radio):
+    assert radio.upload_energy_j(28100.0, 0.0, 4e5, 1e-10) == 0.0
+
+
+def test_energy_per_bit_increases_with_power(radio):
+    # p / log2(1 + c p) is increasing: transmitting faster costs more joules
+    # per bit, which is the core trade-off Subproblem 2 exploits.
+    g, b, bits = 1e-10, 4e5, 28100.0
+    powers = np.linspace(0.001, 0.0158, 30)
+    energies = radio.upload_energy_j(bits, powers, b, g)
+    assert np.all(np.diff(energies) > 0)
+
+
+def test_more_bandwidth_reduces_energy(radio):
+    g, p, bits = 1e-10, 0.01, 28100.0
+    bandwidths = np.linspace(1e5, 2e6, 20)
+    energies = radio.upload_energy_j(bits, p, bandwidths, g)
+    assert np.all(np.diff(energies) < 0)
+
+
+def test_vectorised_over_devices(radio):
+    p = np.array([0.01, 0.005])
+    b = np.array([4e5, 8e5])
+    g = np.array([1e-10, 5e-11])
+    times = radio.upload_time_s(28100.0, p, b, g)
+    assert times.shape == (2,)
+    assert np.all(times > 0)

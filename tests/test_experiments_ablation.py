@@ -1,0 +1,43 @@
+"""Tests for the ablation experiment."""
+
+import pytest
+
+from repro.experiments import AblationConfig, run_ablation
+from repro.experiments.base import SweepConfig
+
+
+@pytest.fixture(scope="module")
+def table():
+    config = AblationConfig(
+        sweep=SweepConfig(num_devices=8, num_trials=1), damping_values=(0.25, 0.75)
+    )
+    return run_ablation(config)
+
+
+def test_all_variants_present(table):
+    variants = set(table.column("variant"))
+    assert variants == {"subproblem1", "damping_xi", "initialisation", "sp2_solver"}
+
+
+def test_subproblem1_variants_agree_roughly(table):
+    rows = table.filter(variant="subproblem1").rows
+    objectives = [row["objective"] for row in rows]
+    assert max(objectives) <= min(objectives) * 1.25
+
+
+def test_damping_has_limited_effect_on_final_objective(table):
+    rows = table.filter(variant="damping_xi").rows
+    objectives = [row["objective"] for row in rows]
+    assert max(objectives) <= min(objectives) * 1.25
+
+
+def test_sp2_solver_agreement_is_recorded(table):
+    row = table.filter(variant="sp2_solver").rows[0]
+    # The recorded value is the |relative gap| between the two solvers.
+    assert row["objective"] < 0.5
+
+
+def test_every_row_has_finite_metrics(table):
+    for row in table.rows:
+        assert row["objective"] == row["objective"]  # not NaN
+        assert row["energy_j"] == row["energy_j"]

@@ -1,0 +1,195 @@
+"""Tests for the per-figure experiment runners (tiny configurations).
+
+Each test runs the figure's sweep at a deliberately small scale and asserts
+the qualitative claim the paper makes for that figure — this is the
+regression harness for the reproduction itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import AllocatorConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    EXPERIMENTS,
+    Fig2Config,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Fig7Config,
+    Fig8Config,
+    SamplesConfig,
+    get_experiment,
+    run_experiment,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_samples_sweep,
+)
+from repro.experiments.base import PAPER_WEIGHT_PAIRS, SweepConfig, average_metrics
+
+
+TINY = SweepConfig(num_devices=8, num_trials=1)
+
+
+def test_registry_lists_every_figure():
+    for name in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "samples", "ablation"):
+        assert name in EXPERIMENTS
+        assert callable(get_experiment(name))
+    with pytest.raises(ConfigurationError):
+        get_experiment("fig99")
+
+
+def test_average_metrics_helper():
+    merged = average_metrics([{"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}])
+    assert merged == {"a": 2.0, "b": 3.0}
+    with pytest.raises(ValueError):
+        average_metrics([])
+
+
+def test_paper_weight_pairs_are_valid():
+    for w1, w2 in PAPER_WEIGHT_PAIRS:
+        assert w1 + w2 == pytest.approx(1.0)
+
+
+def test_fig2_weight_ordering_and_benchmark_gap():
+    config = Fig2Config(sweep=TINY, max_power_dbm_grid=(8.0,), weight_pairs=((0.9, 0.1), (0.1, 0.9)))
+    table = run_fig2(config)
+    energy_focused = table.filter(scheme="proposed", w1=0.9).rows[0]
+    time_focused = table.filter(scheme="proposed", w1=0.1).rows[0]
+    benchmark = table.filter(scheme="benchmark").rows[0]
+    # Larger w1 -> less energy, more time.
+    assert energy_focused["energy_j"] < time_focused["energy_j"]
+    assert energy_focused["time_s"] > time_focused["time_s"]
+    # The energy-focused setting beats the benchmark on energy, and both
+    # settings beat it on the weighted objective.  (The paper's stronger
+    # claim — every weight pair below the benchmark's energy — emerges at the
+    # full 50-device / 100-drop scale, see EXPERIMENTS.md.)
+    assert energy_focused["energy_j"] < benchmark["energy_j"]
+    assert energy_focused["objective"] < benchmark["objective"]
+    assert time_focused["objective"] < benchmark["objective"]
+
+
+def test_fig3_benchmark_energy_grows_with_fmax():
+    config = Fig3Config(
+        sweep=TINY, max_frequency_ghz_grid=(0.5, 2.0), weight_pairs=((0.5, 0.5),)
+    )
+    table = run_fig3(config)
+    bench = table.filter(scheme="benchmark")
+    assert bench.rows[0]["energy_j"] < bench.rows[1]["energy_j"]
+    # The proposed algorithm's delay does not increase when more CPU headroom
+    # is available.
+    proposed = table.filter(scheme="proposed")
+    assert proposed.rows[1]["time_s"] <= proposed.rows[0]["time_s"] * (1 + 1e-6)
+
+
+def test_fig4_energy_falls_with_more_devices():
+    config = Fig4Config(
+        sweep=SweepConfig(num_devices=8, num_trials=1),
+        num_devices_grid=(10, 40),
+        total_samples=8000,
+        weight_pairs=((0.5, 0.5),),
+    )
+    table = run_fig4(config)
+    small, large = table.rows[0], table.rows[1]
+    assert large["energy_j"] < small["energy_j"]
+
+
+def test_fig5_delay_grows_with_radius():
+    config = Fig5Config(
+        sweep=SweepConfig(num_devices=8, num_trials=1),
+        radius_km_grid=(0.1, 1.4),
+        num_devices_grid=(8,),
+    )
+    table = run_fig5(config)
+    near, far = table.rows[0], table.rows[1]
+    assert far["time_s"] > near["time_s"]
+
+
+def test_fig6_cost_grows_with_schedule():
+    config = Fig6Config(
+        sweep=TINY,
+        local_iterations_grid=(10, 60),
+        global_rounds_grid=(50, 400),
+    )
+    table = run_fig6(config)
+    # More local iterations at fixed global rounds costs more of both.
+    base = table.filter(global_rounds=50, local_iterations=10).rows[0]
+    more_local = table.filter(global_rounds=50, local_iterations=60).rows[0]
+    more_global = table.filter(global_rounds=400, local_iterations=10).rows[0]
+    assert more_local["energy_j"] > base["energy_j"]
+    assert more_local["time_s"] > base["time_s"]
+    assert more_global["energy_j"] > base["energy_j"]
+    assert more_global["time_s"] > base["time_s"]
+
+
+def test_fig7_joint_beats_single_resource():
+    config = Fig7Config(
+        sweep=SweepConfig(num_devices=8, num_trials=1, max_power_dbm=10.0),
+        deadline_s_grid=(120.0, 160.0),
+    )
+    table = run_fig7(config)
+    for deadline in config.deadline_s_grid:
+        proposed = table.filter(deadline_s=deadline, scheme="proposed").rows[0]
+        comm = table.filter(deadline_s=deadline, scheme="communication_only").rows[0]
+        comp = table.filter(deadline_s=deadline, scheme="computation_only").rows[0]
+        # At this miniature scale the joint optimiser and the
+        # communication-only scheme can land within a fraction of a percent
+        # of each other; the dominance becomes strict at the paper's scale.
+        assert proposed["energy_j"] <= comm["energy_j"] * 1.02
+        assert proposed["energy_j"] <= comp["energy_j"] * 1.02
+    # Energy falls as the deadline loosens.
+    tight = table.filter(deadline_s=120.0, scheme="proposed").rows[0]
+    loose = table.filter(deadline_s=160.0, scheme="proposed").rows[0]
+    assert loose["energy_j"] < tight["energy_j"]
+
+
+def test_fig8_proposed_beats_scheme1_with_widening_gap():
+    config = Fig8Config(
+        sweep=SweepConfig(num_devices=8, num_trials=1),
+        max_power_dbm_grid=(10.0,),
+        deadline_s_grid=(90.0, 150.0),
+    )
+    table = run_fig8(config)
+    gaps = {}
+    for deadline in config.deadline_s_grid:
+        proposed = table.filter(deadline_s=deadline, scheme="proposed").rows[0]
+        scheme1 = table.filter(deadline_s=deadline, scheme="scheme1").rows[0]
+        assert proposed["energy_j"] <= scheme1["energy_j"] * (1 + 1e-6)
+        gaps[deadline] = scheme1["energy_j"] - proposed["energy_j"]
+    # The gap widens as the deadline tightens (Fig. 8's headline claim).
+    assert gaps[90.0] > gaps[150.0]
+
+
+def test_samples_sweep_is_monotone():
+    config = SamplesConfig(
+        sweep=SweepConfig(num_devices=8, num_trials=1), samples_grid=(200, 800)
+    )
+    table = run_samples_sweep(config)
+    small, large = table.rows[0], table.rows[1]
+    assert large["energy_j"] > small["energy_j"]
+    assert large["time_s"] > small["time_s"]
+
+
+def test_run_experiment_accepts_config_objects():
+    config = Fig2Config(
+        sweep=SweepConfig(num_devices=6, num_trials=1, allocator=AllocatorConfig(max_iterations=5)),
+        max_power_dbm_grid=(10.0,),
+        weight_pairs=((0.5, 0.5),),
+        include_benchmark=False,
+    )
+    table = run_experiment("fig2", config)
+    assert len(table) == 1
+    assert table.metadata["figure"] == "2"
+
+
+def test_paper_configs_expose_full_grids():
+    assert len(Fig2Config.paper().max_power_dbm_grid) == 8
+    assert len(Fig8Config.paper().max_power_dbm_grid) == 8
+    assert Fig4Config.paper().sweep.num_trials == 100
+    assert np.isclose(Fig7Config.paper().sweep.max_power_dbm, 10.0)

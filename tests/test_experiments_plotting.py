@@ -1,0 +1,51 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.experiments import ascii_line_plot
+
+
+def test_plot_contains_markers_and_legend():
+    plot = ascii_line_plot(
+        [1, 2, 3],
+        {"first": [1.0, 2.0, 3.0], "second": [3.0, 2.0, 1.0]},
+        title="demo plot",
+        x_label="x",
+        y_label="y",
+    )
+    assert "demo plot" in plot
+    assert "o = first" in plot
+    assert "x = second" in plot
+    assert "x: x" in plot
+    assert "y: y" in plot
+    # Both marker characters appear in the canvas.
+    assert "o" in plot and "x" in plot
+
+
+def test_plot_dimensions():
+    plot = ascii_line_plot([0, 1], {"s": [0.0, 1.0]}, width=40, height=10)
+    canvas_lines = [line for line in plot.splitlines() if line.rstrip().endswith(tuple("o x".split())) or "|" in line]
+    assert len([l for l in plot.splitlines() if "|" in l]) == 10
+
+
+def test_constant_series_does_not_crash():
+    plot = ascii_line_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+    assert "flat" in plot
+
+
+def test_nan_values_are_skipped():
+    plot = ascii_line_plot([1, 2, 3], {"partial": [1.0, float("nan"), 3.0]})
+    assert "partial" in plot
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        ascii_line_plot([], {"s": []})
+    with pytest.raises(ValueError):
+        ascii_line_plot([1, 2], {})
+    with pytest.raises(ValueError):
+        ascii_line_plot([1, 2], {"s": [1.0]})
+    with pytest.raises(ValueError):
+        ascii_line_plot([1], {"s": [float("nan")]})
+    with pytest.raises(ValueError):
+        ascii_line_plot([1, 2], {"s": [1.0, 2.0]}, width=2, height=2)

@@ -1,0 +1,73 @@
+"""Tests for the ResultTable container."""
+
+import pytest
+
+from repro.experiments import ResultTable
+
+
+def _table():
+    table = ResultTable(name="demo", columns=["x", "scheme", "y"])
+    table.add_row(x=1, scheme="a", y=10.0)
+    table.add_row(x=2, scheme="a", y=8.0)
+    table.add_row(x=1, scheme="b", y=12.0)
+    return table
+
+
+def test_add_row_validates_columns():
+    table = ResultTable(name="t", columns=["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(a=1)
+    with pytest.raises(ValueError):
+        table.add_row(a=1, b=2, c=3)
+    table.add_row(a=1, b=2)
+    assert len(table) == 1
+
+
+def test_column_and_filter_and_series():
+    table = _table()
+    assert table.column("y") == [10.0, 8.0, 12.0]
+    filtered = table.filter(scheme="a")
+    assert len(filtered) == 2
+    xs, ys = table.series("x", "y", scheme="a")
+    assert xs == [1, 2]
+    assert ys == [10.0, 8.0]
+    with pytest.raises(KeyError):
+        table.column("nope")
+
+
+def test_markdown_rendering():
+    markdown = _table().to_markdown()
+    lines = markdown.splitlines()
+    assert lines[0].startswith("| x | scheme | y |")
+    assert lines[1].startswith("| --- |")
+    assert len(lines) == 2 + 3
+
+
+def test_json_roundtrip(tmp_path):
+    table = _table()
+    table.metadata["figure"] = "demo"
+    path = table.to_json(tmp_path / "table.json")
+    loaded = ResultTable.from_json(path)
+    assert loaded.name == table.name
+    assert loaded.columns == table.columns
+    assert loaded.rows == table.rows
+    assert loaded.metadata == table.metadata
+
+
+def test_csv_export(tmp_path):
+    path = _table().to_csv(tmp_path / "table.csv")
+    content = path.read_text().strip().splitlines()
+    assert content[0] == "x,scheme,y"
+    assert len(content) == 4
+
+
+def test_from_rows_infers_columns():
+    table = ResultTable.from_rows("auto", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+    assert table.columns == ["a", "b"]
+    assert len(table) == 2
+    with pytest.raises(ValueError):
+        ResultTable.from_rows("empty", [])
+
+
+def test_iteration_over_rows():
+    assert [row["x"] for row in _table()] == [1, 2, 1]

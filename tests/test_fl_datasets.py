@@ -1,0 +1,54 @@
+"""Tests for the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl import make_classification_dataset
+
+
+def test_shapes_and_split():
+    dataset = make_classification_dataset(1000, num_features=8, num_classes=3, rng=0)
+    assert dataset.num_train + dataset.num_test == 1000
+    assert dataset.num_test == 200
+    assert dataset.train_x.shape == (800, 8)
+    assert dataset.num_features == 8
+    assert dataset.num_classes == 3
+
+
+def test_labels_cover_all_classes():
+    dataset = make_classification_dataset(2000, num_classes=4, rng=1)
+    assert set(np.unique(dataset.train_y)) == {0, 1, 2, 3}
+    assert np.all(dataset.test_y >= 0)
+    assert np.all(dataset.test_y < 4)
+
+
+def test_reproducible_with_seed():
+    a = make_classification_dataset(500, rng=3)
+    b = make_classification_dataset(500, rng=3)
+    assert np.allclose(a.train_x, b.train_x)
+    assert np.array_equal(a.train_y, b.train_y)
+
+
+def test_larger_separation_is_easier():
+    # A nearest-class-mean classifier should do better when classes are far apart.
+    def centroid_accuracy(dataset):
+        means = np.stack(
+            [dataset.train_x[dataset.train_y == c].mean(axis=0) for c in range(dataset.num_classes)]
+        )
+        distances = np.linalg.norm(dataset.test_x[:, None, :] - means[None, :, :], axis=2)
+        predictions = np.argmin(distances, axis=1)
+        return float(np.mean(predictions == dataset.test_y))
+
+    easy = make_classification_dataset(3000, class_separation=4.0, noise_std=1.0, rng=5)
+    hard = make_classification_dataset(3000, class_separation=0.2, noise_std=1.0, rng=5)
+    assert centroid_accuracy(easy) > centroid_accuracy(hard) + 0.2
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        make_classification_dataset(3, num_classes=5)
+    with pytest.raises(ConfigurationError):
+        make_classification_dataset(100, test_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        make_classification_dataset(100, num_classes=1)

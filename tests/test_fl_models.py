@@ -1,0 +1,95 @@
+"""Tests for the numpy models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl import MLPClassifier, SoftmaxRegression, make_classification_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification_dataset(1500, num_features=10, num_classes=3, rng=0)
+
+
+@pytest.mark.parametrize("model_cls", [SoftmaxRegression, MLPClassifier])
+def test_weights_roundtrip(model_cls):
+    model = model_cls(10, 3, rng=0)
+    weights = model.get_weights()
+    assert weights.shape == (model.num_parameters,)
+    model.set_weights(weights * 2.0)
+    assert np.allclose(model.get_weights(), weights * 2.0)
+    with pytest.raises(ConfigurationError):
+        model.set_weights(weights[:-1])
+
+
+@pytest.mark.parametrize("model_cls", [SoftmaxRegression, MLPClassifier])
+def test_predict_proba_is_a_distribution(model_cls, dataset):
+    model = model_cls(dataset.num_features, dataset.num_classes, rng=1)
+    probs = model.predict_proba(dataset.test_x)
+    assert probs.shape == (dataset.num_test, dataset.num_classes)
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@pytest.mark.parametrize("model_cls", [SoftmaxRegression, MLPClassifier])
+def test_gradient_matches_finite_differences(model_cls, dataset):
+    model = model_cls(dataset.num_features, dataset.num_classes, rng=2)
+    x = dataset.train_x[:40]
+    y = dataset.train_y[:40]
+    _, gradient = model.loss_and_gradient(x, y)
+    weights = model.get_weights()
+    rng = np.random.default_rng(0)
+    for index in rng.choice(model.num_parameters, size=10, replace=False):
+        eps = 1e-6
+        perturbed = weights.copy()
+        perturbed[index] += eps
+        model.set_weights(perturbed)
+        loss_plus, _ = model.loss_and_gradient(x, y)
+        perturbed[index] -= 2 * eps
+        model.set_weights(perturbed)
+        loss_minus, _ = model.loss_and_gradient(x, y)
+        model.set_weights(weights)
+        fd = (loss_plus - loss_minus) / (2 * eps)
+        assert gradient[index] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+
+@pytest.mark.parametrize("model_cls", [SoftmaxRegression, MLPClassifier])
+def test_gradient_descent_reduces_loss(model_cls, dataset):
+    model = model_cls(dataset.num_features, dataset.num_classes, rng=3)
+    x, y = dataset.train_x, dataset.train_y
+    initial_loss, _ = model.loss_and_gradient(x, y)
+    for _ in range(60):
+        loss, gradient = model.loss_and_gradient(x, y)
+        model.set_weights(model.get_weights() - 0.5 * gradient)
+    final_loss, _ = model.loss_and_gradient(x, y)
+    assert final_loss < initial_loss * 0.8
+    accuracy = float(np.mean(model.predict(dataset.test_x) == dataset.test_y))
+    assert accuracy > 0.6
+
+
+@pytest.mark.parametrize("model_cls", [SoftmaxRegression, MLPClassifier])
+def test_clone_is_independent(model_cls):
+    model = model_cls(6, 2, rng=4)
+    clone = model.clone()
+    assert np.allclose(clone.get_weights(), model.get_weights())
+    clone.set_weights(clone.get_weights() + 1.0)
+    assert not np.allclose(clone.get_weights(), model.get_weights())
+
+
+def test_upload_bits_scales_with_parameters():
+    small = SoftmaxRegression(5, 2)
+    large = SoftmaxRegression(50, 10)
+    assert large.upload_bits() > small.upload_bits()
+    assert small.upload_bits(bits_per_parameter=64) == 2 * small.upload_bits(32)
+
+
+def test_invalid_model_configurations():
+    with pytest.raises(ConfigurationError):
+        SoftmaxRegression(0, 3)
+    with pytest.raises(ConfigurationError):
+        SoftmaxRegression(5, 1)
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(5, 2, hidden_units=0)
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(5, 2, l2=-1.0)

@@ -1,0 +1,62 @@
+"""Tests for the client data partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl import dirichlet_partition, iid_partition
+
+
+def test_iid_partition_covers_all_samples_once():
+    parts = iid_partition(1000, 7, rng=0)
+    assert len(parts) == 7
+    combined = np.concatenate(parts)
+    assert len(combined) == 1000
+    assert len(np.unique(combined)) == 1000
+
+
+def test_iid_partition_sizes_are_balanced():
+    parts = iid_partition(1003, 10, rng=1)
+    sizes = [len(p) for p in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_iid_partition_invalid_arguments():
+    with pytest.raises(ConfigurationError):
+        iid_partition(10, 0)
+    with pytest.raises(ConfigurationError):
+        iid_partition(3, 10)
+
+
+def test_dirichlet_partition_covers_all_samples():
+    labels = np.random.default_rng(0).integers(0, 5, size=2000)
+    parts = dirichlet_partition(labels, 8, concentration=0.5, rng=0)
+    combined = np.concatenate(parts)
+    assert len(combined) == 2000
+    assert len(np.unique(combined)) == 2000
+    assert all(len(p) >= 2 for p in parts)
+
+
+def test_dirichlet_small_concentration_is_more_skewed():
+    labels = np.random.default_rng(1).integers(0, 10, size=5000)
+
+    def label_entropy(parts):
+        entropies = []
+        for part in parts:
+            counts = np.bincount(labels[part], minlength=10).astype(float)
+            probs = counts / counts.sum()
+            probs = probs[probs > 0]
+            entropies.append(float(-(probs * np.log(probs)).sum()))
+        return float(np.mean(entropies))
+
+    skewed = dirichlet_partition(labels, 10, concentration=0.1, rng=2)
+    uniform = dirichlet_partition(labels, 10, concentration=100.0, rng=2)
+    assert label_entropy(skewed) < label_entropy(uniform)
+
+
+def test_dirichlet_invalid_arguments():
+    labels = np.zeros(100, dtype=int)
+    with pytest.raises(ConfigurationError):
+        dirichlet_partition(labels, 0)
+    with pytest.raises(ConfigurationError):
+        dirichlet_partition(labels, 4, concentration=0.0)

@@ -1,0 +1,125 @@
+"""Tests for the optimiser, client, server and metrics of the FL stack."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl import (
+    Client,
+    FedAvgServer,
+    SGDConfig,
+    SoftmaxRegression,
+    accuracy,
+    cross_entropy,
+    iid_partition,
+    make_classification_dataset,
+)
+from repro.fl.optimizer import sgd_steps
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification_dataset(1200, num_features=8, num_classes=3, rng=0)
+
+
+@pytest.fixture()
+def clients(dataset):
+    parts = iid_partition(dataset.num_train, 5, rng=0)
+    return [
+        Client(client_id=i, features=dataset.train_x[idx], labels=dataset.train_y[idx])
+        for i, idx in enumerate(parts)
+    ]
+
+
+def test_metrics_basic_properties():
+    assert accuracy(np.array([1, 0, 2]), np.array([1, 0, 1])) == pytest.approx(2 / 3)
+    probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+    assert cross_entropy(probs, np.array([0, 1])) == pytest.approx(
+        -(np.log(0.9) + np.log(0.8)) / 2
+    )
+    with pytest.raises(ValueError):
+        accuracy(np.array([1]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_sgd_config_validation():
+    with pytest.raises(ConfigurationError):
+        SGDConfig(learning_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        SGDConfig(batch_size=0)
+    with pytest.raises(ConfigurationError):
+        SGDConfig(momentum=1.0)
+
+
+def test_sgd_steps_reduce_loss(dataset):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=0)
+    x, y = dataset.train_x, dataset.train_y
+    before, _ = model.loss_and_gradient(x, y)
+    sgd_steps(model, x, y, num_iterations=100, config=SGDConfig(learning_rate=0.3), rng=0)
+    after, _ = model.loss_and_gradient(x, y)
+    assert after < before
+
+
+def test_client_local_update_changes_weights(dataset, clients):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=1)
+    start = model.get_weights()
+    new_weights, loss = clients[0].local_update(model, start, num_iterations=10, rng=0)
+    assert new_weights.shape == start.shape
+    assert not np.allclose(new_weights, start)
+    assert np.isfinite(loss)
+    with pytest.raises(ConfigurationError):
+        clients[0].local_update(model, start, num_iterations=0)
+
+
+def test_client_requires_data(dataset):
+    with pytest.raises(ConfigurationError):
+        Client(client_id=0, features=np.zeros((0, 3)), labels=np.zeros(0, dtype=int))
+    with pytest.raises(ConfigurationError):
+        Client(client_id=0, features=np.zeros((3, 2)), labels=np.zeros(2, dtype=int))
+
+
+def test_fedavg_aggregation_weights(dataset, clients):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=2)
+    server = FedAvgServer(model, clients, test_x=dataset.test_x, test_y=dataset.test_y)
+    weights = server.aggregation_weights(clients)
+    assert weights.sum() == pytest.approx(1.0)
+    expected = np.array([c.num_samples for c in clients], dtype=float)
+    assert np.allclose(weights, expected / expected.sum())
+
+
+def test_fedavg_training_improves_accuracy(dataset, clients):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=3)
+    server = FedAvgServer(
+        model, clients, test_x=dataset.test_x, test_y=dataset.test_y, rng=0
+    )
+    _, initial_accuracy = server.evaluate()
+    history = server.fit(global_rounds=15, local_iterations=10)
+    assert len(history) == 15
+    assert history.final_accuracy > initial_accuracy
+    assert history.final_accuracy > 0.6
+    # Train loss is recorded and broadly decreasing.
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_fedavg_partial_participation(dataset, clients):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=4)
+    server = FedAvgServer(
+        model, clients, test_x=dataset.test_x, test_y=dataset.test_y, rng=1
+    )
+    server.run_round(1, local_iterations=5, participation=0.4)
+    assert len(server.history) == 1
+    with pytest.raises(ConfigurationError):
+        server.run_round(2, local_iterations=5, participation=0.0)
+
+
+def test_server_requires_clients(dataset):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes)
+    with pytest.raises(ConfigurationError):
+        FedAvgServer(model, [])
+    server = FedAvgServer(model, [Client(0, dataset.train_x[:10], dataset.train_y[:10])])
+    with pytest.raises(ConfigurationError):
+        server.fit(global_rounds=0, local_iterations=1)
+    # Without a test split evaluation returns NaN instead of crashing.
+    loss, acc = server.evaluate()
+    assert np.isnan(loss) and np.isnan(acc)

@@ -1,0 +1,64 @@
+"""Property-based tests on the end-to-end resource allocation.
+
+These are slower than the solver-level properties, so the example counts are
+kept small; they assert the invariants that must hold for *any* random drop
+and weight choice: feasibility of the returned allocation, consistency of
+the reported metrics, and dominance over the static allocation in the
+weighted objective.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
+from repro.baselines import static_equal_allocation
+from repro.core.allocator import AllocatorConfig
+
+_FAST = AllocatorConfig(max_iterations=4)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    w1=st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9]),
+    num_devices=st.integers(min_value=3, max_value=10),
+)
+def test_allocation_is_always_feasible_and_consistent(seed, w1, num_devices):
+    system = build_paper_scenario(num_devices=num_devices, seed=seed)
+    problem = JointProblem(system, ProblemWeights.from_energy_weight(w1))
+    result = ResourceAllocator(_FAST).solve(problem)
+
+    allocation = result.allocation
+    # Constraint (8a)-(8c): every variable inside its box, budget respected.
+    assert np.all(allocation.power_w <= system.max_power_w * (1 + 1e-6))
+    assert np.all(allocation.power_w >= system.min_power_w * (1 - 1e-6) - 1e-12)
+    assert np.all(allocation.frequency_hz <= system.max_frequency_hz * (1 + 1e-6))
+    assert np.all(allocation.frequency_hz >= system.min_frequency_hz * (1 - 1e-6))
+    assert allocation.bandwidth_hz.sum() <= system.total_bandwidth_hz * (1 + 1e-6)
+
+    # Reported metrics must be self-consistent with the allocation.
+    assert np.isclose(result.energy_j, allocation.total_energy_j(system), rtol=1e-9)
+    assert np.isclose(result.completion_time_s, allocation.total_time_s(system), rtol=1e-9)
+    assert np.isclose(
+        result.objective,
+        w1 * result.energy_j + (1 - w1) * result.completion_time_s,
+        rtol=1e-9,
+    )
+
+    # The optimised allocation never loses to the static one on the objective.
+    static = static_equal_allocation(problem)
+    assert result.objective <= static.objective * (1 + 1e-9)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_energy_weight_sweep_is_monotone_in_energy(seed):
+    system = build_paper_scenario(num_devices=6, seed=seed)
+    allocator = ResourceAllocator(_FAST)
+    energies = []
+    for w1 in (0.2, 0.8):
+        problem = JointProblem(system, ProblemWeights.from_energy_weight(w1))
+        energies.append(allocator.solve(problem).energy_j)
+    # More weight on energy never yields more energy consumption.
+    assert energies[1] <= energies[0] * (1 + 1e-6)

@@ -1,0 +1,61 @@
+"""Tests for the scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig, build_paper_scenario, build_scenario
+from repro import units
+
+
+def test_paper_defaults():
+    system = build_paper_scenario(num_devices=12, seed=0)
+    assert system.num_devices == 12
+    assert system.total_bandwidth_hz == pytest.approx(20e6)
+    assert system.local_iterations == 10
+    assert system.global_rounds == 400
+    assert np.all(system.max_power_w == pytest.approx(units.dbm_to_watt(12.0)))
+    assert np.all(system.num_samples == 500)
+    assert system.channel_state is not None
+    assert np.all(system.channel_state.distances_km <= 0.25 + 1e-12)
+
+
+def test_seed_reproducibility():
+    a = build_paper_scenario(num_devices=10, seed=5)
+    b = build_paper_scenario(num_devices=10, seed=5)
+    assert np.allclose(a.gains, b.gains)
+    assert np.allclose(a.cycles_per_sample, b.cycles_per_sample)
+
+
+def test_different_seeds_differ():
+    a = build_paper_scenario(num_devices=10, seed=5)
+    b = build_paper_scenario(num_devices=10, seed=6)
+    assert not np.allclose(a.gains, b.gains)
+
+
+def test_overrides_flow_through():
+    system = build_paper_scenario(
+        num_devices=8,
+        seed=1,
+        max_power_dbm=6.0,
+        radius_km=1.0,
+        local_iterations=30,
+        global_rounds=100,
+        total_bandwidth_hz=5e6,
+    )
+    assert np.all(system.max_power_w == pytest.approx(units.dbm_to_watt(6.0)))
+    assert system.local_iterations == 30
+    assert system.global_rounds == 100
+    assert system.total_bandwidth_hz == pytest.approx(5e6)
+    assert np.all(system.channel_state.distances_km <= 1.0 + 1e-12)
+
+
+def test_total_samples_config():
+    config = ScenarioConfig(num_devices=10, samples_per_device=None, total_samples=1000, seed=0)
+    system = build_scenario(config)
+    assert system.fleet.total_samples == 1000
+
+
+def test_larger_radius_weakens_average_channel():
+    near = build_paper_scenario(num_devices=200, seed=2, radius_km=0.1)
+    far = build_paper_scenario(num_devices=200, seed=2, radius_km=1.5)
+    assert np.median(far.gains) < np.median(near.gains)

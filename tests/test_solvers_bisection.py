@@ -1,0 +1,59 @@
+"""Tests for the scalar and vectorised bisection solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solvers import bisect_scalar, bisect_vector, expand_bracket
+
+
+def test_bisect_scalar_finds_root_of_linear_function():
+    root = bisect_scalar(lambda x: 2.0 * x - 3.0, 0.0, 10.0)
+    assert root == pytest.approx(1.5, rel=1e-9)
+
+
+def test_bisect_scalar_finds_root_of_decreasing_function():
+    root = bisect_scalar(lambda x: 10.0 - x**2, 0.0, 10.0)
+    assert root == pytest.approx(np.sqrt(10.0), rel=1e-9)
+
+
+def test_bisect_scalar_accepts_root_at_endpoint():
+    assert bisect_scalar(lambda x: x, 0.0, 1.0) == 0.0
+    assert bisect_scalar(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+
+def test_bisect_scalar_requires_sign_change():
+    with pytest.raises(SolverError):
+        bisect_scalar(lambda x: x + 1.0, 0.0, 1.0)
+
+
+def test_bisect_vector_solves_independent_equations():
+    targets = np.array([1.0, 4.0, 9.0, 0.25])
+    roots = bisect_vector(lambda x: x**2 - targets, np.zeros(4), np.full(4, 10.0))
+    assert np.allclose(roots, np.sqrt(targets), rtol=1e-9)
+
+
+def test_bisect_vector_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        bisect_vector(lambda x: x, np.zeros(3), np.ones(2))
+
+
+def test_bisect_vector_requires_sign_change_everywhere():
+    with pytest.raises(SolverError):
+        bisect_vector(lambda x: x + 1.0, np.zeros(2), np.ones(2))
+
+
+def test_expand_bracket_grows_until_sign_change():
+    lo, hi = expand_bracket(lambda x: x - 100.0, 0.0, 1.0)
+    assert lo == 0.0
+    assert hi >= 100.0
+
+
+def test_expand_bracket_returns_original_interval_when_already_bracketing():
+    lo, hi = expand_bracket(lambda x: x - 0.5, 0.0, 1.0)
+    assert (lo, hi) == (0.0, 1.0)
+
+
+def test_expand_bracket_gives_up_eventually():
+    with pytest.raises(SolverError):
+        expand_bracket(lambda x: 1.0, 0.0, 1.0, max_expansions=5)

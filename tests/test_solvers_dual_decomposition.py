@@ -1,0 +1,71 @@
+"""Tests for the dual-decomposition fallback solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import minimize_separable_with_budget
+
+
+def test_unconstrained_optimum_inside_budget_is_returned():
+    centres = np.array([1.0, 2.0, 0.5])
+    result = minimize_separable_with_budget(
+        lambda x: (x - centres) ** 2, np.zeros(3), np.full(3, 10.0), budget=100.0
+    )
+    assert np.allclose(result.x, centres, atol=1e-4)
+    assert result.multiplier == pytest.approx(0.0)
+
+
+def test_budget_constraint_binds_when_tight():
+    centres = np.array([4.0, 4.0])
+    result = minimize_separable_with_budget(
+        lambda x: (x - centres) ** 2, np.zeros(2), np.full(2, 10.0), budget=4.0
+    )
+    assert result.x.sum() == pytest.approx(4.0, rel=1e-3)
+    # Symmetric problem: the budget is split evenly.
+    assert np.allclose(result.x, 2.0, atol=1e-3)
+    assert result.multiplier > 0.0
+
+
+def test_matches_kkt_solution_for_quadratic_costs():
+    # minimize sum (x_i - c_i)^2 st sum x <= s has solution x_i = c_i - mu/2.
+    centres = np.array([3.0, 5.0, 7.0])
+    budget = 9.0
+    result = minimize_separable_with_budget(
+        lambda x: (x - centres) ** 2, np.zeros(3), np.full(3, 100.0), budget=budget
+    )
+    mu = 2.0 * (centres.sum() - budget) / 3.0
+    expected = centres - mu / 2.0
+    assert np.allclose(result.x, expected, atol=1e-3)
+
+
+def test_lower_bounds_respected():
+    centres = np.array([0.0, 0.0])
+    lower = np.array([1.0, 2.0])
+    result = minimize_separable_with_budget(
+        lambda x: (x - centres) ** 2, lower, np.full(2, 10.0), budget=10.0
+    )
+    assert np.all(result.x >= lower - 1e-9)
+
+
+def test_exactly_full_lower_bounds_are_accepted():
+    lower = np.array([2.0, 3.0])
+    result = minimize_separable_with_budget(
+        lambda x: x, lower, np.full(2, 10.0), budget=5.0
+    )
+    assert result.x.sum() <= 5.0 + 1e-6
+
+
+def test_infeasible_lower_bounds_rejected():
+    with pytest.raises(ValueError):
+        minimize_separable_with_budget(
+            lambda x: x, np.array([4.0, 4.0]), np.full(2, 10.0), budget=5.0
+        )
+
+
+def test_bad_bounds_rejected():
+    with pytest.raises(ValueError):
+        minimize_separable_with_budget(
+            lambda x: x, np.array([1.0, 5.0]), np.array([2.0, 4.0]), budget=10.0
+        )
+    with pytest.raises(ValueError):
+        minimize_separable_with_budget(lambda x: x, np.zeros(2), np.zeros(3), budget=1.0)

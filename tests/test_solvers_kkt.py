@@ -1,0 +1,48 @@
+"""Tests for the KKT residual diagnostics."""
+
+import numpy as np
+
+from repro.solvers.kkt import (
+    KKTReport,
+    box_constraint_violation,
+    budget_violation,
+    complementary_slackness,
+)
+
+
+def test_box_violation_zero_inside_box():
+    x = np.array([0.5, 1.0, 0.0])
+    assert box_constraint_violation(x, 0.0, 1.0) == 0.0
+
+
+def test_box_violation_measures_worst_relative_breach():
+    x = np.array([-1.0, 3.0])
+    violation = box_constraint_violation(x, 0.0, 2.0)
+    assert violation > 0.0
+    # The worst breach is 1.0 above the upper bound of 2 -> 0.5 relative.
+    assert np.isclose(violation, 0.5)
+
+
+def test_budget_violation_zero_when_under_budget():
+    assert budget_violation(np.array([1.0, 2.0]), budget=5.0) == 0.0
+
+
+def test_budget_violation_relative_overshoot():
+    assert np.isclose(budget_violation(np.array([3.0, 4.0]), budget=5.0), 2.0 / 5.0)
+
+
+def test_complementary_slackness_vanishes_when_either_factor_is_zero():
+    assert complementary_slackness(0.0, 5.0) == 0.0
+    assert complementary_slackness(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == 0.0
+
+
+def test_complementary_slackness_reports_largest_product():
+    value = complementary_slackness(np.array([1.0, 2.0]), np.array([0.1, 0.3]))
+    assert np.isclose(value, 0.6)
+
+
+def test_report_feasibility_flag():
+    ok = KKTReport(max_box_violation=0.0, budget_violation=0.0, max_inequality_violation=0.0)
+    bad = KKTReport(max_box_violation=0.1, budget_violation=0.0, max_inequality_violation=0.0)
+    assert ok.is_feasible
+    assert not bad.is_feasible

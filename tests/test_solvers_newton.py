@@ -1,0 +1,72 @@
+"""Tests for the damped Newton-like step (Algorithm 1's update rule)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import damped_newton_step
+
+
+def test_full_newton_step_zeroes_linear_residual():
+    # phi(alpha) = G * alpha - target with diagonal Jacobian G.
+    gains = np.array([2.0, 5.0, 1.0])
+    target = np.array([4.0, 10.0, 3.0])
+    alpha = np.zeros(3)
+
+    def residual(a):
+        return gains * a - target
+
+    direction = (target / gains) - alpha
+    result = damped_newton_step(alpha, residual, direction)
+    assert result.accepted
+    assert result.step_exponent == 0
+    assert result.residual_norm == pytest.approx(0.0, abs=1e-12)
+    assert np.allclose(result.alpha, target / gains)
+
+
+def test_zero_residual_returns_immediately():
+    alpha = np.array([1.0, 2.0])
+    result = damped_newton_step(alpha, lambda a: np.zeros(2), np.array([5.0, 5.0]))
+    assert result.accepted
+    assert np.allclose(result.alpha, alpha)
+    assert result.residual_norm == 0.0
+
+
+def test_backtracking_reduces_step_for_overshooting_direction():
+    # Direction deliberately 10x the Newton step: the full step increases the
+    # residual, so the line search must damp it.
+    def residual(a):
+        return a - 1.0
+
+    alpha = np.zeros(1)
+    direction = np.array([10.0])
+    result = damped_newton_step(alpha, residual, direction, xi=0.5, eps=0.01)
+    assert result.step_exponent >= 1
+    assert result.residual_norm < 1.0  # still a strict improvement
+
+
+def test_step_size_is_xi_to_the_exponent():
+    def residual(a):
+        return a - 1.0
+
+    result = damped_newton_step(np.zeros(1), residual, np.array([10.0]), xi=0.5)
+    assert result.step_size == pytest.approx(0.5**result.step_exponent)
+
+
+def test_invalid_hyperparameters_rejected():
+    with pytest.raises(ValueError):
+        damped_newton_step(np.zeros(1), lambda a: a, np.ones(1), xi=1.5)
+    with pytest.raises(ValueError):
+        damped_newton_step(np.zeros(1), lambda a: a, np.ones(1), eps=0.0)
+
+
+def test_unacceptable_direction_still_returns_smallest_step():
+    # A direction that always increases the residual: the helper must not
+    # loop forever and must flag the step as not accepted.
+    def residual(a):
+        return a + 1.0
+
+    result = damped_newton_step(
+        np.zeros(1), residual, np.array([100.0]), max_backtracks=5
+    )
+    assert not result.accepted
+    assert result.step_size == pytest.approx(0.5**5)

@@ -1,0 +1,64 @@
+"""Tests for the Euclidean projection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import project_box, project_capped_simplex, project_simplex
+
+
+def test_project_box_clips_both_sides():
+    x = np.array([-2.0, 0.5, 7.0])
+    assert np.allclose(project_box(x, 0.0, 1.0), [0.0, 0.5, 1.0])
+
+
+def test_project_box_with_array_bounds():
+    x = np.array([5.0, 5.0])
+    lo = np.array([0.0, 6.0])
+    hi = np.array([4.0, 8.0])
+    assert np.allclose(project_box(x, lo, hi), [4.0, 6.0])
+
+
+def test_project_simplex_preserves_points_already_on_simplex():
+    x = np.array([0.2, 0.3, 0.5])
+    assert np.allclose(project_simplex(x), x)
+
+
+def test_project_simplex_output_is_feasible():
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        x = rng.normal(size=10) * 5.0
+        projected = project_simplex(x, total=3.0)
+        assert np.all(projected >= -1e-12)
+        assert projected.sum() == pytest.approx(3.0)
+
+
+def test_project_simplex_is_idempotent():
+    x = np.random.default_rng(2).normal(size=6)
+    once = project_simplex(x, total=2.0)
+    twice = project_simplex(once, total=2.0)
+    assert np.allclose(once, twice, atol=1e-9)
+
+
+def test_project_simplex_rejects_nonpositive_total():
+    with pytest.raises(ValueError):
+        project_simplex(np.ones(3), total=0.0)
+
+
+def test_capped_simplex_respects_box_and_total():
+    x = np.array([10.0, -10.0, 0.0, 5.0])
+    lo = np.zeros(4)
+    hi = np.full(4, 2.0)
+    projected = project_capped_simplex(x, lo, hi, total=4.0)
+    assert np.all(projected >= -1e-9)
+    assert np.all(projected <= 2.0 + 1e-9)
+    assert projected.sum() == pytest.approx(4.0)
+
+
+def test_capped_simplex_infeasible_total_rejected():
+    with pytest.raises(ValueError):
+        project_capped_simplex(np.ones(3), 0.0, 1.0, total=10.0)
+
+
+def test_capped_simplex_requires_ordered_bounds():
+    with pytest.raises(ValueError):
+        project_capped_simplex(np.ones(2), np.array([1.0, 1.0]), np.array([0.0, 2.0]), total=1.0)

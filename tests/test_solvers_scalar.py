@@ -1,0 +1,61 @@
+"""Tests for the golden-section minimisers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import golden_section_scalar, golden_section_vector
+
+
+def test_scalar_minimises_parabola():
+    x, fx = golden_section_scalar(lambda x: (x - 3.0) ** 2 + 1.0, -10.0, 10.0)
+    assert x == pytest.approx(3.0, abs=1e-6)
+    assert fx == pytest.approx(1.0, abs=1e-9)
+
+
+def test_scalar_handles_reversed_interval():
+    x, _ = golden_section_scalar(lambda x: (x - 1.0) ** 2, 5.0, -5.0)
+    assert x == pytest.approx(1.0, abs=1e-6)
+
+
+def test_scalar_degenerate_interval():
+    x, fx = golden_section_scalar(lambda x: x**2, 2.0, 2.0)
+    assert x == 2.0
+    assert fx == 4.0
+
+
+def test_scalar_minimum_at_boundary():
+    x, _ = golden_section_scalar(lambda x: x, 0.0, 1.0)
+    assert x == pytest.approx(0.0, abs=1e-6)
+
+
+def test_vector_minimises_independent_parabolas():
+    centres = np.array([-2.0, 0.5, 4.0, 10.0])
+    x, fx = golden_section_vector(
+        lambda x: (x - centres) ** 2,
+        np.full(4, -20.0),
+        np.full(4, 20.0),
+    )
+    assert np.allclose(x, centres, atol=1e-5)
+    assert np.allclose(fx, 0.0, atol=1e-9)
+
+
+def test_vector_respects_individual_bounds():
+    centres = np.array([5.0, -5.0])
+    x, _ = golden_section_vector(lambda x: (x - centres) ** 2, np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+    # The unconstrained minima are outside the boxes; solutions must be at the
+    # nearest box edge.
+    assert x[0] == pytest.approx(1.0, abs=1e-5)
+    assert x[1] == pytest.approx(0.0, abs=1e-5)
+
+
+def test_vector_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        golden_section_vector(lambda x: x, np.zeros(2), np.zeros(3))
+
+
+def test_vector_handles_swapped_bounds():
+    centres = np.array([1.0, 2.0])
+    x, _ = golden_section_vector(
+        lambda x: (x - centres) ** 2, np.array([10.0, 10.0]), np.array([-10.0, -10.0])
+    )
+    assert np.allclose(x, centres, atol=1e-5)

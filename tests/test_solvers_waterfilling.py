@@ -1,0 +1,66 @@
+"""Tests for the water-filling solver used by Subproblem 1's dual."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solvers import maximize_concave_on_simplex, power_waterfilling
+
+
+def _dual_objective(a, b, x, q):
+    return float(np.sum(a * x**q + b * x))
+
+
+def test_waterfilling_result_is_on_the_simplex():
+    a = np.array([1.0, 2.0, 0.5])
+    b = np.array([0.1, 0.0, 0.3])
+    x, eta = power_waterfilling(a, b, total=5.0, exponent=2.0 / 3.0)
+    assert x.sum() == pytest.approx(5.0, rel=1e-9)
+    assert np.all(x > 0.0)
+    assert eta > b.max()
+
+
+def test_waterfilling_satisfies_stationarity():
+    a = np.array([1.5, 0.7, 2.2, 1.0])
+    b = np.array([0.2, 0.5, 0.1, 0.0])
+    q = 2.0 / 3.0
+    x, eta = power_waterfilling(a, b, total=3.0, exponent=q)
+    gradients = q * a * x ** (q - 1.0) + b
+    assert np.allclose(gradients, eta, rtol=1e-4)
+
+
+def test_waterfilling_beats_uniform_allocation():
+    rng = np.random.default_rng(3)
+    a = rng.uniform(0.5, 2.0, size=8)
+    b = rng.uniform(0.0, 1.0, size=8)
+    q = 2.0 / 3.0
+    x, _ = power_waterfilling(a, b, total=4.0, exponent=q)
+    uniform = np.full(8, 0.5)
+    assert _dual_objective(a, b, x, q) >= _dual_objective(a, b, uniform, q) - 1e-9
+
+
+def test_waterfilling_equal_inputs_gives_equal_split():
+    a = np.full(5, 1.3)
+    b = np.full(5, 0.2)
+    x, _ = power_waterfilling(a, b, total=10.0, exponent=0.5)
+    assert np.allclose(x, 2.0, rtol=1e-6)
+
+
+def test_waterfilling_rejects_bad_arguments():
+    with pytest.raises(SolverError):
+        power_waterfilling(np.array([0.0, 1.0]), np.zeros(2), 1.0, 0.5)
+    with pytest.raises(ValueError):
+        power_waterfilling(np.ones(2), np.zeros(2), 1.0, 1.5)
+    with pytest.raises(ValueError):
+        power_waterfilling(np.ones(2), np.zeros(2), -1.0, 0.5)
+    with pytest.raises(ValueError):
+        power_waterfilling(np.ones(2), np.zeros(3), 1.0, 0.5)
+
+
+def test_maximize_concave_on_simplex_uses_two_thirds_exponent():
+    a = np.array([1.0, 1.0])
+    b = np.array([0.0, 1.0])
+    x, _ = maximize_concave_on_simplex(a, b, total=2.0)
+    # The component with the larger linear reward must receive more mass.
+    assert x[1] > x[0]
+    assert x.sum() == pytest.approx(2.0, rel=1e-9)

@@ -1,0 +1,102 @@
+"""Tests for the SystemModel cost accounting (eqs. (1)-(7))."""
+
+import numpy as np
+import pytest
+
+from repro import build_paper_scenario
+from repro.devices import generate_fleet
+from repro.exceptions import ConfigurationError
+from repro.system import SystemModel
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_paper_scenario(num_devices=8, seed=0)
+
+
+def _equal_allocation(system):
+    n = system.num_devices
+    power = system.max_power_w.copy()
+    bandwidth = np.full(n, system.total_bandwidth_hz / n)
+    frequency = system.max_frequency_hz.copy()
+    return power, bandwidth, frequency
+
+
+def test_array_views_are_consistent(system):
+    n = system.num_devices
+    assert system.gains.shape == (n,)
+    assert system.cycles_per_round.shape == (n,)
+    assert np.allclose(
+        system.cycles_per_round,
+        system.local_iterations * system.cycles_per_sample * system.num_samples,
+    )
+
+
+def test_computation_time_and_energy_formulas(system):
+    freq = np.full(system.num_devices, 1e9)
+    times = system.computation_time_s(freq)
+    energies = system.computation_energy_j(freq)
+    assert np.allclose(times, system.cycles_per_round / 1e9)
+    assert np.allclose(
+        energies, system.effective_capacitance * system.cycles_per_round * 1e18
+    )
+
+
+def test_upload_time_and_energy(system):
+    power, bandwidth, _ = _equal_allocation(system)
+    rates = system.rates_bps(power, bandwidth)
+    times = system.upload_time_s(power, bandwidth)
+    energies = system.upload_energy_j(power, bandwidth)
+    assert np.allclose(times, system.upload_bits / rates)
+    assert np.allclose(energies, power * times)
+
+
+def test_round_time_is_max_over_devices(system):
+    power, bandwidth, frequency = _equal_allocation(system)
+    per_device = system.per_device_round_time_s(power, bandwidth, frequency)
+    assert system.round_time_s(power, bandwidth, frequency) == pytest.approx(
+        float(np.max(per_device))
+    )
+
+
+def test_totals_scale_with_global_rounds(system):
+    power, bandwidth, frequency = _equal_allocation(system)
+    energy = system.total_energy_j(power, bandwidth, frequency)
+    time = system.total_completion_time_s(power, bandwidth, frequency)
+    doubled = system.with_schedule(global_rounds=2 * system.global_rounds)
+    assert doubled.total_energy_j(power, bandwidth, frequency) == pytest.approx(2 * energy)
+    assert doubled.total_completion_time_s(power, bandwidth, frequency) == pytest.approx(2 * time)
+
+
+def test_energy_breakdown_sums_to_total(system):
+    power, bandwidth, frequency = _equal_allocation(system)
+    trans, comp = system.energy_breakdown_j(power, bandwidth, frequency)
+    assert trans + comp == pytest.approx(system.total_energy_j(power, bandwidth, frequency))
+    assert trans > 0 and comp > 0
+
+
+def test_with_max_power_and_frequency_copies(system):
+    capped = system.with_max_power_w(0.005).with_max_frequency_hz(1e9)
+    assert np.all(capped.max_power_w == 0.005)
+    assert np.all(capped.max_frequency_hz == 1e9)
+    assert np.all(system.max_frequency_hz == 2e9)
+    assert np.allclose(capped.gains, system.gains)
+
+
+def test_invalid_construction_rejected(system):
+    fleet = generate_fleet(4, rng=0)
+    with pytest.raises(ConfigurationError):
+        SystemModel(fleet=fleet, gains=np.ones(3) * 1e-10)
+    with pytest.raises(ConfigurationError):
+        SystemModel(fleet=fleet, gains=np.array([1e-10, 0.0, 1e-10, 1e-10]))
+    with pytest.raises(ConfigurationError):
+        SystemModel(fleet=fleet, gains=np.ones(4) * 1e-10, total_bandwidth_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        SystemModel(fleet=fleet, gains=np.ones(4) * 1e-10, global_rounds=0)
+    with pytest.raises(ConfigurationError):
+        system.with_fleet(generate_fleet(3, rng=0))
+
+
+def test_computation_time_requires_positive_frequency(system):
+    with pytest.raises(ValueError):
+        system.computation_time_s(np.zeros(system.num_devices))

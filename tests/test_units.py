@@ -1,0 +1,65 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_dbm_to_watt_known_values():
+    assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+    assert units.dbm_to_watt(30.0) == pytest.approx(1.0)
+    assert units.dbm_to_watt(12.0) == pytest.approx(10 ** 1.2 * 1e-3)
+
+
+def test_watt_to_dbm_roundtrip():
+    for dbm in (-20.0, 0.0, 12.0, 23.5):
+        assert units.watt_to_dbm(units.dbm_to_watt(dbm)) == pytest.approx(dbm)
+
+
+def test_watt_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.watt_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        units.watt_to_dbm(-1.0)
+
+
+def test_db_linear_roundtrip():
+    for db in (-30.0, 0.0, 3.0, 10.0):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+
+def test_linear_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.linear_to_db(0.0)
+
+
+def test_noise_psd_conversion():
+    # -174 dBm/Hz is the standard thermal noise floor ~ 4e-21 W/Hz.
+    value = units.dbm_per_hz_to_watt_per_hz(-174.0)
+    assert value == pytest.approx(10 ** (-17.4) * 1e-3)
+    assert 3.9e-21 < value < 4.1e-21
+
+
+def test_frequency_conversions():
+    assert units.mhz_to_hz(20.0) == 20e6
+    assert units.hz_to_mhz(20e6) == pytest.approx(20.0)
+    assert units.ghz_to_hz(2.0) == 2e9
+    assert units.hz_to_ghz(2e9) == pytest.approx(2.0)
+
+
+def test_data_size_conversions():
+    assert units.kbit_to_bit(28.1) == pytest.approx(28100.0)
+    assert units.bit_to_kbit(28100.0) == pytest.approx(28.1)
+    assert units.mbit_to_bit(1.5) == pytest.approx(1.5e6)
+
+
+def test_distance_conversions():
+    assert units.km_to_m(0.25) == pytest.approx(250.0)
+    assert units.m_to_km(250.0) == pytest.approx(0.25)
+
+
+def test_db_to_linear_is_exponential():
+    assert units.db_to_linear(10.0) == pytest.approx(10.0)
+    assert units.db_to_linear(3.0) == pytest.approx(math.pow(10, 0.3))

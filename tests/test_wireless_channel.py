@@ -1,0 +1,68 @@
+"""Tests for the channel model (path loss + shadowing -> gains)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless import (
+    ChannelModel,
+    ChannelState,
+    LogNormalShadowing,
+    uniform_disc_topology,
+)
+
+
+@pytest.fixture()
+def topology():
+    return uniform_disc_topology(40, radius_km=0.25, rng=0)
+
+
+def test_realize_produces_positive_gains(topology):
+    state = ChannelModel().realize(topology, rng=0)
+    assert state.num_devices == 40
+    assert np.all(state.gains > 0.0)
+    assert np.all(np.isfinite(state.gains))
+
+
+def test_gains_combine_pathloss_and_shadowing(topology):
+    state = ChannelModel().realize(topology, rng=1)
+    reconstructed = 10.0 ** (-(state.path_loss_db + state.shadowing_db) / 10.0)
+    assert np.allclose(state.gains, reconstructed)
+    assert np.allclose(state.total_loss_db(), state.path_loss_db + state.shadowing_db)
+
+
+def test_no_shadowing_gains_decrease_with_distance(topology):
+    model = ChannelModel(shadowing=LogNormalShadowing(std_db=0.0))
+    state = model.realize(topology, rng=2)
+    order = np.argsort(state.distances_km)
+    assert np.all(np.diff(state.gains[order]) <= 1e-20)
+
+
+def test_same_seed_reproducible(topology):
+    model = ChannelModel()
+    a = model.realize(topology, rng=3)
+    b = model.realize(topology, rng=3)
+    assert np.allclose(a.gains, b.gains)
+
+
+def test_subset_selects_devices(topology):
+    state = ChannelModel().realize(topology, rng=4)
+    subset = state.subset(np.array([0, 5]))
+    assert subset.num_devices == 2
+    assert subset.gains[1] == state.gains[5]
+
+
+def test_mean_gain_includes_shadowing_margin():
+    model = ChannelModel()
+    no_shadow = ChannelModel(shadowing=LogNormalShadowing(std_db=0.0))
+    assert model.mean_gain_at(0.2) > no_shadow.mean_gain_at(0.2)
+
+
+def test_channel_state_rejects_nonpositive_gains():
+    with pytest.raises(ConfigurationError):
+        ChannelState(
+            gains=np.array([1e-10, 0.0]),
+            distances_km=np.array([0.1, 0.2]),
+            path_loss_db=np.array([100.0, 110.0]),
+            shadowing_db=np.zeros(2),
+        )

@@ -1,0 +1,50 @@
+"""Tests for the receiver noise model."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.exceptions import ConfigurationError
+from repro.wireless import NoiseModel
+
+
+def test_default_matches_paper_psd():
+    model = NoiseModel()
+    assert model.psd_w_per_hz == pytest.approx(constants.NOISE_PSD_W_PER_HZ)
+    assert model.psd_dbm_per_hz() == pytest.approx(-174.0)
+
+
+def test_noise_power_scales_linearly_with_bandwidth():
+    model = NoiseModel()
+    assert model.power_w(2e6) == pytest.approx(2.0 * model.power_w(1e6))
+    assert model.power_w(0.0) == 0.0
+
+
+def test_from_dbm_per_hz_roundtrip():
+    model = NoiseModel.from_dbm_per_hz(-170.0)
+    assert model.psd_dbm_per_hz() == pytest.approx(-170.0)
+
+
+def test_noise_figure_raises_effective_psd():
+    quiet = NoiseModel()
+    noisy = NoiseModel(noise_figure_db=6.0)
+    assert noisy.effective_psd_w_per_hz == pytest.approx(
+        quiet.effective_psd_w_per_hz * 10 ** 0.6
+    )
+
+
+def test_vectorised_bandwidths():
+    model = NoiseModel()
+    bw = np.array([1e5, 1e6, 1e7])
+    power = model.power_w(bw)
+    assert power.shape == (3,)
+    assert np.all(np.diff(power) > 0)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ConfigurationError):
+        NoiseModel(psd_w_per_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        NoiseModel(noise_figure_db=-1.0)
+    with pytest.raises(ValueError):
+        NoiseModel().power_w(-1.0)

@@ -1,0 +1,57 @@
+"""Tests for the log-distance path-loss model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless import LogDistancePathLoss
+
+
+def test_paper_model_at_one_kilometre():
+    model = LogDistancePathLoss()
+    # At 1 km the log term vanishes: loss equals the 128.1 dB intercept.
+    assert model.loss_db(1.0) == pytest.approx(128.1)
+
+
+def test_loss_grows_with_distance():
+    model = LogDistancePathLoss()
+    distances = np.array([0.05, 0.1, 0.25, 0.5, 1.0, 2.0])
+    losses = model.loss_db(distances)
+    assert np.all(np.diff(losses) > 0.0)
+
+
+def test_slope_is_37_6_db_per_decade():
+    model = LogDistancePathLoss()
+    assert model.loss_db(1.0) - model.loss_db(0.1) == pytest.approx(37.6)
+
+
+def test_gain_is_inverse_of_loss():
+    model = LogDistancePathLoss()
+    loss = model.loss_db(0.3)
+    assert model.gain_linear(0.3) == pytest.approx(10 ** (-loss / 10.0))
+
+
+def test_minimum_distance_clamps_the_singularity():
+    model = LogDistancePathLoss(min_distance_km=1e-3)
+    assert model.loss_db(0.0) == model.loss_db(1e-3)
+    assert np.isfinite(model.loss_db(0.0))
+
+
+def test_free_space_variant_has_20db_per_decade():
+    model = LogDistancePathLoss.free_space(frequency_ghz=2.0)
+    assert model.slope_db_per_decade == pytest.approx(20.0)
+    assert model.loss_db(1.0) < LogDistancePathLoss().loss_db(1.0)
+
+
+def test_coherence_distance_inverts_the_model():
+    model = LogDistancePathLoss()
+    target = 110.0
+    distance = model.coherence_distance_km(target)
+    assert model.loss_db(distance) == pytest.approx(target, abs=1e-9)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        LogDistancePathLoss(slope_db_per_decade=0.0)
+    with pytest.raises(ConfigurationError):
+        LogDistancePathLoss(min_distance_km=0.0)

@@ -1,0 +1,47 @@
+"""Tests for log-normal shadow fading."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless import LogNormalShadowing
+
+
+def test_samples_have_requested_std():
+    model = LogNormalShadowing(std_db=8.0, clip_sigmas=10.0)
+    draws = model.sample_db(200_000, rng=0)
+    assert np.std(draws) == pytest.approx(8.0, rel=0.02)
+    assert np.mean(draws) == pytest.approx(0.0, abs=0.1)
+
+
+def test_samples_are_clipped():
+    model = LogNormalShadowing(std_db=8.0, clip_sigmas=2.0)
+    draws = model.sample_db(100_000, rng=1)
+    assert np.max(np.abs(draws)) <= 16.0 + 1e-9
+
+
+def test_zero_std_gives_zero_shadowing():
+    model = LogNormalShadowing(std_db=0.0)
+    draws = model.sample_db(100, rng=2)
+    assert np.allclose(draws, 0.0)
+
+
+def test_linear_samples_match_db_samples():
+    model = LogNormalShadowing(std_db=8.0)
+    db = model.sample_db(50, rng=3)
+    linear = model.sample_linear(50, rng=3)
+    assert np.allclose(linear, 10.0 ** (db / 10.0))
+
+
+def test_reproducible_with_seed():
+    model = LogNormalShadowing()
+    assert np.allclose(model.sample_db(10, rng=5), model.sample_db(10, rng=5))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        LogNormalShadowing(std_db=-1.0)
+    with pytest.raises(ConfigurationError):
+        LogNormalShadowing(clip_sigmas=0.0)
+    with pytest.raises(ConfigurationError):
+        LogNormalShadowing().sample_db(0)

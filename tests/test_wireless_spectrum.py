@@ -1,0 +1,64 @@
+"""Tests for the FDMA spectrum manager."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless import BandwidthAllocation, SpectrumManager
+
+
+def test_equal_split_uses_whole_budget():
+    manager = SpectrumManager(total_bandwidth_hz=20e6)
+    allocation = manager.equal_split(10)
+    assert np.allclose(allocation.bandwidth_hz, 2e6)
+    assert allocation.used_hz == pytest.approx(20e6)
+    assert allocation.utilization == pytest.approx(1.0)
+    assert allocation.is_feasible()
+
+
+def test_half_split_matches_paper_initialisation():
+    manager = SpectrumManager(total_bandwidth_hz=20e6)
+    allocation = manager.equal_split(50, fraction=0.5)
+    assert np.allclose(allocation.bandwidth_hz, 20e6 / 100)
+    assert allocation.slack_hz == pytest.approx(10e6)
+
+
+def test_proportional_split_follows_weights():
+    manager = SpectrumManager(total_bandwidth_hz=10e6)
+    allocation = manager.proportional_split(np.array([1.0, 3.0]))
+    assert allocation.bandwidth_hz[1] == pytest.approx(3.0 * allocation.bandwidth_hz[0])
+    assert allocation.used_hz == pytest.approx(10e6)
+
+
+def test_allocate_rejects_over_budget_without_normalize():
+    manager = SpectrumManager(total_bandwidth_hz=1e6)
+    with pytest.raises(ConfigurationError):
+        manager.allocate(np.array([8e5, 8e5]))
+
+
+def test_allocate_normalizes_when_requested():
+    manager = SpectrumManager(total_bandwidth_hz=1e6)
+    allocation = manager.allocate(np.array([8e5, 8e5]), normalize=True)
+    assert allocation.used_hz == pytest.approx(1e6)
+    assert np.allclose(allocation.bandwidth_hz, 5e5)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        SpectrumManager(total_bandwidth_hz=0.0)
+    manager = SpectrumManager()
+    with pytest.raises(ConfigurationError):
+        manager.equal_split(0)
+    with pytest.raises(ConfigurationError):
+        manager.equal_split(5, fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        manager.proportional_split(np.array([0.0, 0.0]))
+    with pytest.raises(ConfigurationError):
+        manager.proportional_split(np.array([-1.0, 2.0]))
+    with pytest.raises(ConfigurationError):
+        BandwidthAllocation(bandwidth_hz=np.array([-1.0]), total_budget_hz=1e6)
+
+
+def test_allocation_feasibility_flag():
+    allocation = BandwidthAllocation(bandwidth_hz=np.array([6e5, 6e5]), total_budget_hz=1e6)
+    assert not allocation.is_feasible()

@@ -1,0 +1,57 @@
+"""Tests for device placement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless import Topology, uniform_disc_topology
+
+
+def test_uniform_disc_respects_radius_and_count():
+    topology = uniform_disc_topology(200, radius_km=0.25, rng=0)
+    assert topology.num_devices == 200
+    distances = topology.distances_km()
+    assert np.all(distances <= 0.25 + 1e-12)
+    assert np.all(distances >= 0.0)
+
+
+def test_min_distance_keeps_devices_off_the_base_station():
+    topology = uniform_disc_topology(500, radius_km=1.0, rng=1, min_distance_km=0.05)
+    assert np.all(topology.distances_km() >= 0.05 - 1e-12)
+
+
+def test_same_seed_same_drop():
+    a = uniform_disc_topology(30, rng=7)
+    b = uniform_disc_topology(30, rng=7)
+    assert np.allclose(a.positions_km, b.positions_km)
+
+
+def test_different_seed_different_drop():
+    a = uniform_disc_topology(30, rng=7)
+    b = uniform_disc_topology(30, rng=8)
+    assert not np.allclose(a.positions_km, b.positions_km)
+
+
+def test_radial_distribution_is_area_uniform():
+    # Under uniform area density, the median distance is radius / sqrt(2).
+    topology = uniform_disc_topology(20_000, radius_km=1.0, rng=3, min_distance_km=0.0)
+    median = float(np.median(topology.distances_km()))
+    assert median == pytest.approx(1.0 / np.sqrt(2.0), rel=0.03)
+
+
+def test_subset_preserves_positions():
+    topology = uniform_disc_topology(10, rng=0)
+    subset = topology.subset(np.array([1, 3, 5]))
+    assert subset.num_devices == 3
+    assert np.allclose(subset.positions_km[0], topology.positions_km[1])
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ConfigurationError):
+        uniform_disc_topology(0)
+    with pytest.raises(ConfigurationError):
+        uniform_disc_topology(5, radius_km=-1.0)
+    with pytest.raises(ConfigurationError):
+        uniform_disc_topology(5, radius_km=0.1, min_distance_km=0.2)
+    with pytest.raises(ConfigurationError):
+        Topology(positions_km=np.zeros((3, 3)))
