@@ -1,0 +1,7 @@
+"""The benchmark suite as an importable package.
+
+Being a package is what makes ``from .conftest import bench_sweep`` in the
+``test_bench_*`` modules resolve when pytest collects from the repo root —
+without it every benchmark module died at import time with "attempted
+relative import with no known parent package".
+"""

@@ -6,20 +6,38 @@ drops and coarser grids than Section VII-A, so the whole suite finishes in
 minutes — and asserts the figure's qualitative claim on the produced table.
 Pass ``--benchmark-only`` to skip the regular tests, and see EXPERIMENTS.md
 for how to run the full paper-scale sweeps.
+
+The figure sweeps run through the shared
+:class:`~repro.experiments.runner.SweepRunner`; set ``REPRO_BENCH_JOBS=N``
+to fan each benchmarked sweep out over ``N`` worker processes (the cache is
+kept off either way so the timings stay honest).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.allocator import AllocatorConfig
 from repro.experiments.base import SweepConfig
+from repro.experiments.runner import SweepRunner, set_default_runner
 
 
 def bench_sweep(num_devices: int = 20, num_trials: int = 1, **kwargs) -> SweepConfig:
     """The reduced-scale sweep shared by the benchmark configurations."""
     kwargs.setdefault("allocator", AllocatorConfig(max_iterations=8))
     return SweepConfig(num_devices=num_devices, num_trials=num_trials, **kwargs)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runner():
+    """Install the suite-wide sweep runner (serial unless REPRO_BENCH_JOBS is set)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    runner = SweepRunner(jobs=jobs, use_cache=False)
+    set_default_runner(runner)
+    yield runner
+    set_default_runner(None)
 
 
 @pytest.fixture()

@@ -10,9 +10,16 @@ Regenerate Figure 2 at the default (reduced) scale and print the table::
 
     python -m repro.cli run fig2
 
+Fan the Figure-8 sweep out over four worker processes::
+
+    python -m repro.cli run fig8 --jobs 4
+
 Regenerate Figure 8 at the full paper scale and save the rows::
 
     python -m repro.cli run fig8 --paper --output fig8.json --csv fig8.csv
+
+Repeated runs are instant thanks to the on-disk result cache (disable with
+``--no-cache``; relocate with ``--cache-dir`` or ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from typing import Sequence
 
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .experiments.results import ResultTable
+from .experiments.runner import SweepRunner, TaskOutcome, use_runner
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the full Section VII-A configuration instead of the reduced default",
     )
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (1 = serial, 0 = all CPU cores)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every task instead of reusing the on-disk result cache",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
     run.add_argument("--output", help="write the result table to this JSON file")
     run.add_argument("--csv", help="write the result rows to this CSV file")
     return parser
@@ -69,10 +95,61 @@ def _paper_config(name: str):
     return getattr(module, class_name).paper()
 
 
-def _run(name: str, *, paper: bool, output: str | None, csv: str | None) -> ResultTable:
-    runner = get_experiment(name)
-    table = runner(_paper_config(name)) if paper else runner()
+class _ProgressPrinter:
+    """One stderr status line per completed sweep task."""
+
+    def __init__(self, name: str, stream=None) -> None:
+        self.name = name
+        self.stream = stream if stream is not None else sys.stderr
+        self.cached = 0
+        self.failed = 0
+
+    def __call__(self, done: int, total: int, outcome: TaskOutcome) -> None:
+        self.cached += outcome.cached
+        self.failed += outcome.error is not None
+        detail = f" ({self.cached} cached, {self.failed} failed)" if self.cached or self.failed else ""
+        end = "\n" if done == total else "\r"
+        print(f"[{self.name}] {done}/{total} tasks{detail}", end=end, file=self.stream, flush=True)
+
+
+def _make_runner(name: str, args: argparse.Namespace) -> SweepRunner:
+    return SweepRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=_ProgressPrinter(name),
+    )
+
+
+def _run(
+    name: str,
+    *,
+    paper: bool,
+    output: str | None,
+    csv: str | None,
+    runner: SweepRunner | None = None,
+) -> ResultTable:
+    experiment = get_experiment(name)
+    config = _paper_config(name) if paper else None
+    if runner is None:
+        table = experiment(config) if config is not None else experiment()
+    else:
+        # Install the configured runner as the ambient default so experiment
+        # callables that predate the ``runner=`` keyword still pick it up.
+        with use_runner(runner):
+            table = experiment(config) if config is not None else experiment()
+        stats = runner.last_stats
+        if stats.total:
+            print(
+                f"[{name}] {stats.total} tasks in {stats.elapsed_s:.1f}s "
+                f"({stats.cache_hits} cached, {stats.failed} failed, "
+                f"jobs={runner.jobs})",
+                file=sys.stderr,
+            )
     print(table.to_markdown())
+    if table.errors:
+        print(f"\n{len(table.errors)} grid point(s) recorded failures; "
+              "see the table metadata for messages.", file=sys.stderr)
     if output:
         table.to_json(output)
         print(f"\nwrote {output}")
@@ -83,7 +160,7 @@ def _run(name: str, *, paper: bool, output: str | None, csv: str | None) -> Resu
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point used by ``python -m repro.cli``."""
+    """Entry point used by ``python -m repro.cli`` and the ``repro`` script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -91,7 +168,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        _run(args.experiment, paper=args.paper, output=args.output, csv=args.csv)
+        _run(
+            args.experiment,
+            paper=args.paper,
+            output=args.output,
+            csv=args.csv,
+            runner=_make_runner(args.experiment, args),
+        )
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

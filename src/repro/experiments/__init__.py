@@ -12,10 +12,25 @@ and EXPERIMENTS.md for the paper-versus-measured comparison.
 
 from .base import (
     PAPER_WEIGHT_PAIRS,
+    GridPoint,
     SweepConfig,
     average_metrics,
+    baseline_tasks,
+    proposed_tasks,
+    run_sweep,
     solve_baseline,
     solve_proposed,
+)
+from .runner import (
+    SweepCache,
+    SweepRunner,
+    SweepStats,
+    SweepTask,
+    TaskOutcome,
+    register_solver_kind,
+    set_default_runner,
+    task_hash,
+    use_runner,
 )
 from .fig2 import Fig2Config, run_fig2
 from .fig3 import Fig3Config, run_fig3
@@ -32,10 +47,23 @@ from .results import ResultTable
 
 __all__ = [
     "PAPER_WEIGHT_PAIRS",
+    "GridPoint",
     "SweepConfig",
+    "SweepCache",
+    "SweepRunner",
+    "SweepStats",
+    "SweepTask",
+    "TaskOutcome",
     "average_metrics",
+    "baseline_tasks",
+    "proposed_tasks",
+    "register_solver_kind",
+    "run_sweep",
+    "set_default_runner",
     "solve_baseline",
     "solve_proposed",
+    "task_hash",
+    "use_runner",
     "Fig2Config",
     "run_fig2",
     "Fig3Config",

@@ -8,23 +8,30 @@ random drops:
 * the damping base ``xi`` of the Newton-like update in Algorithm 1;
 * the initial-point strategy of Algorithm 2 (equal split vs delay-min);
 * the SP2_v2 solver (closed-form KKT vs numeric dual decomposition).
+
+The SP2-agreement measurement is not an Algorithm-2 run, so it plugs into
+the sweep engine as its own registered solver kind (``"sp2_agreement"``)
+rather than going through the ``"proposed"`` kind.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 import numpy as np
 
-from ..core.allocator import AllocatorConfig
 from ..core.problem import JointProblem, ProblemWeights
 from ..core.subproblem1 import solve_subproblem1
 from ..core.subproblem2 import solve_sp2_v2, solve_sp2_v2_numeric
 from ..core.sum_of_ratios import SumOfRatiosConfig
-from .base import SweepConfig, average_metrics, solve_proposed
+from .base import SweepConfig, add_grid_row, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask, register_solver_kind
 
 __all__ = ["AblationConfig", "run_ablation"]
+
+_METRICS = {"objective": "objective", "energy_j": "energy_j", "time_s": "completion_time_s"}
 
 
 @dataclass(frozen=True)
@@ -40,9 +47,42 @@ class AblationConfig:
         """A larger-scale ablation at the paper's device count."""
         return cls(sweep=SweepConfig(num_devices=50, num_trials=10))
 
+    def variants(self) -> list[tuple[str, str, SweepConfig]]:
+        """Every (variant, setting, sweep-with-that-allocator) combination."""
+        sweep = self.sweep
+        variants: list[tuple[str, str, SweepConfig]] = []
+        for method in ("primal", "dual"):
+            allocator = replace(sweep.allocator, subproblem1_method=method)
+            variants.append(("subproblem1", method, replace(sweep, allocator=allocator)))
+        for xi in self.damping_values:
+            allocator = replace(sweep.allocator, sum_of_ratios=SumOfRatiosConfig(damping_xi=xi))
+            variants.append(("damping_xi", f"{xi:g}", replace(sweep, allocator=allocator)))
+        for strategy in ("equal", "delay_min"):
+            allocator = replace(sweep.allocator, initial_strategy=strategy)
+            variants.append(("initialisation", strategy, replace(sweep, allocator=allocator)))
+        return variants
 
-def _sp2_solver_agreement(system, energy_weight: float) -> dict[str, float]:
+    def tasks(self) -> list[SweepTask]:
+        """The full (variant × trial) task list of the ablation."""
+        tasks: list[SweepTask] = []
+        for variant, setting, sweep in self.variants():
+            tasks += proposed_tasks((variant, setting), sweep, self.energy_weight)
+        tasks += [
+            SweepTask(
+                key=("sp2_solver", "kkt_vs_numeric"),
+                scenario=self.sweep.scenario_params(seed=seed),
+                solver_kind="sp2_agreement",
+                solver_params={"energy_weight": self.energy_weight},
+            )
+            for seed in self.sweep.trial_seeds()
+        ]
+        return tasks
+
+
+@register_solver_kind("sp2_agreement")
+def _sp2_solver_agreement(system, params: Mapping[str, Any]) -> dict[str, float]:
     """Objective gap between the closed-form and numeric SP2_v2 solvers."""
+    energy_weight = params["energy_weight"]
     problem = JointProblem(system, ProblemWeights.from_energy_weight(energy_weight))
     allocation = problem.initial_allocation(bandwidth_fraction=0.5)
     upload = system.upload_time_s(allocation.power_w, allocation.bandwidth_hz)
@@ -61,71 +101,33 @@ def _sp2_solver_agreement(system, energy_weight: float) -> dict[str, float]:
     }
 
 
-def run_ablation(config: AblationConfig | None = None) -> ResultTable:
+def run_ablation(
+    config: AblationConfig | None = None, *, runner: SweepRunner | None = None
+) -> ResultTable:
     """Run the ablation grid and collect the weighted objectives."""
     config = config or AblationConfig()
-    sweep = config.sweep
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="ablation",
         columns=["variant", "setting", "objective", "energy_j", "time_s"],
         metadata={"experiment": "ablation", "w1": config.energy_weight},
     )
-
-    def run_with(allocator: AllocatorConfig) -> dict[str, float]:
-        metrics = []
-        for trial in range(sweep.num_trials):
-            system = sweep.scenario(seed=sweep.base_seed + trial)
-            result = solve_proposed(system, config.energy_weight, allocator_config=allocator)
-            metrics.append(result.summary())
-        return average_metrics(metrics)
-
-    # Subproblem-1 solver.
-    for method in ("primal", "dual"):
-        averaged = run_with(replace(sweep.allocator, subproblem1_method=method))
-        table.add_row(
-            variant="subproblem1",
-            setting=method,
-            objective=averaged["objective"],
-            energy_j=averaged["energy_j"],
-            time_s=averaged["completion_time_s"],
-        )
-
-    # Damping base of the Newton-like update.
-    for xi in config.damping_values:
-        allocator = replace(
-            sweep.allocator, sum_of_ratios=SumOfRatiosConfig(damping_xi=xi)
-        )
-        averaged = run_with(allocator)
-        table.add_row(
-            variant="damping_xi",
-            setting=f"{xi:g}",
-            objective=averaged["objective"],
-            energy_j=averaged["energy_j"],
-            time_s=averaged["completion_time_s"],
-        )
-
-    # Initial-point strategy.
-    for strategy in ("equal", "delay_min"):
-        averaged = run_with(replace(sweep.allocator, initial_strategy=strategy))
-        table.add_row(
-            variant="initialisation",
-            setting=strategy,
-            objective=averaged["objective"],
-            energy_j=averaged["energy_j"],
-            time_s=averaged["completion_time_s"],
-        )
+    for variant, setting, _sweep in config.variants():
+        add_grid_row(table, points[(variant, setting)], _METRICS, variant=variant, setting=setting)
 
     # Agreement between the two SP2_v2 solvers (reported as objectives).
-    gaps = []
-    for trial in range(sweep.num_trials):
-        system = sweep.scenario(seed=sweep.base_seed + trial)
-        gaps.append(_sp2_solver_agreement(system, config.energy_weight))
-    averaged_gap = average_metrics(gaps)
-    table.add_row(
-        variant="sp2_solver",
-        setting="kkt_vs_numeric",
-        objective=float(np.abs(averaged_gap["relative_gap"])),
-        energy_j=averaged_gap["kkt_objective"],
-        time_s=averaged_gap["numeric_objective"],
-    )
+    gap_point = points[("sp2_solver", "kkt_vs_numeric")]
+    if gap_point.ok:
+        if gap_point.failures:
+            table.add_error(gap_point.key, gap_point.errors)
+        averaged_gap = gap_point.metrics
+        table.add_row(
+            variant="sp2_solver",
+            setting="kkt_vs_numeric",
+            objective=float(np.abs(averaged_gap["relative_gap"])),
+            energy_j=averaged_gap["kkt_objective"],
+            time_s=averaged_gap["numeric_objective"],
+        )
+    else:
+        add_grid_row(table, gap_point, _METRICS, variant="sp2_solver", setting="kkt_vs_numeric")
     return table

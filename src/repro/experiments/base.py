@@ -1,14 +1,18 @@
 """Shared machinery for the per-figure experiment runners.
 
-The paper evaluates every scheme on random user drops and reports averages;
-this module provides the drop/solve/average loop so each ``figN`` module
-only has to declare its sweep grid and the schemes to compare.
+The paper evaluates every scheme on random user drops and reports averages.
+Each ``figN`` module declares its sweep grid as a flat list of
+:class:`~repro.experiments.runner.SweepTask` (one per grid point × trial),
+hands the list to a :class:`~repro.experiments.runner.SweepRunner` — which
+executes it serially or over a process pool, with caching and per-task crash
+isolation — and folds the outcomes back into a
+:class:`~repro.experiments.results.ResultTable` with the helpers here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -18,13 +22,21 @@ from ..core.problem import JointProblem, ProblemWeights
 from ..baselines.registry import get_baseline
 from ..scenario import ScenarioConfig, build_scenario
 from ..system import SystemModel
+from .results import ResultTable
+from .runner import SweepRunner, SweepTask, TaskOutcome, get_active_runner
 
 __all__ = [
+    "DEFAULT_METRICS",
     "PAPER_WEIGHT_PAIRS",
     "SweepConfig",
+    "GridPoint",
     "average_metrics",
     "solve_proposed",
     "solve_baseline",
+    "proposed_tasks",
+    "baseline_tasks",
+    "run_sweep",
+    "add_grid_row",
     "sweep_scenarios",
 ]
 
@@ -52,8 +64,8 @@ class SweepConfig:
     max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ
     allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
 
-    def scenario(self, *, seed: int, **overrides: Any) -> SystemModel:
-        """Build one random drop with this sweep's shared parameters."""
+    def scenario_params(self, *, seed: int, **overrides: Any) -> dict[str, Any]:
+        """The :class:`ScenarioConfig` keyword arguments of one random drop."""
         params: dict[str, Any] = {
             "num_devices": self.num_devices,
             "radius_km": self.radius_km,
@@ -64,7 +76,15 @@ class SweepConfig:
             "seed": seed,
         }
         params.update(overrides)
-        return build_scenario(ScenarioConfig(**params))
+        return params
+
+    def scenario(self, *, seed: int, **overrides: Any) -> SystemModel:
+        """Build one random drop with this sweep's shared parameters."""
+        return build_scenario(ScenarioConfig(**self.scenario_params(seed=seed, **overrides)))
+
+    def trial_seeds(self) -> tuple[int, ...]:
+        """The deterministic per-trial seeds (``base_seed + trial``)."""
+        return tuple(self.base_seed + trial for trial in range(self.num_trials))
 
 
 def solve_proposed(
@@ -103,15 +123,161 @@ def average_metrics(results: list[Mapping[str, float]]) -> dict[str, float]:
     return {key: float(np.mean([r[key] for r in results])) for key in keys}
 
 
+# -- task construction -------------------------------------------------------
+
+def proposed_tasks(
+    key: tuple,
+    sweep: SweepConfig,
+    energy_weight: float,
+    *,
+    deadline_s: float | None = None,
+    **scenario_overrides: Any,
+) -> list[SweepTask]:
+    """One ``"proposed"`` task per trial of ``sweep`` for this grid point."""
+    return [
+        SweepTask(
+            key=key,
+            scenario=sweep.scenario_params(seed=seed, **scenario_overrides),
+            solver_kind="proposed",
+            solver_params={
+                "energy_weight": energy_weight,
+                "deadline_s": deadline_s,
+                "allocator": sweep.allocator,
+            },
+        )
+        for seed in sweep.trial_seeds()
+    ]
+
+
+def baseline_tasks(
+    key: tuple,
+    sweep: SweepConfig,
+    name: str,
+    energy_weight: float,
+    *,
+    deadline_s: float | None = None,
+    solver_kwargs: Mapping[str, Any] | None = None,
+    seed_rng_kwarg: str | None = None,
+    **scenario_overrides: Any,
+) -> list[SweepTask]:
+    """One ``"baseline"`` task per trial of ``sweep`` for this grid point.
+
+    ``seed_rng_kwarg`` names a baseline keyword argument to fill with the
+    trial seed (the random benchmark takes its RNG that way), keeping the
+    per-trial randomness deterministic under any execution order.
+    """
+    tasks = []
+    for seed in sweep.trial_seeds():
+        kwargs = dict(solver_kwargs or {})
+        if seed_rng_kwarg is not None:
+            kwargs[seed_rng_kwarg] = seed
+        tasks.append(
+            SweepTask(
+                key=key,
+                scenario=sweep.scenario_params(seed=seed, **scenario_overrides),
+                solver_kind="baseline",
+                solver_params={
+                    "name": name,
+                    "energy_weight": energy_weight,
+                    "deadline_s": deadline_s,
+                    "kwargs": kwargs,
+                },
+            )
+        )
+    return tasks
+
+
+# -- aggregation -------------------------------------------------------------
+
+#: The column -> summary-metric mapping shared by the energy/delay figures.
+DEFAULT_METRICS: Mapping[str, str] = {
+    "energy_j": "energy_j",
+    "time_s": "completion_time_s",
+    "objective": "objective",
+}
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """The aggregate of every trial sharing one task key."""
+
+    key: tuple
+    metrics: dict[str, float] | None
+    trials: int
+    failures: int
+    errors: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    *,
+    runner: SweepRunner | None = None,
+) -> dict[tuple, GridPoint]:
+    """Execute ``tasks`` and average the outcomes per grid-point key.
+
+    Trials are averaged in task order, so the aggregate is identical whether
+    the runner executed serially or over a process pool.  Failed trials are
+    excluded from the average; a grid point whose every trial failed gets
+    ``metrics=None`` and shows up as an error row in the tables.
+    """
+    outcomes = get_active_runner(runner).run(tasks)
+    grouped: dict[tuple, list[TaskOutcome]] = {}
+    for outcome in outcomes:
+        grouped.setdefault(outcome.task.key, []).append(outcome)
+    points: dict[tuple, GridPoint] = {}
+    for key, group in grouped.items():
+        successes = [dict(o.metrics) for o in group if o.ok]
+        errors = tuple(o.error for o in group if o.error is not None)
+        points[key] = GridPoint(
+            key=key,
+            metrics=average_metrics(successes) if successes else None,
+            trials=len(group),
+            failures=len(group) - len(successes),
+            errors=errors,
+        )
+    return points
+
+
+def add_grid_row(
+    table: ResultTable,
+    point: GridPoint,
+    metric_columns: Mapping[str, str],
+    **fixed: Any,
+) -> None:
+    """Append one table row for ``point``.
+
+    ``metric_columns`` maps table columns to keys of the averaged metrics
+    (e.g. ``{"time_s": "completion_time_s"}``).  If every trial of the grid
+    point failed, the metric columns are filled with NaN and the error
+    messages are recorded in the table metadata — the sweep keeps its full
+    shape instead of dying on one bad drop.
+    """
+    if point.ok:
+        values = {column: point.metrics[source] for column, source in metric_columns.items()}
+    else:
+        values = {column: float("nan") for column in metric_columns}
+    if point.failures:
+        table.add_error(point.key, point.errors)
+    table.add_row(**fixed, **values)
+
+
 def sweep_scenarios(
     config: SweepConfig,
     solve: Callable[[SystemModel, int], Mapping[str, float]],
     **scenario_overrides: Any,
 ) -> dict[str, float]:
-    """Average ``solve(system, trial_seed)`` over the configured random drops."""
+    """Average ``solve(system, trial_seed)`` over the configured random drops.
+
+    This is the in-process escape hatch for ad-hoc callables that cannot be
+    expressed as a registered solver kind; the figure runners all go through
+    :func:`run_sweep` instead.
+    """
     metrics = []
-    for trial in range(config.num_trials):
-        seed = config.base_seed + trial
+    for seed in config.trial_seeds():
         system = config.scenario(seed=seed, **scenario_overrides)
         metrics.append(dict(solve(system, seed)))
     return average_metrics(metrics)

@@ -11,8 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .base import PAPER_WEIGHT_PAIRS, SweepConfig, average_metrics, solve_baseline, solve_proposed
+from .base import (
+    DEFAULT_METRICS,
+    PAPER_WEIGHT_PAIRS,
+    SweepConfig,
+    add_grid_row,
+    baseline_tasks,
+    proposed_tasks,
+    run_sweep,
+)
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig2Config", "run_fig2"]
 
@@ -34,49 +43,53 @@ class Fig2Config:
             max_power_dbm_grid=(5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for p_max_dbm in self.max_power_dbm_grid:
+            sweep = replace(self.sweep, max_power_dbm=p_max_dbm)
+            for w1, _w2 in self.weight_pairs:
+                tasks += proposed_tasks(("proposed", p_max_dbm, w1), sweep, w1)
+            if self.include_benchmark:
+                tasks += baseline_tasks(
+                    ("benchmark", p_max_dbm),
+                    sweep,
+                    "benchmark",
+                    0.5,
+                    solver_kwargs={"randomize": "frequency"},
+                    seed_rng_kwarg="rng",
+                )
+        return tasks
 
-def run_fig2(config: Fig2Config | None = None) -> ResultTable:
+
+def run_fig2(config: Fig2Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-2 series."""
     config = config or Fig2Config()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig2",
         columns=["max_power_dbm", "scheme", "w1", "w2", "energy_j", "time_s", "objective"],
         metadata={"figure": "2", "x_axis": "max_power_dbm"},
     )
     for p_max_dbm in config.max_power_dbm_grid:
-        sweep = replace(config.sweep, max_power_dbm=p_max_dbm)
         for w1, w2 in config.weight_pairs:
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                result = solve_proposed(system, w1, allocator_config=sweep.allocator)
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[("proposed", p_max_dbm, w1)],
+                DEFAULT_METRICS,
                 max_power_dbm=p_max_dbm,
                 scheme="proposed",
                 w1=w1,
                 w2=w2,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
         if config.include_benchmark:
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                result = solve_baseline(
-                    "benchmark", system, 0.5, randomize="frequency", rng=sweep.base_seed + trial
-                )
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[("benchmark", p_max_dbm)],
+                DEFAULT_METRICS,
                 max_power_dbm=p_max_dbm,
                 scheme="benchmark",
                 w1=0.5,
                 w2=0.5,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
     return table

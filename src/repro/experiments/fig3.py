@@ -10,8 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .base import PAPER_WEIGHT_PAIRS, SweepConfig, average_metrics, solve_baseline, solve_proposed
+from .base import (
+    DEFAULT_METRICS,
+    PAPER_WEIGHT_PAIRS,
+    SweepConfig,
+    add_grid_row,
+    baseline_tasks,
+    proposed_tasks,
+    run_sweep,
+)
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig3Config", "run_fig3"]
 
@@ -33,49 +42,53 @@ class Fig3Config:
             max_frequency_ghz_grid=(0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for f_max_ghz in self.max_frequency_ghz_grid:
+            sweep = replace(self.sweep, max_frequency_hz=f_max_ghz * 1e9)
+            for w1, _w2 in self.weight_pairs:
+                tasks += proposed_tasks(("proposed", f_max_ghz, w1), sweep, w1)
+            if self.include_benchmark:
+                tasks += baseline_tasks(
+                    ("benchmark", f_max_ghz),
+                    sweep,
+                    "benchmark",
+                    0.5,
+                    solver_kwargs={"randomize": "power"},
+                    seed_rng_kwarg="rng",
+                )
+        return tasks
 
-def run_fig3(config: Fig3Config | None = None) -> ResultTable:
+
+def run_fig3(config: Fig3Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-3 series."""
     config = config or Fig3Config()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig3",
         columns=["max_frequency_ghz", "scheme", "w1", "w2", "energy_j", "time_s", "objective"],
         metadata={"figure": "3", "x_axis": "max_frequency_ghz"},
     )
     for f_max_ghz in config.max_frequency_ghz_grid:
-        sweep = replace(config.sweep, max_frequency_hz=f_max_ghz * 1e9)
         for w1, w2 in config.weight_pairs:
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                result = solve_proposed(system, w1, allocator_config=sweep.allocator)
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[("proposed", f_max_ghz, w1)],
+                DEFAULT_METRICS,
                 max_frequency_ghz=f_max_ghz,
                 scheme="proposed",
                 w1=w1,
                 w2=w2,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
         if config.include_benchmark:
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                result = solve_baseline(
-                    "benchmark", system, 0.5, randomize="power", rng=sweep.base_seed + trial
-                )
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[("benchmark", f_max_ghz)],
+                DEFAULT_METRICS,
                 max_frequency_ghz=f_max_ghz,
                 scheme="benchmark",
                 w1=0.5,
                 w2=0.5,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
     return table

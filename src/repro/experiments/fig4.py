@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .base import PAPER_WEIGHT_PAIRS, SweepConfig, average_metrics, solve_proposed
+from .base import DEFAULT_METRICS, PAPER_WEIGHT_PAIRS, SweepConfig, add_grid_row, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig4Config", "run_fig4"]
 
@@ -33,35 +34,40 @@ class Fig4Config:
             num_devices_grid=(20, 30, 40, 50, 60, 70, 80),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for num_devices in self.num_devices_grid:
+            sweep = replace(self.sweep, num_devices=num_devices)
+            for w1, _w2 in self.weight_pairs:
+                tasks += proposed_tasks(
+                    ("proposed", num_devices, w1),
+                    sweep,
+                    w1,
+                    samples_per_device=None,
+                    total_samples=self.total_samples,
+                )
+        return tasks
 
-def run_fig4(config: Fig4Config | None = None) -> ResultTable:
+
+def run_fig4(config: Fig4Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-4 series."""
     config = config or Fig4Config()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig4",
         columns=["num_devices", "scheme", "w1", "w2", "energy_j", "time_s", "objective"],
         metadata={"figure": "4", "x_axis": "num_devices", "total_samples": config.total_samples},
     )
     for num_devices in config.num_devices_grid:
-        sweep = replace(config.sweep, num_devices=num_devices)
         for w1, w2 in config.weight_pairs:
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(
-                    seed=sweep.base_seed + trial,
-                    samples_per_device=None,
-                    total_samples=config.total_samples,
-                )
-                result = solve_proposed(system, w1, allocator_config=sweep.allocator)
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[("proposed", num_devices, w1)],
+                DEFAULT_METRICS,
                 num_devices=num_devices,
                 scheme="proposed",
                 w1=w1,
                 w2=w2,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
     return table

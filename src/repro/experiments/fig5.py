@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .base import SweepConfig, average_metrics, solve_proposed
+from .base import DEFAULT_METRICS, SweepConfig, add_grid_row, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig5Config", "run_fig5"]
 
@@ -34,10 +35,20 @@ class Fig5Config:
             radius_km_grid=(0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for radius_km in self.radius_km_grid:
+            for num_devices in self.num_devices_grid:
+                sweep = replace(self.sweep, radius_km=radius_km, num_devices=num_devices)
+                tasks += proposed_tasks((radius_km, num_devices), sweep, self.energy_weight)
+        return tasks
 
-def run_fig5(config: Fig5Config | None = None) -> ResultTable:
+
+def run_fig5(config: Fig5Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-5 series."""
     config = config or Fig5Config()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig5",
         columns=["radius_km", "num_devices", "energy_j", "time_s", "objective"],
@@ -45,20 +56,11 @@ def run_fig5(config: Fig5Config | None = None) -> ResultTable:
     )
     for radius_km in config.radius_km_grid:
         for num_devices in config.num_devices_grid:
-            sweep = replace(config.sweep, radius_km=radius_km, num_devices=num_devices)
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                result = solve_proposed(
-                    system, config.energy_weight, allocator_config=sweep.allocator
-                )
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[(radius_km, num_devices)],
+                DEFAULT_METRICS,
                 radius_km=radius_km,
                 num_devices=num_devices,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
     return table

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .base import SweepConfig, average_metrics, solve_proposed
+from .base import DEFAULT_METRICS, SweepConfig, add_grid_row, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig6Config", "run_fig6"]
 
@@ -34,10 +35,26 @@ class Fig6Config:
             global_rounds_grid=(50, 100, 200, 300, 400),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for global_rounds in self.global_rounds_grid:
+            for local_iterations in self.local_iterations_grid:
+                sweep = replace(
+                    self.sweep,
+                    local_iterations=local_iterations,
+                    global_rounds=global_rounds,
+                )
+                tasks += proposed_tasks(
+                    (global_rounds, local_iterations), sweep, self.energy_weight
+                )
+        return tasks
 
-def run_fig6(config: Fig6Config | None = None) -> ResultTable:
+
+def run_fig6(config: Fig6Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-6 series."""
     config = config or Fig6Config()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig6",
         columns=["local_iterations", "global_rounds", "energy_j", "time_s", "objective"],
@@ -45,24 +62,11 @@ def run_fig6(config: Fig6Config | None = None) -> ResultTable:
     )
     for global_rounds in config.global_rounds_grid:
         for local_iterations in config.local_iterations_grid:
-            sweep = replace(
-                config.sweep,
+            add_grid_row(
+                table,
+                points[(global_rounds, local_iterations)],
+                DEFAULT_METRICS,
                 local_iterations=local_iterations,
                 global_rounds=global_rounds,
-            )
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                result = solve_proposed(
-                    system, config.energy_weight, allocator_config=sweep.allocator
-                )
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
-                local_iterations=local_iterations,
-                global_rounds=global_rounds,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                objective=averaged["objective"],
             )
     return table

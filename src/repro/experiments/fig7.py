@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .base import SweepConfig, average_metrics, solve_baseline, solve_proposed
+from .base import SweepConfig, add_grid_row, baseline_tasks, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig7Config", "run_fig7"]
+
+_METRICS = {"energy_j": "energy_j", "time_s": "completion_time_s", "feasible": "feasible"}
 
 
 @dataclass(frozen=True)
@@ -37,11 +40,23 @@ class Fig7Config:
             deadline_s_grid=(100.0, 110.0, 120.0, 130.0, 140.0, 150.0),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for deadline in self.deadline_s_grid:
+            for scheme in self.schemes:
+                key = (deadline, scheme)
+                if scheme == "proposed":
+                    tasks += proposed_tasks(key, self.sweep, 1.0, deadline_s=deadline)
+                else:
+                    tasks += baseline_tasks(key, self.sweep, scheme, 1.0, deadline_s=deadline)
+        return tasks
 
-def run_fig7(config: Fig7Config | None = None) -> ResultTable:
+
+def run_fig7(config: Fig7Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-7 series."""
     config = config or Fig7Config()
-    sweep = config.sweep
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig7",
         columns=["deadline_s", "scheme", "energy_j", "time_s", "feasible"],
@@ -49,22 +64,11 @@ def run_fig7(config: Fig7Config | None = None) -> ResultTable:
     )
     for deadline in config.deadline_s_grid:
         for scheme in config.schemes:
-            metrics = []
-            for trial in range(sweep.num_trials):
-                system = sweep.scenario(seed=sweep.base_seed + trial)
-                if scheme == "proposed":
-                    result = solve_proposed(
-                        system, 1.0, deadline_s=deadline, allocator_config=sweep.allocator
-                    )
-                else:
-                    result = solve_baseline(scheme, system, 1.0, deadline_s=deadline)
-                metrics.append(result.summary())
-            averaged = average_metrics(metrics)
-            table.add_row(
+            add_grid_row(
+                table,
+                points[(deadline, scheme)],
+                _METRICS,
                 deadline_s=deadline,
                 scheme=scheme,
-                energy_j=averaged["energy_j"],
-                time_s=averaged["completion_time_s"],
-                feasible=averaged["feasible"],
             )
     return table

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .base import SweepConfig, average_metrics, solve_baseline, solve_proposed
+from .base import SweepConfig, add_grid_row, baseline_tasks, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["Fig8Config", "run_fig8"]
+
+_METRICS = {"energy_j": "energy_j", "feasible": "feasible"}
 
 
 @dataclass(frozen=True)
@@ -32,10 +35,23 @@ class Fig8Config:
             max_power_dbm_grid=(5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for deadline in self.deadline_s_grid:
+            for p_max_dbm in self.max_power_dbm_grid:
+                sweep = replace(self.sweep, max_power_dbm=p_max_dbm)
+                key = (deadline, p_max_dbm, "proposed")
+                tasks += proposed_tasks(key, sweep, 1.0, deadline_s=deadline)
+                key = (deadline, p_max_dbm, "scheme1")
+                tasks += baseline_tasks(key, sweep, "scheme1", 1.0, deadline_s=deadline)
+        return tasks
 
-def run_fig8(config: Fig8Config | None = None) -> ResultTable:
+
+def run_fig8(config: Fig8Config | None = None, *, runner: SweepRunner | None = None) -> ResultTable:
     """Regenerate the Figure-8 series."""
     config = config or Fig8Config()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="fig8",
         columns=["max_power_dbm", "deadline_s", "scheme", "energy_j", "feasible"],
@@ -43,24 +59,13 @@ def run_fig8(config: Fig8Config | None = None) -> ResultTable:
     )
     for deadline in config.deadline_s_grid:
         for p_max_dbm in config.max_power_dbm_grid:
-            sweep = replace(config.sweep, max_power_dbm=p_max_dbm)
             for scheme in ("proposed", "scheme1"):
-                metrics = []
-                for trial in range(sweep.num_trials):
-                    system = sweep.scenario(seed=sweep.base_seed + trial)
-                    if scheme == "proposed":
-                        result = solve_proposed(
-                            system, 1.0, deadline_s=deadline, allocator_config=sweep.allocator
-                        )
-                    else:
-                        result = solve_baseline(scheme, system, 1.0, deadline_s=deadline)
-                    metrics.append(result.summary())
-                averaged = average_metrics(metrics)
-                table.add_row(
+                add_grid_row(
+                    table,
+                    points[(deadline, p_max_dbm, scheme)],
+                    _METRICS,
                     max_power_dbm=p_max_dbm,
                     deadline_s=deadline,
                     scheme=scheme,
-                    energy_j=averaged["energy_j"],
-                    feasible=averaged["feasible"],
                 )
     return table

@@ -2,7 +2,13 @@
 
 ``run_experiment("fig2")`` regenerates the Figure-2 table with the default
 (scaled-down) configuration; passing a config object switches to any other
-setting, e.g. ``run_experiment("fig2", Fig2Config.paper())``.
+setting, e.g. ``run_experiment("fig2", Fig2Config.paper())``, and passing a
+configured :class:`~repro.experiments.runner.SweepRunner` parallelises the
+sweep: ``run_experiment("fig2", runner=SweepRunner(jobs=4))``.
+
+Importing this module also pulls in every experiment module, which is how
+their custom solver kinds (e.g. the ablation's ``"sp2_agreement"``) get
+registered inside sweep worker processes.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .fig8 import run_fig8
 from .results import ResultTable
+from .runner import SweepRunner
 from .samples import run_samples_sweep
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
@@ -48,9 +55,17 @@ def get_experiment(name: str) -> ExperimentFn:
         raise ConfigurationError(f"unknown experiment {name!r}; known: {known}") from exc
 
 
-def run_experiment(name: str, config: Any | None = None) -> ResultTable:
-    """Run an experiment by name with an optional configuration object."""
-    runner = get_experiment(name)
+def run_experiment(
+    name: str,
+    config: Any | None = None,
+    *,
+    runner: SweepRunner | None = None,
+) -> ResultTable:
+    """Run an experiment by name with an optional configuration and runner."""
+    experiment = get_experiment(name)
+    kwargs: dict[str, Any] = {}
+    if runner is not None:
+        kwargs["runner"] = runner
     if config is None:
-        return runner()
-    return runner(config)
+        return experiment(**kwargs)
+    return experiment(config, **kwargs)

@@ -35,6 +35,23 @@ class ResultTable:
             raise ValueError(f"row has unknown columns {extra}")
         self.rows.append({c: values[c] for c in self.columns})
 
+    def add_error(self, key: Any, messages: Iterable[str]) -> None:
+        """Record failed sweep trials for one grid point in the metadata.
+
+        Error rows keep the table's shape when a drop crashes: the row itself
+        carries NaN metrics (see the experiment runners) and this entry keeps
+        the failure messages inspectable and serialisable.
+        """
+        self.metadata.setdefault("errors", []).append(
+            {"key": list(key) if isinstance(key, (list, tuple)) else key,
+             "messages": list(messages)}
+        )
+
+    @property
+    def errors(self) -> list[dict[str, Any]]:
+        """Failure records appended by :meth:`add_error` (empty if none)."""
+        return list(self.metadata.get("errors", []))
+
     def __len__(self) -> int:
         return len(self.rows)
 

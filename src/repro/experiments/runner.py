@@ -1,0 +1,437 @@
+"""The parallel sweep engine behind every experiment runner.
+
+The paper's evaluation is a large grid of independent allocator solves —
+(grid point × random drop) — and nothing in one solve depends on another.
+This module turns that structure into an explicit task list and executes it
+through a pluggable :class:`SweepRunner`:
+
+* a **task** (:class:`SweepTask`) is pure data — the scenario recipe, the
+  solver kind and its parameters — so it can be hashed, cached and shipped
+  to a worker process;
+* **solver kinds** live in a registry (:func:`register_solver_kind`), so an
+  experiment can plug in a custom metric function without the engine
+  knowing about it (the built-in kinds are ``"proposed"`` and
+  ``"baseline"``);
+* the runner fans tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``jobs > 1``) or runs them inline (``jobs == 1``), with **deterministic
+  seeding** (the seed is part of the task, so serial and parallel runs
+  produce bit-identical tables), **crash isolation** (a failing task becomes
+  an error outcome instead of killing the sweep) and optional **progress
+  reporting**;
+* successful results are stored in an **on-disk JSON cache** keyed by a
+  SHA-256 hash of the task's canonical payload, so repeating a sweep with an
+  unchanged configuration is instant and changing any knob invalidates
+  exactly the affected tasks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import os
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.registry import get_baseline
+from ..core.allocator import AllocatorConfig, ResourceAllocator
+from ..core.problem import JointProblem, ProblemWeights
+from ..scenario import ScenarioConfig, build_scenario
+from ..system import SystemModel
+
+__all__ = [
+    "SweepTask",
+    "TaskOutcome",
+    "SweepStats",
+    "SweepCache",
+    "SweepRunner",
+    "register_solver_kind",
+    "solver_kinds",
+    "execute_task",
+    "task_hash",
+    "default_cache_dir",
+    "get_active_runner",
+    "set_default_runner",
+    "use_runner",
+]
+
+#: Bump to invalidate every cached result (e.g. if the metric schema changes).
+CACHE_VERSION = 1
+
+SolverFn = Callable[[SystemModel, Mapping[str, Any]], Mapping[str, float]]
+
+_SOLVER_KINDS: dict[str, SolverFn] = {}
+
+
+def register_solver_kind(name: str) -> Callable[[SolverFn], SolverFn]:
+    """Register ``fn(system, params) -> metrics`` under ``name``.
+
+    The registry is what keeps the engine pluggable: experiments declare the
+    *name* of the computation in their tasks and the worker looks the
+    function up at execution time, so task objects stay pure data.
+    """
+
+    def decorator(fn: SolverFn) -> SolverFn:
+        _SOLVER_KINDS[name] = fn
+        return fn
+
+    return decorator
+
+
+def solver_kinds() -> tuple[str, ...]:
+    """The currently registered solver-kind names."""
+    return tuple(sorted(_SOLVER_KINDS))
+
+
+def _resolve_solver(name: str) -> SolverFn:
+    if name not in _SOLVER_KINDS:
+        # Experiment modules register extra kinds at import time; a worker
+        # process may not have imported them yet, so pull in the full
+        # experiment registry before giving up.
+        from . import registry  # noqa: F401  (import for side effects)
+    if name not in _SOLVER_KINDS and ":" in name:
+        # ``"pkg.module:function"`` kinds resolve by import, which keeps
+        # third-party solver kinds working in worker processes even under
+        # the spawn/forkserver start methods (where a decorator run in the
+        # parent never executes in the child).
+        module_name, _, attr = name.partition(":")
+        fn = getattr(importlib.import_module(module_name), attr)
+        _SOLVER_KINDS[name] = fn
+        return fn
+    try:
+        return _SOLVER_KINDS[name]
+    except KeyError as exc:
+        known = ", ".join(solver_kinds())
+        raise KeyError(f"unknown solver kind {name!r}; known: {known}") from exc
+
+
+@register_solver_kind("proposed")
+def _run_proposed(system: SystemModel, params: Mapping[str, Any]) -> Mapping[str, float]:
+    """Algorithm 2 on one drop (the paper's proposed scheme)."""
+    weights = ProblemWeights.from_energy_weight(params["energy_weight"])
+    problem = JointProblem(system, weights, deadline_s=params.get("deadline_s"))
+    allocator = ResourceAllocator(params.get("allocator"))
+    return allocator.solve(problem).summary()
+
+
+@register_solver_kind("baseline")
+def _run_baseline(system: SystemModel, params: Mapping[str, Any]) -> Mapping[str, float]:
+    """A named baseline scheme on one drop."""
+    weights = ProblemWeights.from_energy_weight(params["energy_weight"])
+    problem = JointProblem(system, weights, deadline_s=params.get("deadline_s"))
+    kwargs = dict(params.get("kwargs", {}))
+    return get_baseline(params["name"])(problem, **kwargs).summary()
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of sweep work: build a drop, solve it, report.
+
+    ``key`` identifies the grid point; the trials sharing a key are averaged
+    by the aggregation layer.  ``scenario`` holds the
+    :class:`~repro.scenario.ScenarioConfig` keyword arguments *including the
+    trial seed*, which is what makes execution order irrelevant.
+    """
+
+    key: tuple
+    scenario: Mapping[str, Any]
+    solver_kind: str
+    solver_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical JSON-able description used for cache hashing.
+
+        The package version is part of the payload so a release that changes
+        solver behaviour invalidates the cache automatically; CACHE_VERSION
+        handles schema changes between releases.
+        """
+        from .. import __version__
+
+        return {
+            "cache_version": CACHE_VERSION,
+            "repro_version": __version__,
+            "scenario": _jsonify(self.scenario),
+            "solver_kind": self.solver_kind,
+            "solver_params": _jsonify(self.solver_params),
+        }
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonicalise a task component into JSON-stable plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": _jsonify(dataclasses.asdict(value)),
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for cache hashing")
+
+
+def task_hash(task: SweepTask) -> str:
+    """A stable SHA-256 over the task's canonical payload (the cache key)."""
+    blob = json.dumps(task.payload(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_task(task: SweepTask) -> dict[str, float]:
+    """Build the task's scenario and run its solver kind (worker entry point)."""
+    solver = _resolve_solver(task.solver_kind)
+    system = build_scenario(ScenarioConfig(**dict(task.scenario)))
+    return dict(solver(system, task.solver_params))
+
+
+def _execute_safely(task: SweepTask) -> tuple[dict[str, float] | None, str | None]:
+    """Run one task, trading exceptions for an error string.
+
+    Keeping the failure a plain string (instead of re-raising across the
+    process boundary) guarantees the outcome is picklable and that one bad
+    drop cannot take the whole sweep down.
+    """
+    try:
+        return execute_task(task), None
+    except Exception as exc:  # noqa: BLE001 — crash isolation is the point
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What happened to one task: metrics, a cache hit, or an error."""
+
+    task: SweepTask
+    metrics: dict[str, float] | None
+    error: str | None = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one :meth:`SweepRunner.run` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the cwd."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+class SweepCache:
+    """On-disk JSON store of per-task metrics, keyed by :func:`task_hash`.
+
+    Layout: ``<root>/sweeps/<hash[:2]>/<hash>.json`` with the task payload
+    stored alongside the metrics so entries stay debuggable.  Only
+    successful results are stored — a failed task is always retried on the
+    next run.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / "sweeps" / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> dict[str, float] | None:
+        path = self._path(digest)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        metrics = payload.get("metrics")
+        return dict(metrics) if isinstance(metrics, dict) else None
+
+    def put(self, digest: str, task: SweepTask, metrics: Mapping[str, float]) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"task": task.payload(), "metrics": dict(metrics)}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, default=float))
+        os.replace(tmp, path)
+
+
+ProgressFn = Callable[[int, int, TaskOutcome], None]
+
+
+class SweepRunner:
+    """Execute a batch of :class:`SweepTask` with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs inline in this process —
+        no pool, no pickling; ``0`` or ``None`` means "all CPU cores";
+        ``N > 1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    cache_dir:
+        Root of the result cache; defaults to :func:`default_cache_dir`.
+    use_cache:
+        Disable to force recomputation (the cache is neither read nor
+        written).
+    progress:
+        Optional ``fn(done, total, outcome)`` invoked in the parent process
+        after every task completes (including cache hits).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        *,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = False,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = int(jobs)
+        self.use_cache = use_cache
+        self.cache = SweepCache(cache_dir)
+        self.progress = progress
+        self.last_stats = SweepStats()
+
+    # -- execution -----------------------------------------------------------
+    def run(self, tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+        """Run every task, returning outcomes in task order."""
+        started = time.monotonic()
+        stats = SweepStats(total=len(tasks))
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        done = 0
+
+        pending: list[int] = []
+        for index, task in enumerate(tasks):
+            cached = self.cache.get(task_hash(task)) if self.use_cache else None
+            if cached is not None:
+                outcome = TaskOutcome(task=task, metrics=cached, cached=True)
+                outcomes[index] = outcome
+                stats.cache_hits += 1
+                done += 1
+                self._report(done, stats.total, outcome)
+            else:
+                pending.append(index)
+
+        if pending:
+            executor = (
+                ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+                if self.jobs > 1
+                else None
+            )
+            try:
+                for index, outcome in self._execute(tasks, pending, executor):
+                    outcomes[index] = outcome
+                    stats.executed += 1
+                    if outcome.error is not None:
+                        stats.failed += 1
+                    elif self.use_cache:
+                        self._cache_put(outcome)
+                    done += 1
+                    self._report(done, stats.total, outcome)
+            finally:
+                if executor is not None:
+                    executor.shutdown(wait=True, cancel_futures=True)
+
+        stats.elapsed_s = time.monotonic() - started
+        self.last_stats = stats
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _execute(
+        self,
+        tasks: Sequence[SweepTask],
+        pending: Sequence[int],
+        executor: ProcessPoolExecutor | None,
+    ) -> Iterator[tuple[int, TaskOutcome]]:
+        if executor is None:
+            for index in pending:
+                metrics, error = _execute_safely(tasks[index])
+                yield index, TaskOutcome(task=tasks[index], metrics=metrics, error=error)
+            return
+
+        futures: dict[Future, int] = {
+            executor.submit(_execute_safely, tasks[index]): index for index in pending
+        }
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = futures[future]
+                try:
+                    metrics, error = future.result()
+                except Exception as exc:  # e.g. BrokenProcessPool
+                    metrics, error = None, f"{type(exc).__name__}: {exc}"
+                yield index, TaskOutcome(task=tasks[index], metrics=metrics, error=error)
+
+    def _cache_put(self, outcome: TaskOutcome) -> None:
+        """Store one result, degrading to cache-off if the disk won't take it.
+
+        A computed result must never be lost to a cache problem — an
+        unwritable or misconfigured cache directory downgrades the run to
+        uncached instead of crashing it.
+        """
+        try:
+            self.cache.put(task_hash(outcome.task), outcome.task, outcome.metrics)
+        except OSError as exc:
+            self.use_cache = False
+            warnings.warn(
+                f"result cache disabled: cannot write under {self.cache.root}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _report(self, done: int, total: int, outcome: TaskOutcome) -> None:
+        if self.progress is not None:
+            self.progress(done, total, outcome)
+
+
+# -- the ambient runner ------------------------------------------------------
+#
+# Experiment functions accept an explicit ``runner=`` argument, but the CLI
+# (and ad-hoc scripts) can install a configured runner once and have every
+# ``run_figN`` call pick it up without threading it through each signature.
+
+_DEFAULT_RUNNER: SweepRunner | None = None
+
+
+def get_active_runner(runner: SweepRunner | None = None) -> SweepRunner:
+    """Resolve the runner to use: explicit > installed default > serial."""
+    if runner is not None:
+        return runner
+    if _DEFAULT_RUNNER is not None:
+        return _DEFAULT_RUNNER
+    return SweepRunner()
+
+
+def set_default_runner(runner: SweepRunner | None) -> None:
+    """Install (or clear, with ``None``) the process-wide default runner."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = runner
+
+
+@contextmanager
+def use_runner(runner: SweepRunner) -> Iterator[SweepRunner]:
+    """Temporarily install ``runner`` as the process-wide default."""
+    global _DEFAULT_RUNNER
+    previous = _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = runner
+    try:
+        yield runner
+    finally:
+        _DEFAULT_RUNNER = previous

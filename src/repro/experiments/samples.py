@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .base import SweepConfig, average_metrics, solve_proposed
+from .base import DEFAULT_METRICS, SweepConfig, add_grid_row, proposed_tasks, run_sweep
 from .results import ResultTable
+from .runner import SweepRunner, SweepTask
 
 __all__ = ["SamplesConfig", "run_samples_sweep"]
 
@@ -31,29 +32,27 @@ class SamplesConfig:
             samples_grid=(100, 250, 500, 750, 1000, 1500),
         )
 
+    def tasks(self) -> list[SweepTask]:
+        """The full (grid point × trial) task list of this sweep."""
+        tasks: list[SweepTask] = []
+        for samples in self.samples_grid:
+            tasks += proposed_tasks(
+                (samples,), self.sweep, self.energy_weight, samples_per_device=samples
+            )
+        return tasks
 
-def run_samples_sweep(config: SamplesConfig | None = None) -> ResultTable:
+
+def run_samples_sweep(
+    config: SamplesConfig | None = None, *, runner: SweepRunner | None = None
+) -> ResultTable:
     """Regenerate the samples-per-device series."""
     config = config or SamplesConfig()
+    points = run_sweep(config.tasks(), runner=runner)
     table = ResultTable(
         name="samples",
         columns=["samples_per_device", "energy_j", "time_s", "objective"],
         metadata={"experiment": "samples-per-device", "w1": config.energy_weight},
     )
     for samples in config.samples_grid:
-        sweep = config.sweep
-        metrics = []
-        for trial in range(sweep.num_trials):
-            system = sweep.scenario(seed=sweep.base_seed + trial, samples_per_device=samples)
-            result = solve_proposed(
-                system, config.energy_weight, allocator_config=sweep.allocator
-            )
-            metrics.append(result.summary())
-        averaged = average_metrics(metrics)
-        table.add_row(
-            samples_per_device=samples,
-            energy_j=averaged["energy_j"],
-            time_s=averaged["completion_time_s"],
-            objective=averaged["objective"],
-        )
+        add_grid_row(table, points[(samples,)], DEFAULT_METRICS, samples_per_device=samples)
     return table

@@ -1,0 +1,219 @@
+"""Tests for the parallel sweep engine (SweepRunner, cache, error rows)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig
+from repro.experiments import (
+    Fig8Config,
+    SweepConfig,
+    SweepRunner,
+    SweepTask,
+    run_experiment,
+    run_fig8,
+    task_hash,
+    use_runner,
+)
+from repro.experiments.base import add_grid_row, proposed_tasks, run_sweep
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    get_active_runner,
+    register_solver_kind,
+    set_default_runner,
+)
+
+TINY_SWEEP = SweepConfig(num_devices=6, num_trials=2, allocator=AllocatorConfig(max_iterations=5))
+
+TINY_FIG8 = Fig8Config(
+    sweep=TINY_SWEEP,
+    max_power_dbm_grid=(10.0,),
+    deadline_s_grid=(90.0, 150.0),
+)
+
+
+@register_solver_kind("explode_if_seed_one")
+def _explode_if_seed_one(system, params):
+    """Test-only solver kind: fails on the drop whose RNG seed was 1."""
+    if params["seed"] == 1:
+        raise RuntimeError("boom on seed 1")
+    return {"value": float(params["seed"]) * 2.0}
+
+
+def _explode_tasks(num_trials: int = 3) -> list[SweepTask]:
+    sweep = SweepConfig(num_devices=4, num_trials=num_trials)
+    return [
+        SweepTask(
+            key=("point",),
+            scenario=sweep.scenario_params(seed=seed),
+            solver_kind="explode_if_seed_one",
+            solver_params={"seed": seed},
+        )
+        for seed in sweep.trial_seeds()
+    ]
+
+
+# -- determinism: serial vs parallel ----------------------------------------
+
+def test_fig8_identical_tables_for_jobs_1_and_4():
+    serial = run_fig8(TINY_FIG8, runner=SweepRunner(jobs=1))
+    parallel = run_fig8(TINY_FIG8, runner=SweepRunner(jobs=4))
+    assert serial.rows == parallel.rows
+    assert serial.columns == parallel.columns
+
+
+def test_runner_preserves_task_order_under_parallelism():
+    sweep = SweepConfig(num_devices=4, num_trials=4)
+    tasks = [
+        SweepTask(
+            key=(seed,),
+            scenario=sweep.scenario_params(seed=seed),
+            solver_kind="proposed",
+            solver_params={"energy_weight": 0.5, "allocator": AllocatorConfig(max_iterations=3)},
+        )
+        for seed in sweep.trial_seeds()
+    ]
+    outcomes = SweepRunner(jobs=4).run(tasks)
+    assert [o.task.key for o in outcomes] == [t.key for t in tasks]
+    assert all(o.ok for o in outcomes)
+
+
+# -- caching -----------------------------------------------------------------
+
+def test_cache_hit_on_repeat_and_invalidation_on_config_change(tmp_path):
+    tasks = proposed_tasks(("p",), TINY_SWEEP, 0.5)
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path, use_cache=True)
+
+    first = runner.run(tasks)
+    assert runner.last_stats.executed == len(tasks)
+    assert runner.last_stats.cache_hits == 0
+
+    second = runner.run(tasks)
+    assert runner.last_stats.cache_hits == len(tasks)
+    assert runner.last_stats.executed == 0
+    assert all(o.cached for o in second)
+    assert [o.metrics for o in first] == [o.metrics for o in second]
+
+    # Changing any knob (here the energy weight) misses the cache.
+    changed = proposed_tasks(("p",), TINY_SWEEP, 0.7)
+    runner.run(changed)
+    assert runner.last_stats.cache_hits == 0
+    assert runner.last_stats.executed == len(changed)
+
+
+def test_cache_disabled_runner_never_touches_disk(tmp_path):
+    tasks = proposed_tasks(("p",), TINY_SWEEP, 0.5)
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path, use_cache=False)
+    runner.run(tasks)
+    runner.run(tasks)
+    assert runner.last_stats.cache_hits == 0
+    assert not any(tmp_path.iterdir())
+
+
+def test_unwritable_cache_degrades_instead_of_crashing(tmp_path):
+    target = tmp_path / "notadir"
+    target.write_text("occupied")
+    tasks = proposed_tasks(("p",), TINY_SWEEP, 0.5)
+    runner = SweepRunner(jobs=1, cache_dir=target, use_cache=True)
+    with pytest.warns(RuntimeWarning, match="result cache disabled"):
+        outcomes = runner.run(tasks)
+    assert all(o.ok for o in outcomes)
+    assert runner.use_cache is False
+
+
+def test_task_hash_is_stable_and_sensitive():
+    [task] = proposed_tasks(("p",), SweepConfig(num_devices=6, num_trials=1), 0.5)
+    [same] = proposed_tasks(("renamed",), SweepConfig(num_devices=6, num_trials=1), 0.5)
+    [other] = proposed_tasks(("p",), SweepConfig(num_devices=7, num_trials=1), 0.5)
+    assert task_hash(task) == task_hash(same)  # the key is a label, not an input
+    assert task_hash(task) != task_hash(other)
+
+
+# -- crash isolation ---------------------------------------------------------
+
+def test_failed_trial_is_isolated_and_excluded_from_average():
+    points = run_sweep(_explode_tasks(3), runner=SweepRunner(jobs=1))
+    point = points[("point",)]
+    assert point.trials == 3
+    assert point.failures == 1
+    assert "boom on seed 1" in point.errors[0]
+    # Seeds 0 and 2 survive: mean(0*2, 2*2) == 2.0.
+    assert point.metrics == {"value": 2.0}
+
+
+def test_all_trials_failing_yields_nan_error_row():
+    sweep = SweepConfig(num_devices=4, num_trials=1, base_seed=1)
+    tasks = [
+        SweepTask(
+            key=("dead",),
+            scenario=sweep.scenario_params(seed=1),
+            solver_kind="explode_if_seed_one",
+            solver_params={"seed": 1},
+        )
+    ]
+    points = run_sweep(tasks, runner=SweepRunner(jobs=1))
+    table = ResultTable(name="t", columns=["label", "value"])
+    add_grid_row(table, points[("dead",)], {"value": "value"}, label="dead")
+    assert len(table) == 1
+    assert math.isnan(table.rows[0]["value"])
+    assert table.errors and table.errors[0]["key"] == ["dead"]
+
+
+def test_dotted_path_solver_kind_resolves_by_import():
+    # "module:function" kinds import on demand, so they work in spawned
+    # workers that never saw the parent's register_solver_kind calls.
+    task = SweepTask(
+        key=("x",),
+        scenario=SweepConfig(num_devices=4).scenario_params(seed=0),
+        solver_kind="repro.experiments.ablation:_sp2_solver_agreement",
+        solver_params={"energy_weight": 0.5},
+    )
+    [outcome] = SweepRunner(jobs=1).run([task])
+    assert outcome.ok
+    assert "relative_gap" in outcome.metrics
+
+
+def test_unknown_solver_kind_becomes_error_outcome():
+    task = SweepTask(
+        key=("x",),
+        scenario=SweepConfig(num_devices=4).scenario_params(seed=0),
+        solver_kind="no_such_kind",
+    )
+    [outcome] = SweepRunner(jobs=1).run([task])
+    assert not outcome.ok
+    assert "no_such_kind" in outcome.error
+
+
+# -- progress and ambient runner --------------------------------------------
+
+def test_progress_callback_sees_every_task():
+    seen = []
+    runner = SweepRunner(jobs=1, progress=lambda done, total, outcome: seen.append((done, total)))
+    runner.run(_explode_tasks(2))
+    assert seen == [(1, 2), (2, 2)]
+
+
+def test_use_runner_installs_and_restores_default():
+    configured = SweepRunner(jobs=2)
+    assert get_active_runner() is not configured
+    with use_runner(configured):
+        assert get_active_runner() is configured
+    assert get_active_runner() is not configured
+
+
+def test_set_default_runner_roundtrip():
+    configured = SweepRunner(jobs=3)
+    set_default_runner(configured)
+    try:
+        assert get_active_runner() is configured
+    finally:
+        set_default_runner(None)
+
+
+def test_run_experiment_forwards_runner():
+    runner = SweepRunner(jobs=1)
+    table = run_experiment("fig8", TINY_FIG8, runner=runner)
+    assert runner.last_stats.total == len(TINY_FIG8.tasks())
+    assert len(table) == 4
