@@ -14,7 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
+from repro import (
+    JointProblem,
+    ProblemWeights,
+    ResourceAllocator,
+    ScenarioSpec,
+    build_scenario_spec,
+)
 from repro.baselines import static_equal_allocation
 from repro.fl import (
     Client,
@@ -51,7 +57,11 @@ def run_with_allocation(system, dataset, allocation, *, rounds: int, seed: int):
 def main() -> None:
     num_devices = 20
     rounds = 40
-    system = build_paper_scenario(num_devices=num_devices, seed=5)
+    # A heterogeneous phone/laptop/IoT fleet, built through the scenario
+    # registry: the FL rounds below are priced per device class.
+    system = build_scenario_spec(
+        ScenarioSpec("hetero-fleet", {"num_devices": num_devices, "seed": 5})
+    )
     dataset = make_classification_dataset(
         num_samples=4000, num_features=16, num_classes=4, rng=5
     )

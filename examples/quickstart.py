@@ -1,22 +1,38 @@
 """Quickstart: allocate resources for one FL system and inspect the result.
 
-Builds the paper's default scenario (Section VII-A), runs the proposed
-resource-allocation algorithm (Algorithm 2) for a balanced weight pair, and
-prints the resulting energy/latency breakdown next to the random benchmark
-the paper compares against.
+Builds a scenario through the scenario-family registry (the paper's
+Section VII-A recipe by default), runs the proposed resource-allocation
+algorithm (Algorithm 2) for a balanced weight pair, and prints the
+resulting energy/latency breakdown next to the random benchmark the paper
+compares against.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [scenario-family]
+
+e.g. ``python examples/quickstart.py hotspot`` — any family printed by
+``repro list-scenarios`` works.
 """
 
 from __future__ import annotations
 
-from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
+import sys
+
+from repro import (
+    JointProblem,
+    ProblemWeights,
+    ResourceAllocator,
+    ScenarioSpec,
+    build_scenario_spec,
+)
 from repro.baselines import random_benchmark, static_equal_allocation
 
 
 def main() -> None:
-    # One random drop of 50 devices in a 0.25 km cell, paper defaults.
-    system = build_paper_scenario(num_devices=50, seed=7)
+    # One random drop of 50 devices, built through the scenario registry.
+    family = sys.argv[1] if len(sys.argv) > 1 else "paper"
+    system = build_scenario_spec(
+        ScenarioSpec(family, {"num_devices": 50, "seed": 7})
+    )
+    print(f"Scenario family: {family}")
     print(f"System: {system.num_devices} devices, "
           f"{system.total_bandwidth_hz / 1e6:.0f} MHz uplink, "
           f"R_l={system.local_iterations}, R_g={system.global_rounds}")

@@ -33,7 +33,16 @@ True
 from .core.allocation import ResourceAllocation
 from .core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
 from .core.problem import JointProblem, ProblemWeights
-from .scenario import ScenarioConfig, build_paper_scenario, build_scenario
+from .scenarios import (
+    ScenarioConfig,
+    ScenarioSpec,
+    build_paper_scenario,
+    build_scenario,
+    build_scenario_spec,
+    get_scenario_family,
+    register_scenario_family,
+    scenario_families,
+)
 from .system import SystemModel
 
 __version__ = "1.0.0"
@@ -46,8 +55,13 @@ __all__ = [
     "JointProblem",
     "ProblemWeights",
     "ScenarioConfig",
+    "ScenarioSpec",
     "build_paper_scenario",
     "build_scenario",
+    "build_scenario_spec",
+    "get_scenario_family",
+    "register_scenario_family",
+    "scenario_families",
     "SystemModel",
     "__version__",
 ]

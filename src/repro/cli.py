@@ -2,9 +2,10 @@
 
 Examples
 --------
-List the available experiments::
+List the available experiments, and the registered scenario families::
 
     python -m repro.cli list
+    python -m repro.cli list-scenarios
 
 Regenerate Figure 2 at the default (reduced) scale and print the table::
 
@@ -13,6 +14,10 @@ Regenerate Figure 2 at the default (reduced) scale and print the table::
 Fan the Figure-8 sweep out over four worker processes::
 
     python -m repro.cli run fig8 --jobs 4
+
+Run an experiment on a non-paper scenario family::
+
+    python -m repro.cli run fig2 --scenario hotspot --scenario-param num_clusters=5
 
 Regenerate Figure 8 at the full paper scale and save the rows::
 
@@ -25,17 +30,22 @@ Repeated runs are instant thanks to the on-disk result cache (disable with
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
+from .exceptions import ConfigurationError
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .experiments.results import ResultTable
 from .experiments.runner import SweepRunner, TaskOutcome, use_runner
+from .scenarios import get_scenario_family, scenario_families
 
 __all__ = ["main", "build_parser"]
 
-#: Experiments whose config classes expose a ``paper()`` constructor.
-_PAPER_CONFIGS = {
+#: Experiment config classes (each exposes defaults via ``cls()`` and the
+#: full Section VII-A setting via ``cls.paper()``).
+_CONFIGS = {
     "fig2": ("repro.experiments.fig2", "Fig2Config"),
     "fig3": ("repro.experiments.fig3", "Fig3Config"),
     "fig4": ("repro.experiments.fig4", "Fig4Config"),
@@ -58,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser(
+        "list-scenarios",
+        help="list the registered scenario families with their default parameters",
+    )
 
     run = subparsers.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -65,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper",
         action="store_true",
         help="use the full Section VII-A configuration instead of the reduced default",
+    )
+    run.add_argument(
+        "--scenario",
+        metavar="FAMILY",
+        help="scenario family to build the sweep's drops from "
+        "(see `repro list-scenarios`; default: the experiment's, usually 'paper')",
+    )
+    run.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="family-specific scenario parameter (repeatable; VALUE is parsed "
+        "as JSON, falling back to a plain string)",
     )
     run.add_argument(
         "--jobs",
@@ -89,10 +117,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _paper_config(name: str):
-    module_name, class_name = _PAPER_CONFIGS[name]
+def _config_class(name: str):
+    module_name, class_name = _CONFIGS[name]
     module = __import__(module_name, fromlist=[class_name])
-    return getattr(module, class_name).paper()
+    return getattr(module, class_name)
+
+
+def _parse_scenario_params(pairs: Sequence[str]) -> dict[str, Any]:
+    """Parse repeated ``KEY=VALUE`` flags (VALUE as JSON, else string)."""
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--scenario-param expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def _apply_scenario(config, family: str | None, params: dict[str, Any]):
+    """Point ``config.sweep`` at another scenario family / extra params."""
+    if family is not None:
+        get_scenario_family(family)  # fail fast with the known-family list
+    sweep = config.sweep.with_scenario(family or config.sweep.scenario_family, **params)
+    return dataclasses.replace(config, sweep=sweep)
+
+
+def _list_scenarios(stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for name in scenario_families():
+        family = get_scenario_family(name)
+        defaults = ", ".join(f"{k}={v!r}" for k, v in sorted(family.defaults.items()))
+        print(f"{name}: {family.description}", file=stream)
+        if defaults:
+            print(f"    defaults: {defaults}", file=stream)
 
 
 class _ProgressPrinter:
@@ -127,10 +189,17 @@ def _run(
     paper: bool,
     output: str | None,
     csv: str | None,
+    scenario: str | None = None,
+    scenario_params: dict[str, Any] | None = None,
     runner: SweepRunner | None = None,
 ) -> ResultTable:
     experiment = get_experiment(name)
-    config = _paper_config(name) if paper else None
+    config = _config_class(name).paper() if paper else None
+    if scenario is not None or scenario_params:
+        # A scenario override needs a config object to hang off; fall back
+        # to the experiment's reduced default when --paper wasn't given.
+        config = config if config is not None else _config_class(name)()
+        config = _apply_scenario(config, scenario, scenario_params or {})
     if runner is None:
         table = experiment(config) if config is not None else experiment()
     else:
@@ -167,14 +236,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.command == "list-scenarios":
+        _list_scenarios()
+        return 0
     if args.command == "run":
-        _run(
-            args.experiment,
-            paper=args.paper,
-            output=args.output,
-            csv=args.csv,
-            runner=_make_runner(args.experiment, args),
-        )
+        try:
+            scenario_params = _parse_scenario_params(args.scenario_param)
+            _run(
+                args.experiment,
+                paper=args.paper,
+                output=args.output,
+                csv=args.csv,
+                scenario=args.scenario,
+                scenario_params=scenario_params,
+                runner=_make_runner(args.experiment, args),
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -11,7 +11,14 @@ Section VII-A.
 
 from .battery import Battery, BatteryDrainedError
 from .cpu import CpuModel
-from .fleet import DeviceFleet, generate_fleet
+from .fleet import (
+    DEVICE_CLASSES,
+    DeviceClass,
+    DeviceFleet,
+    device_classes,
+    generate_fleet,
+    generate_mixed_fleet,
+)
 from .profiles import DeviceProfile
 from .radio import RadioModel
 
@@ -19,8 +26,12 @@ __all__ = [
     "Battery",
     "BatteryDrainedError",
     "CpuModel",
+    "DeviceClass",
+    "DEVICE_CLASSES",
+    "device_classes",
     "DeviceFleet",
     "generate_fleet",
+    "generate_mixed_fleet",
     "DeviceProfile",
     "RadioModel",
 ]

@@ -5,12 +5,17 @@ Section VII-A draws the per-sample CPU requirement ``c_n`` uniformly from
 splits a fixed total of 25 000 samples equally.  :func:`generate_fleet`
 covers both, plus optional heterogeneity in dataset sizes for the FL
 simulator examples.
+
+Beyond the paper's homogeneous table, :func:`generate_mixed_fleet` draws
+each device from a :class:`DeviceClass` mix (phone / laptop / IoT by
+default), scaling the Section VII-A baseline per class — the substrate of
+the ``hetero-fleet`` scenario family.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -18,7 +23,14 @@ from .. import constants
 from ..exceptions import ConfigurationError
 from .profiles import DeviceProfile
 
-__all__ = ["DeviceFleet", "generate_fleet"]
+__all__ = [
+    "DeviceFleet",
+    "generate_fleet",
+    "DeviceClass",
+    "DEVICE_CLASSES",
+    "device_classes",
+    "generate_mixed_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -191,3 +203,121 @@ def generate_fleet(
         for i in range(num_devices)
     )
     return DeviceFleet(profiles)
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One hardware class of a mixed fleet, as scalings of the paper table.
+
+    Every factor multiplies the corresponding Section VII-A baseline value,
+    so a class mix stays meaningful under the experiments' parameter sweeps
+    (sweeping ``p_max`` rescales every class's power budget together).
+    """
+
+    name: str
+    cycles_scale: float = 1.0
+    frequency_scale: float = 1.0
+    power_scale: float = 1.0
+    samples_scale: float = 1.0
+    capacitance_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for label in ("cycles_scale", "frequency_scale", "power_scale",
+                      "samples_scale", "capacitance_scale"):
+            if getattr(self, label) <= 0.0:
+                raise ConfigurationError(f"{label} must be positive")
+
+
+#: Built-in device classes for heterogeneous fleets.
+DEVICE_CLASSES: dict[str, DeviceClass] = {
+    # The paper's device table, unscaled.
+    "phone": DeviceClass(name="phone"),
+    # Mains-adjacent laptops: faster CPUs, stronger radios, bigger datasets.
+    "laptop": DeviceClass(
+        name="laptop",
+        frequency_scale=2.0,
+        power_scale=1.5,
+        samples_scale=2.0,
+    ),
+    # Battery-class IoT sensors: slow CPUs, weak radios, small datasets,
+    # but simpler per-sample models.
+    "iot": DeviceClass(
+        name="iot",
+        cycles_scale=0.6,
+        frequency_scale=0.25,
+        power_scale=0.5,
+        samples_scale=0.3,
+    ),
+}
+
+
+def device_classes() -> tuple[str, ...]:
+    """The built-in device-class names."""
+    return tuple(sorted(DEVICE_CLASSES))
+
+
+def generate_mixed_fleet(
+    num_devices: int = constants.DEFAULT_NUM_DEVICES,
+    class_shares: Mapping[str, float] | None = None,
+    *,
+    rng: np.random.Generator | int | None = None,
+    samples_per_device: int | None = constants.DEFAULT_SAMPLES_PER_DEVICE,
+    upload_bits: float = constants.DEFAULT_UPLOAD_BITS,
+    cycles_range: tuple[float, float] = constants.CPU_CYCLES_PER_SAMPLE_RANGE,
+    min_frequency_hz: float = constants.DEFAULT_MIN_FREQUENCY_HZ,
+    max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ,
+    min_power_w: float = constants.DEFAULT_MIN_POWER_W,
+    max_power_w: float = constants.DEFAULT_MAX_POWER_W,
+    effective_capacitance: float = constants.EFFECTIVE_CAPACITANCE,
+) -> DeviceFleet:
+    """Generate a fleet whose devices are drawn from a device-class mix.
+
+    ``class_shares`` maps class names (keys of :data:`DEVICE_CLASSES`) to
+    non-negative weights; the class of each device is drawn independently
+    with those probabilities (weights are normalised).  The remaining
+    keyword arguments set the *baseline* the class factors scale — they are
+    the same knobs as :func:`generate_fleet`, so experiment sweeps apply
+    uniformly across classes.
+    """
+    if num_devices <= 0:
+        raise ConfigurationError("num_devices must be positive")
+    if samples_per_device is None or samples_per_device <= 0:
+        raise ConfigurationError("samples_per_device must be positive")
+    if class_shares is None:
+        class_shares = {"phone": 0.5, "laptop": 0.2, "iot": 0.3}
+    shares = dict(class_shares)
+    if not shares:
+        raise ConfigurationError("class_shares must name at least one class")
+    unknown = sorted(set(shares) - set(DEVICE_CLASSES))
+    if unknown:
+        known = ", ".join(device_classes())
+        raise ConfigurationError(
+            f"unknown device class(es) {', '.join(map(repr, unknown))}; known: {known}"
+        )
+    names = sorted(shares)
+    weights = np.array([float(shares[name]) for name in names])
+    if np.any(weights < 0.0) or weights.sum() <= 0.0:
+        raise ConfigurationError("class shares must be non-negative and sum > 0")
+    weights = weights / weights.sum()
+
+    generator = np.random.default_rng(rng)
+    assignments = generator.choice(len(names), size=num_devices, p=weights)
+    cycles = generator.uniform(cycles_range[0], cycles_range[1], size=num_devices)
+
+    profiles = []
+    for i in range(num_devices):
+        cls = DEVICE_CLASSES[names[assignments[i]]]
+        profiles.append(
+            DeviceProfile(
+                cycles_per_sample=float(cycles[i]) * cls.cycles_scale,
+                num_samples=max(1, int(round(samples_per_device * cls.samples_scale))),
+                upload_bits=upload_bits,
+                min_frequency_hz=min_frequency_hz * cls.frequency_scale,
+                max_frequency_hz=max_frequency_hz * cls.frequency_scale,
+                min_power_w=min_power_w * cls.power_scale,
+                max_power_w=max_power_w * cls.power_scale,
+                effective_capacitance=effective_capacitance * cls.capacitance_scale,
+                name=f"{cls.name}-{i:03d}",
+            )
+        )
+    return DeviceFleet(tuple(profiles))

@@ -32,6 +32,12 @@ from .runner import (
     task_hash,
     use_runner,
 )
+from ..scenarios import (
+    ScenarioSpec,
+    build_scenario_spec,
+    register_scenario_family,
+    scenario_families,
+)
 from .fig2 import Fig2Config, run_fig2
 from .fig3 import Fig3Config, run_fig3
 from .fig4 import Fig4Config, run_fig4
@@ -64,6 +70,10 @@ __all__ = [
     "solve_proposed",
     "task_hash",
     "use_runner",
+    "ScenarioSpec",
+    "build_scenario_spec",
+    "register_scenario_family",
+    "scenario_families",
     "Fig2Config",
     "run_fig2",
     "Fig3Config",

@@ -11,7 +11,7 @@ isolation — and folds the outcomes back into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -20,7 +20,8 @@ from .. import constants
 from ..core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
 from ..baselines.registry import get_baseline
-from ..scenario import ScenarioConfig, build_scenario
+from ..exceptions import ConfigurationError
+from ..scenarios import ScenarioSpec, build_scenario_spec
 from ..system import SystemModel
 from .results import ResultTable
 from .runner import SweepRunner, SweepTask, TaskOutcome, get_active_runner
@@ -52,7 +53,15 @@ PAPER_WEIGHT_PAIRS: tuple[tuple[float, float], ...] = (
 
 @dataclass(frozen=True)
 class SweepConfig:
-    """Common knobs of every figure experiment."""
+    """Common knobs of every figure experiment.
+
+    ``scenario_family`` selects the registered scenario recipe the sweep's
+    drops are built from (default: the paper's Section VII-A recipe), and
+    ``scenario_extra`` carries family-specific parameters (e.g.
+    ``{"num_clusters": 5}`` for ``hotspot``).  The standard knobs below are
+    passed to every family, so ``p_max`` / ``f_max`` / device-count sweeps
+    apply to any workload.
+    """
 
     num_devices: int = constants.DEFAULT_NUM_DEVICES
     num_trials: int = 3
@@ -63,10 +72,50 @@ class SweepConfig:
     max_power_dbm: float = constants.DEFAULT_MAX_POWER_DBM
     max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ
     allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
+    scenario_family: str = "paper"
+    scenario_extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_scenario(self, family: str, /, **extra: Any) -> "SweepConfig":
+        """Copy of this sweep targeting another scenario family.
+
+        ``extra`` updates the family-specific parameters (merged over any
+        already configured).
+        """
+        if "family" in extra:
+            raise ConfigurationError(
+                "scenario parameters must not include 'family'; pass the "
+                "family as with_scenario's first argument / --scenario"
+            )
+        if "seed" in extra:
+            raise ConfigurationError(
+                "scenario parameters must not include 'seed'; the sweep "
+                "derives one seed per trial from base_seed"
+            )
+        return replace(
+            self,
+            scenario_family=family,
+            scenario_extra={**dict(self.scenario_extra), **extra},
+        )
 
     def scenario_params(self, *, seed: int, **overrides: Any) -> dict[str, Any]:
-        """The :class:`ScenarioConfig` keyword arguments of one random drop."""
+        """The flat scenario-spec mapping of one random drop.
+
+        The ``"family"`` key names the scenario family; the rest are the
+        family's builder parameters (see :mod:`repro.scenarios`).
+        """
+        if "family" in self.scenario_extra or "family" in overrides:
+            raise ConfigurationError(
+                "scenario parameters must not include 'family'; select the "
+                "family via SweepConfig.scenario_family / --scenario instead"
+            )
+        if "seed" in self.scenario_extra:
+            # A fixed seed would make every "random" trial the same drop.
+            raise ConfigurationError(
+                "scenario_extra must not include 'seed'; the sweep derives "
+                "one seed per trial from base_seed"
+            )
         params: dict[str, Any] = {
+            "family": self.scenario_family,
             "num_devices": self.num_devices,
             "radius_km": self.radius_km,
             "local_iterations": self.local_iterations,
@@ -75,12 +124,15 @@ class SweepConfig:
             "max_frequency_hz": self.max_frequency_hz,
             "seed": seed,
         }
+        params.update(self.scenario_extra)
         params.update(overrides)
         return params
 
     def scenario(self, *, seed: int, **overrides: Any) -> SystemModel:
         """Build one random drop with this sweep's shared parameters."""
-        return build_scenario(ScenarioConfig(**self.scenario_params(seed=seed, **overrides)))
+        return build_scenario_spec(
+            ScenarioSpec.from_mapping(self.scenario_params(seed=seed, **overrides))
+        )
 
     def trial_seeds(self) -> tuple[int, ...]:
         """The deterministic per-trial seeds (``base_seed + trial``)."""

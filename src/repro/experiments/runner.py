@@ -44,7 +44,7 @@ import numpy as np
 from ..baselines.registry import get_baseline
 from ..core.allocator import AllocatorConfig, ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
-from ..scenario import ScenarioConfig, build_scenario
+from ..scenarios import SCENARIO_SCHEMA_VERSION, ScenarioSpec
 from ..system import SystemModel
 
 __all__ = [
@@ -64,7 +64,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every cached result (e.g. if the metric schema changes).
-CACHE_VERSION = 1
+#: 2: scenarios became (family, params) specs — the family name and scenario
+#: schema version joined the payload, so pre-registry entries are stale.
+CACHE_VERSION = 2
 
 SolverFn = Callable[[SystemModel, Mapping[str, Any]], Mapping[str, float]]
 
@@ -146,19 +148,34 @@ class SweepTask:
     solver_kind: str
     solver_params: Mapping[str, Any] = field(default_factory=dict)
 
+    def scenario_spec(self) -> ScenarioSpec:
+        """The task's scenario as a (family, params) spec.
+
+        ``scenario`` is a flat mapping whose optional ``"family"`` key names
+        the scenario family (default ``"paper"``, matching the pre-registry
+        task format).
+        """
+        return ScenarioSpec.from_mapping(self.scenario)
+
     def payload(self) -> dict[str, Any]:
         """The canonical JSON-able description used for cache hashing.
 
-        The package version is part of the payload so a release that changes
-        solver behaviour invalidates the cache automatically; CACHE_VERSION
-        handles schema changes between releases.
+        The scenario family and scenario schema version are explicit fields,
+        so results from different families (or from an older scenario
+        encoding) can never collide.  The package version is part of the
+        payload so a release that changes solver behaviour invalidates the
+        cache automatically; CACHE_VERSION handles schema changes between
+        releases.
         """
         from .. import __version__
 
+        spec = self.scenario_spec()
         return {
             "cache_version": CACHE_VERSION,
+            "scenario_schema": SCENARIO_SCHEMA_VERSION,
             "repro_version": __version__,
-            "scenario": _jsonify(self.scenario),
+            "scenario_family": spec.family,
+            "scenario": _jsonify(spec.params),
             "solver_kind": self.solver_kind,
             "solver_params": _jsonify(self.solver_params),
         }
@@ -189,9 +206,15 @@ def task_hash(task: SweepTask) -> str:
 
 
 def execute_task(task: SweepTask) -> dict[str, float]:
-    """Build the task's scenario and run its solver kind (worker entry point)."""
+    """Build the task's scenario and run its solver kind (worker entry point).
+
+    The scenario family resolves through the registry (importing
+    :mod:`repro.scenarios` registered the built-ins; dotted
+    ``module:function`` families resolve by import), so custom families
+    work in spawned worker processes exactly like custom solver kinds.
+    """
     solver = _resolve_solver(task.solver_kind)
-    system = build_scenario(ScenarioConfig(**dict(task.scenario)))
+    system = task.scenario_spec().build()
     return dict(solver(system, task.solver_params))
 
 

@@ -1,98 +1,18 @@
-"""Scenario builders: turn Section VII-A's parameter table into a SystemModel.
+"""Backwards-compatible shim over the :mod:`repro.scenarios` package.
 
-Every experiment in the paper starts from the same recipe — drop ``N``
-devices uniformly in a disc, realise the 3GPP channel, draw per-device CPU
-requirements — and then perturbs one knob (maximum power, maximum frequency,
-number of devices, cell radius, FL schedule).  :func:`build_scenario`
-implements the recipe once so experiments, examples and tests share it.
+Scenario construction now lives in ``repro/scenarios/``: a declarative
+:class:`~repro.scenarios.ScenarioSpec` (family name + JSON-able params), a
+scenario-family registry (``register_scenario_family`` /
+``build_scenario_spec``), the paper recipe as the registered ``"paper"``
+family in :mod:`repro.scenarios.paper`, and the non-paper families
+(``cell-edge``, ``hotspot``, ``hetero-fleet``, ``indoor``) in
+:mod:`repro.scenarios.families`.  This module re-exports the historical
+names so existing imports keep working; new code should import from
+:mod:`repro.scenarios` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from . import constants
-from .devices.fleet import DeviceFleet, generate_fleet
-from .system import SystemModel
-from .wireless.channel import ChannelModel
-from .wireless.noise import NoiseModel
-from .wireless.pathloss import LogDistancePathLoss
-from .wireless.shadowing import LogNormalShadowing
-from .wireless.topology import uniform_disc_topology
+from .scenarios import ScenarioConfig, build_paper_scenario, build_scenario
 
 __all__ = ["ScenarioConfig", "build_scenario", "build_paper_scenario"]
-
-
-@dataclass(frozen=True)
-class ScenarioConfig:
-    """Knobs of the Section VII-A scenario recipe."""
-
-    num_devices: int = constants.DEFAULT_NUM_DEVICES
-    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM
-    samples_per_device: int | None = constants.DEFAULT_SAMPLES_PER_DEVICE
-    total_samples: int | None = None
-    upload_bits: float = constants.DEFAULT_UPLOAD_BITS
-    max_power_dbm: float = constants.DEFAULT_MAX_POWER_DBM
-    min_power_dbm: float = constants.DEFAULT_MIN_POWER_DBM
-    max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ
-    min_frequency_hz: float = constants.DEFAULT_MIN_FREQUENCY_HZ
-    total_bandwidth_hz: float = constants.DEFAULT_TOTAL_BANDWIDTH_HZ
-    local_iterations: int = constants.DEFAULT_LOCAL_ITERATIONS
-    global_rounds: int = constants.DEFAULT_GLOBAL_ROUNDS
-    shadowing_std_db: float = constants.SHADOWING_STD_DB
-    noise_psd_dbm_per_hz: float = constants.NOISE_PSD_DBM_PER_HZ
-    seed: int | None = 0
-
-
-def build_scenario(config: ScenarioConfig) -> SystemModel:
-    """Realise one random drop of the scenario described by ``config``."""
-    from . import units
-
-    rng = np.random.default_rng(config.seed)
-    fleet: DeviceFleet = generate_fleet(
-        config.num_devices,
-        rng=rng,
-        samples_per_device=config.samples_per_device,
-        total_samples=config.total_samples,
-        upload_bits=config.upload_bits,
-        min_frequency_hz=config.min_frequency_hz,
-        max_frequency_hz=config.max_frequency_hz,
-        min_power_w=units.dbm_to_watt(config.min_power_dbm),
-        max_power_w=units.dbm_to_watt(config.max_power_dbm),
-    )
-    topology = uniform_disc_topology(config.num_devices, config.radius_km, rng=rng)
-    noise = NoiseModel.from_dbm_per_hz(config.noise_psd_dbm_per_hz)
-    channel_model = ChannelModel(
-        path_loss=LogDistancePathLoss(),
-        shadowing=LogNormalShadowing(std_db=config.shadowing_std_db),
-        noise=noise,
-    )
-    channel_state = channel_model.realize(topology, rng=rng)
-    return SystemModel(
-        fleet=fleet,
-        gains=channel_state.gains,
-        noise_psd_w_per_hz=noise.effective_psd_w_per_hz,
-        total_bandwidth_hz=config.total_bandwidth_hz,
-        local_iterations=config.local_iterations,
-        global_rounds=config.global_rounds,
-        channel_state=channel_state,
-    )
-
-
-def build_paper_scenario(
-    num_devices: int = constants.DEFAULT_NUM_DEVICES,
-    *,
-    seed: int | None = 0,
-    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM,
-    **overrides,
-) -> SystemModel:
-    """Shorthand for :func:`build_scenario` with the paper's default table.
-
-    Additional keyword arguments override :class:`ScenarioConfig` fields.
-    """
-    config = ScenarioConfig(
-        num_devices=num_devices, radius_km=radius_km, seed=seed, **overrides
-    )
-    return build_scenario(config)

@@ -1,0 +1,56 @@
+"""Pluggable scenario subsystem: specs, a family registry, built-in families.
+
+A scenario family is a named recipe ``params -> SystemModel``; a
+:class:`ScenarioSpec` is one scenario as pure data (family name + JSON-able
+parameters), which is what sweep tasks carry and hash.  Importing this
+package registers the built-in families:
+
+* ``paper`` — Section VII-A's recipe (bit-identical to the pre-registry
+  builder for the same seed);
+* ``cell-edge``, ``hotspot``, ``hetero-fleet``, ``indoor`` — the
+  non-paper workloads (see :mod:`repro.scenarios.families`).
+
+Register your own with :func:`register_scenario_family`; to use a custom
+family inside sweep worker processes, name it by its dotted path
+(``"my_pkg.scenarios:my_family"``) so workers can resolve it by import.
+"""
+
+from .paper import (
+    ScenarioConfig,
+    build_paper_scenario,
+    build_scenario,
+    paper_scenario,
+)
+from .families import (  # noqa: F401  (import registers the built-in families)
+    cell_edge_scenario,
+    hetero_fleet_scenario,
+    hotspot_scenario,
+    indoor_scenario,
+)
+from .spec import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioFamily,
+    ScenarioSpec,
+    build_scenario_spec,
+    get_scenario_family,
+    register_scenario_family,
+    scenario_families,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioConfig",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "build_paper_scenario",
+    "build_scenario",
+    "build_scenario_spec",
+    "get_scenario_family",
+    "register_scenario_family",
+    "scenario_families",
+    "paper_scenario",
+    "cell_edge_scenario",
+    "hotspot_scenario",
+    "hetero_fleet_scenario",
+    "indoor_scenario",
+]

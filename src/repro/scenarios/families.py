@@ -1,0 +1,188 @@
+"""Built-in non-paper scenario families.
+
+Each family keeps the Section VII-A knobs (device count, cell radius, power
+/ frequency limits, FL schedule — everything :class:`ScenarioConfig`
+carries) so the experiment sweeps apply unchanged, and layers a different
+stressor on top:
+
+* ``cell-edge`` — every device in an annulus near the cell edge under
+  Rayleigh fading: uniformly bad channels, upload-dominated.
+* ``hotspot`` — devices in a few Gaussian clusters under Rician fading:
+  grouped link budgets, strong inter-cluster imbalance.
+* ``hetero-fleet`` — the paper's uniform disc but a phone/laptop/IoT
+  device-class mix: CPU/power/dataset heterogeneity drives the allocator.
+* ``indoor`` — a jittered grid of tens of metres with free-space path loss
+  plus per-wall penetration loss and Nakagami-m fading.
+
+All randomness derives from the ``seed`` parameter (one
+:class:`numpy.random.Generator` threaded through fleet, topology and
+channel), so every family is reproducible under the sweep engine's
+execution-order-free parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from .. import units
+from ..devices.fleet import generate_mixed_fleet
+from ..exceptions import ConfigurationError
+from ..system import SystemModel
+from ..wireless.fading import FadingModel, make_fading
+from ..wireless.pathloss import LogDistancePathLoss
+from ..wireless.topology import (
+    cell_edge_ring_topology,
+    clustered_hotspot_topology,
+    indoor_grid_topology,
+    uniform_disc_topology,
+)
+from .paper import ScenarioConfig, paper_fleet, realize_system
+from .spec import register_scenario_family
+
+__all__ = [
+    "cell_edge_scenario",
+    "hotspot_scenario",
+    "hetero_fleet_scenario",
+    "indoor_scenario",
+]
+
+
+def _make_fading(name: str | None, params: Mapping[str, Any] | None) -> FadingModel | None:
+    return None if name is None else make_fading(name, **dict(params or {}))
+
+
+@register_scenario_family(
+    "cell-edge",
+    description="Annulus near the cell edge under Rayleigh fading: "
+    "uniformly weak, upload-dominated channels",
+)
+def cell_edge_scenario(
+    *,
+    inner_fraction: float = 0.8,
+    fading: str | None = "rayleigh",
+    fading_params: Mapping[str, Any] | None = None,
+    **base: Any,
+) -> SystemModel:
+    """Cell-edge ring drop under Rayleigh fading."""
+    config = ScenarioConfig(**base)
+    rng = np.random.default_rng(config.seed)
+    fleet = paper_fleet(config, rng)
+    topology = cell_edge_ring_topology(
+        config.num_devices, config.radius_km, inner_fraction=inner_fraction, rng=rng
+    )
+    return realize_system(
+        config, fleet, topology, rng=rng, fading=_make_fading(fading, fading_params)
+    )
+
+
+@register_scenario_family(
+    "hotspot",
+    description="Gaussian device clusters under Rician fading: grouped "
+    "link budgets with strong inter-cluster imbalance",
+)
+def hotspot_scenario(
+    *,
+    num_clusters: int = 3,
+    cluster_std_fraction: float = 0.08,
+    fading: str | None = "rician",
+    fading_params: Mapping[str, Any] | None = None,
+    **base: Any,
+) -> SystemModel:
+    """Clustered-hotspot drop under Rician fading."""
+    config = ScenarioConfig(**base)
+    rng = np.random.default_rng(config.seed)
+    fleet = paper_fleet(config, rng)
+    topology = clustered_hotspot_topology(
+        config.num_devices,
+        config.radius_km,
+        num_clusters=num_clusters,
+        cluster_std_fraction=cluster_std_fraction,
+        rng=rng,
+    )
+    return realize_system(
+        config, fleet, topology, rng=rng, fading=_make_fading(fading, fading_params)
+    )
+
+
+@register_scenario_family(
+    "hetero-fleet",
+    description="Uniform disc with a phone/laptop/IoT device-class mix: "
+    "CPU, power and dataset heterogeneity",
+)
+def hetero_fleet_scenario(
+    *,
+    class_shares: Mapping[str, float] | None = None,
+    fading: str | None = None,
+    fading_params: Mapping[str, Any] | None = None,
+    **base: Any,
+) -> SystemModel:
+    """Heterogeneous device-class fleet on the paper's uniform disc."""
+    config = ScenarioConfig(**base)
+    rng = np.random.default_rng(config.seed)
+    samples = config.samples_per_device
+    if config.total_samples is not None:
+        # ``total_samples`` wins over ``samples_per_device``, matching
+        # generate_fleet; the mixed generator scales per-class dataset sizes
+        # off one base value, so split the total equally to preserve it.
+        samples = max(1, config.total_samples // config.num_devices)
+    fleet = generate_mixed_fleet(
+        config.num_devices,
+        class_shares,
+        rng=rng,
+        samples_per_device=samples,
+        upload_bits=config.upload_bits,
+        min_frequency_hz=config.min_frequency_hz,
+        max_frequency_hz=config.max_frequency_hz,
+        min_power_w=units.dbm_to_watt(config.min_power_dbm),
+        max_power_w=units.dbm_to_watt(config.max_power_dbm),
+    )
+    topology = uniform_disc_topology(config.num_devices, config.radius_km, rng=rng)
+    return realize_system(
+        config, fleet, topology, rng=rng, fading=_make_fading(fading, fading_params)
+    )
+
+
+@register_scenario_family(
+    "indoor",
+    description="Jittered indoor grid: free-space path loss + per-wall "
+    "penetration loss and Nakagami-m fading",
+)
+def indoor_scenario(
+    *,
+    extent_km: float | None = None,
+    wall_spacing_km: float = 0.01,
+    wall_loss_db: float = 5.0,
+    carrier_ghz: float = 2.4,
+    fading: str | None = "nakagami",
+    fading_params: Mapping[str, Any] | None = None,
+    **base: Any,
+) -> SystemModel:
+    """Indoor grid drop with wall-loss and Nakagami-m fading."""
+    config = ScenarioConfig(**base)
+    if extent_km is None:
+        # Tie the building size to the standard radius knob (0.25 km cell ->
+        # 50 m building) so radius sweeps (Fig. 5) stay meaningful indoors.
+        extent_km = 0.2 * config.radius_km
+    if wall_spacing_km <= 0.0:
+        raise ConfigurationError(
+            f"wall_spacing_km must be positive, got {wall_spacing_km}"
+        )
+    if wall_loss_db < 0.0:
+        raise ConfigurationError(
+            f"wall_loss_db must be non-negative, got {wall_loss_db}"
+        )
+    rng = np.random.default_rng(config.seed)
+    fleet = paper_fleet(config, rng)
+    topology = indoor_grid_topology(config.num_devices, extent_km, rng=rng)
+    walls = np.floor(topology.distances_km() / wall_spacing_km)
+    return realize_system(
+        config,
+        fleet,
+        topology,
+        rng=rng,
+        fading=_make_fading(fading, fading_params),
+        path_loss=LogDistancePathLoss.free_space(frequency_ghz=carrier_ghz),
+        extra_loss_db=walls * wall_loss_db,
+    )

@@ -1,0 +1,145 @@
+"""The ``"paper"`` scenario family: Section VII-A's parameter table.
+
+Every experiment in the paper starts from the same recipe — drop ``N``
+devices uniformly in a disc, realise the 3GPP channel (log-distance path
+loss + 8 dB log-normal shadowing, no small-scale fading), draw per-device
+CPU requirements — and then perturbs one knob.  :func:`build_scenario`
+implements the recipe once; it is byte-for-byte the pre-registry builder
+(same RNG draw order), so realisations are bit-identical to every released
+table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..devices.fleet import DeviceFleet, generate_fleet
+from ..system import SystemModel
+from ..wireless.channel import ChannelModel
+from ..wireless.noise import NoiseModel
+from ..wireless.pathloss import LogDistancePathLoss
+from ..wireless.shadowing import LogNormalShadowing
+from ..wireless.topology import uniform_disc_topology
+from .spec import register_scenario_family
+
+__all__ = [
+    "ScenarioConfig",
+    "build_scenario",
+    "build_paper_scenario",
+    "paper_scenario",
+    "paper_fleet",
+    "realize_system",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the Section VII-A scenario recipe."""
+
+    num_devices: int = constants.DEFAULT_NUM_DEVICES
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM
+    samples_per_device: int | None = constants.DEFAULT_SAMPLES_PER_DEVICE
+    total_samples: int | None = None
+    upload_bits: float = constants.DEFAULT_UPLOAD_BITS
+    max_power_dbm: float = constants.DEFAULT_MAX_POWER_DBM
+    min_power_dbm: float = constants.DEFAULT_MIN_POWER_DBM
+    max_frequency_hz: float = constants.DEFAULT_MAX_FREQUENCY_HZ
+    min_frequency_hz: float = constants.DEFAULT_MIN_FREQUENCY_HZ
+    total_bandwidth_hz: float = constants.DEFAULT_TOTAL_BANDWIDTH_HZ
+    local_iterations: int = constants.DEFAULT_LOCAL_ITERATIONS
+    global_rounds: int = constants.DEFAULT_GLOBAL_ROUNDS
+    shadowing_std_db: float = constants.SHADOWING_STD_DB
+    noise_psd_dbm_per_hz: float = constants.NOISE_PSD_DBM_PER_HZ
+    seed: int | None = 0
+
+
+def paper_fleet(config: ScenarioConfig, rng: np.random.Generator) -> DeviceFleet:
+    """The paper's homogeneous fleet for a config (shared by the families)."""
+    from .. import units
+
+    return generate_fleet(
+        config.num_devices,
+        rng=rng,
+        samples_per_device=config.samples_per_device,
+        total_samples=config.total_samples,
+        upload_bits=config.upload_bits,
+        min_frequency_hz=config.min_frequency_hz,
+        max_frequency_hz=config.max_frequency_hz,
+        min_power_w=units.dbm_to_watt(config.min_power_dbm),
+        max_power_w=units.dbm_to_watt(config.max_power_dbm),
+    )
+
+
+def realize_system(
+    config: ScenarioConfig,
+    fleet: DeviceFleet,
+    topology,
+    *,
+    rng: np.random.Generator,
+    fading=None,
+    path_loss: LogDistancePathLoss | None = None,
+    extra_loss_db=None,
+) -> SystemModel:
+    """Assemble fleet + topology + channel chain into a :class:`SystemModel`.
+
+    With ``fading=None`` and ``extra_loss_db=None`` the channel draws
+    exactly the paper's random numbers, so :func:`build_scenario` and every
+    family share this assembly without perturbing paper realisations.
+    """
+    noise = NoiseModel.from_dbm_per_hz(config.noise_psd_dbm_per_hz)
+    channel_model = ChannelModel(
+        path_loss=path_loss if path_loss is not None else LogDistancePathLoss(),
+        shadowing=LogNormalShadowing(std_db=config.shadowing_std_db),
+        noise=noise,
+        fading=fading,
+    )
+    channel_state = channel_model.realize(topology, rng=rng, extra_loss_db=extra_loss_db)
+    return SystemModel(
+        fleet=fleet,
+        gains=channel_state.gains,
+        noise_psd_w_per_hz=noise.effective_psd_w_per_hz,
+        total_bandwidth_hz=config.total_bandwidth_hz,
+        local_iterations=config.local_iterations,
+        global_rounds=config.global_rounds,
+        channel_state=channel_state,
+    )
+
+
+def build_scenario(config: ScenarioConfig) -> SystemModel:
+    """Realise one random drop of the scenario described by ``config``."""
+    rng = np.random.default_rng(config.seed)
+    fleet = paper_fleet(config, rng)
+    topology = uniform_disc_topology(config.num_devices, config.radius_km, rng=rng)
+    return realize_system(config, fleet, topology, rng=rng)
+
+
+def build_paper_scenario(
+    num_devices: int = constants.DEFAULT_NUM_DEVICES,
+    *,
+    seed: int | None = 0,
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM,
+    **overrides,
+) -> SystemModel:
+    """Shorthand for :func:`build_scenario` with the paper's default table.
+
+    Additional keyword arguments override :class:`ScenarioConfig` fields.
+    """
+    config = ScenarioConfig(
+        num_devices=num_devices, radius_km=radius_km, seed=seed, **overrides
+    )
+    return build_scenario(config)
+
+
+@register_scenario_family(
+    "paper",
+    description="Section VII-A: uniform disc, log-distance path loss + "
+    "log-normal shadowing, homogeneous devices",
+    defaults={f.name: f.default for f in dataclasses.fields(ScenarioConfig)},
+)
+def paper_scenario(**params) -> SystemModel:
+    """Section VII-A's recipe as a registered family (spec entry point)."""
+    return build_scenario(ScenarioConfig(**params))

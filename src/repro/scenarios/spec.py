@@ -1,0 +1,177 @@
+"""Declarative scenario specs and the scenario-family registry.
+
+A *scenario family* is a named recipe that turns JSON-able parameters into
+a :class:`~repro.system.SystemModel` — the paper's Section VII-A drop is
+one family (``"paper"``); clustered hotspots, cell-edge rings, indoor
+grids and heterogeneous fleets are others.  A :class:`ScenarioSpec` pairs a
+family name with its parameters, so a scenario can be hashed into a sweep
+cache key, shipped to a worker process, or written to a config file.
+
+The registry mirrors the sweep engine's solver-kind registry
+(:func:`repro.experiments.runner.register_solver_kind`), including dotted
+``"pkg.module:function"`` resolution so custom families registered in the
+parent process still resolve inside spawned ``ProcessPoolExecutor``
+workers (where a decorator run in the parent never executes).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..exceptions import ConfigurationError
+from ..system import SystemModel
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioSpec",
+    "ScenarioFamily",
+    "register_scenario_family",
+    "scenario_families",
+    "get_scenario_family",
+    "build_scenario_spec",
+]
+
+#: Version of the (family, params) scenario description.  Part of every
+#: sweep-task payload; bump when the meaning of scenario parameters changes
+#: so stale cache entries can never be mistaken for current ones.
+SCENARIO_SCHEMA_VERSION = 2
+
+#: The family every spec without an explicit family resolves to.
+DEFAULT_FAMILY = "paper"
+
+ScenarioBuilder = Callable[..., SystemModel]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A registered scenario recipe: builder + metadata for discovery."""
+
+    name: str
+    builder: ScenarioBuilder
+    description: str
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, **params: Any) -> SystemModel:
+        """Realise one drop of this family."""
+        try:
+            return self.builder(**params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid parameters for scenario family {self.name!r}: {exc}"
+            ) from exc
+
+
+_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def _signature_defaults(builder: ScenarioBuilder) -> dict[str, Any]:
+    """The builder's declared keyword defaults (for ``repro list-scenarios``)."""
+    defaults: dict[str, Any] = {}
+    try:
+        parameters = inspect.signature(builder).parameters.values()
+    except (TypeError, ValueError):  # builtins / odd callables
+        return defaults
+    for parameter in parameters:
+        if parameter.default is not inspect.Parameter.empty:
+            defaults[parameter.name] = parameter.default
+    return defaults
+
+
+def register_scenario_family(
+    name: str,
+    *,
+    description: str | None = None,
+    defaults: Mapping[str, Any] | None = None,
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Register ``builder(**params) -> SystemModel`` as family ``name``.
+
+    ``description`` defaults to the first line of the builder's docstring;
+    ``defaults`` (shown by ``repro list-scenarios``) to the builder's
+    keyword defaults.  The builder must accept only JSON-able keyword
+    arguments (they travel through the sweep cache key), and must derive
+    all randomness from its ``seed`` parameter so drops stay reproducible
+    under any execution order.
+    """
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        doc = (builder.__doc__ or "").strip().splitlines()
+        summary = description if description is not None else (doc[0] if doc else "")
+        _FAMILIES[name] = ScenarioFamily(
+            name=name,
+            builder=builder,
+            description=summary,
+            defaults=dict(defaults) if defaults is not None else _signature_defaults(builder),
+        )
+        return builder
+
+    return decorator
+
+
+def scenario_families() -> tuple[str, ...]:
+    """The currently registered scenario-family names."""
+    return tuple(sorted(_FAMILIES))
+
+
+def get_scenario_family(name: str) -> ScenarioFamily:
+    """Look up a family, resolving dotted ``module:function`` names on demand."""
+    if name not in _FAMILIES and ":" in name:
+        module_name, _, attr = name.partition(":")
+        try:
+            builder = getattr(importlib.import_module(module_name), attr)
+        except (ImportError, AttributeError) as exc:
+            raise ConfigurationError(
+                f"cannot resolve scenario family {name!r}: {exc}"
+            ) from exc
+        register_scenario_family(name)(builder)
+    try:
+        return _FAMILIES[name]
+    except KeyError as exc:
+        known = ", ".join(scenario_families())
+        raise ConfigurationError(
+            f"unknown scenario family {name!r}; known: {known}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A scenario as pure data: family name + JSON-able parameters."""
+
+    family: str = DEFAULT_FAMILY
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        if "family" in self.params:
+            raise ConfigurationError(
+                "spec params must not contain a 'family' key; "
+                "set ScenarioSpec.family instead"
+            )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ScenarioSpec":
+        """Split a flat ``{"family": ..., **params}`` mapping into a spec.
+
+        Mappings without a ``"family"`` key (every pre-registry sweep task)
+        resolve to the paper family, keeping old task descriptions valid.
+        """
+        params = dict(mapping)
+        family = params.pop("family", DEFAULT_FAMILY)
+        return cls(family=str(family), params=params)
+
+    def to_mapping(self) -> dict[str, Any]:
+        """The inverse of :meth:`from_mapping`."""
+        return {"family": self.family, **self.params}
+
+    def build(self) -> SystemModel:
+        """Realise one drop of this spec."""
+        return get_scenario_family(self.family).build(**self.params)
+
+
+def build_scenario_spec(spec: ScenarioSpec | Mapping[str, Any]) -> SystemModel:
+    """Build a :class:`SystemModel` from a spec (or a flat spec mapping)."""
+    if not isinstance(spec, ScenarioSpec):
+        spec = ScenarioSpec.from_mapping(spec)
+    return spec.build()

@@ -9,6 +9,15 @@ substrate from scratch.
 """
 
 from .channel import ChannelModel, ChannelState
+from .fading import (
+    FadingModel,
+    NakagamiFading,
+    RayleighFading,
+    RicianFading,
+    fading_models,
+    make_fading,
+    register_fading_model,
+)
 from .noise import NoiseModel
 from .pathloss import LogDistancePathLoss
 from .rate import (
@@ -19,11 +28,24 @@ from .rate import (
 )
 from .shadowing import LogNormalShadowing
 from .spectrum import BandwidthAllocation, SpectrumManager
-from .topology import Topology, uniform_disc_topology
+from .topology import (
+    Topology,
+    cell_edge_ring_topology,
+    clustered_hotspot_topology,
+    indoor_grid_topology,
+    uniform_disc_topology,
+)
 
 __all__ = [
     "ChannelModel",
     "ChannelState",
+    "FadingModel",
+    "RayleighFading",
+    "RicianFading",
+    "NakagamiFading",
+    "fading_models",
+    "make_fading",
+    "register_fading_model",
     "NoiseModel",
     "LogDistancePathLoss",
     "LogNormalShadowing",
@@ -35,4 +57,7 @@ __all__ = [
     "SpectrumManager",
     "Topology",
     "uniform_disc_topology",
+    "cell_edge_ring_topology",
+    "clustered_hotspot_topology",
+    "indoor_grid_topology",
 ]

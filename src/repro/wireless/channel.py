@@ -1,9 +1,13 @@
-"""Static channel state: path loss + shadowing -> per-device channel gain.
+"""Static channel state: path loss + shadowing (+ optional fading) -> gains.
 
 The resource-allocation problem of the paper treats the channel gain
 ``g_n`` of each device as a known constant (large-scale fading only).  The
 :class:`ChannelModel` combines a topology, a path-loss law and a shadowing
 law into a :class:`ChannelState` that exposes the gains the optimizer needs.
+Scenario families can additionally layer a small-scale
+:class:`~repro.wireless.fading.FadingModel` and a per-device extra loss
+(e.g. indoor wall penetration) on the same chain; the paper recipe leaves
+both off, which keeps its realisations bit-identical.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from .fading import FadingModel
 from .noise import NoiseModel
 from .pathloss import LogDistancePathLoss
 from .shadowing import LogNormalShadowing
@@ -33,12 +38,16 @@ class ChannelState:
         Device-to-base-station distances, in kilometres.
     path_loss_db / shadowing_db:
         The two components of the loss, in dB, for inspection and tests.
+    fading_db:
+        Additional small-scale / penetration loss in dB (zeros for the
+        paper's large-scale-only recipe).
     """
 
     gains: np.ndarray
     distances_km: np.ndarray
     path_loss_db: np.ndarray
     shadowing_db: np.ndarray
+    fading_db: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         gains = np.asarray(self.gains, dtype=float)
@@ -48,6 +57,9 @@ class ChannelState:
         object.__setattr__(self, "distances_km", np.asarray(self.distances_km, dtype=float))
         object.__setattr__(self, "path_loss_db", np.asarray(self.path_loss_db, dtype=float))
         object.__setattr__(self, "shadowing_db", np.asarray(self.shadowing_db, dtype=float))
+        fading = self.fading_db
+        fading = np.zeros_like(gains) if fading is None else np.asarray(fading, dtype=float)
+        object.__setattr__(self, "fading_db", fading)
 
     @property
     def num_devices(self) -> int:
@@ -55,8 +67,8 @@ class ChannelState:
         return int(self.gains.shape[0])
 
     def total_loss_db(self) -> np.ndarray:
-        """Total loss (path loss + shadowing) in dB."""
-        return self.path_loss_db + self.shadowing_db
+        """Total loss (path loss + shadowing + fading) in dB."""
+        return self.path_loss_db + self.shadowing_db + self.fading_db
 
     def subset(self, indices: np.ndarray) -> "ChannelState":
         """Channel state restricted to the given device indices."""
@@ -66,6 +78,7 @@ class ChannelState:
             distances_km=self.distances_km[idx],
             path_loss_db=self.path_loss_db[idx],
             shadowing_db=self.shadowing_db[idx],
+            fading_db=self.fading_db[idx],
         )
 
 
@@ -76,20 +89,43 @@ class ChannelModel:
     path_loss: LogDistancePathLoss = field(default_factory=LogDistancePathLoss)
     shadowing: LogNormalShadowing = field(default_factory=LogNormalShadowing)
     noise: NoiseModel = field(default_factory=NoiseModel)
+    fading: FadingModel | None = None
 
     def realize(
-        self, topology: Topology, rng: np.random.Generator | int | None = None
+        self,
+        topology: Topology,
+        rng: np.random.Generator | int | None = None,
+        *,
+        extra_loss_db: np.ndarray | float | None = None,
     ) -> ChannelState:
-        """Sample the large-scale channel for every device in ``topology``."""
+        """Sample the channel for every device in ``topology``.
+
+        ``extra_loss_db`` adds a deterministic per-device loss (e.g. wall
+        penetration) on top of the stochastic chain.  When ``self.fading``
+        is ``None`` no extra random numbers are drawn, so the paper recipe
+        realises exactly as before.
+        """
+        # One generator for both stochastic stages: re-seeding per stage from
+        # an int ``rng`` would correlate the shadowing and fading draws.
+        generator = np.random.default_rng(rng)
         distances = topology.distances_km()
         loss_db = self.path_loss.loss_db(distances)
-        shadow_db = self.shadowing.sample_db(topology.num_devices, rng)
-        gains = 10.0 ** (-(loss_db + shadow_db) / 10.0)
+        shadow_db = self.shadowing.sample_db(topology.num_devices, generator)
+        fading_db = np.zeros(topology.num_devices, dtype=float)
+        if self.fading is not None:
+            # Fading dB gain -> loss (positive weakens the link).
+            fading_db -= self.fading.sample_db(topology.num_devices, generator)
+        if extra_loss_db is not None:
+            fading_db += np.broadcast_to(
+                np.asarray(extra_loss_db, dtype=float), (topology.num_devices,)
+            )
+        gains = 10.0 ** (-(loss_db + shadow_db + fading_db) / 10.0)
         return ChannelState(
             gains=gains,
             distances_km=distances,
             path_loss_db=loss_db,
             shadowing_db=shadow_db,
+            fading_db=fading_db,
         )
 
     def mean_gain_at(self, distance_km: float) -> float:

@@ -1,0 +1,165 @@
+"""Small-scale fading models layered on the large-scale channel.
+
+The paper's allocator treats the channel gain as a large-scale constant
+(path loss + shadowing only).  The non-paper scenario families add a
+small-scale multipath component on top: each model draws one *power* gain
+factor per device with unit mean, so enabling fading perturbs individual
+devices without biasing the average link budget.
+
+Models are registered by name (:data:`FADING_MODELS`) so scenario families
+can construct them from JSON-able parameters (``fading="rician"``,
+``fading_params={"k_db": 6.0}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "FadingModel",
+    "RayleighFading",
+    "RicianFading",
+    "NakagamiFading",
+    "register_fading_model",
+    "fading_models",
+    "make_fading",
+]
+
+
+class FadingModel:
+    """Interface: draw one linear power gain factor per device (unit mean)."""
+
+    def sample_linear(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def sample_db(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw fading as a dB *gain* (negative values weaken the link)."""
+        return 10.0 * np.log10(self.sample_linear(num_devices, rng))
+
+
+def _check_num_devices(num_devices: int) -> None:
+    if num_devices <= 0:
+        raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
+
+
+@dataclass(frozen=True)
+class RayleighFading(FadingModel):
+    """Rayleigh fading: no line of sight, power gain ~ Exp(1)."""
+
+    #: Floor on the linear power factor so one deep fade cannot produce a
+    #: numerically degenerate (zero) channel gain.
+    floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.floor < 1.0:
+            raise ConfigurationError("floor must lie in (0, 1)")
+
+    def sample_linear(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        _check_num_devices(num_devices)
+        generator = np.random.default_rng(rng)
+        return np.maximum(generator.exponential(1.0, size=num_devices), self.floor)
+
+
+@dataclass(frozen=True)
+class RicianFading(FadingModel):
+    """Rician fading with K-factor ``k_db`` (line-of-sight + scatter).
+
+    The power gain is ``|sqrt(K/(K+1)) + sqrt(1/(K+1)) h|^2`` with
+    ``h ~ CN(0, 1)``, which has unit mean for every K.  Large K approaches a
+    pure line-of-sight channel; ``K -> 0`` recovers Rayleigh.
+    """
+
+    k_db: float = 6.0
+    floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.floor < 1.0:
+            raise ConfigurationError("floor must lie in (0, 1)")
+
+    def sample_linear(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        _check_num_devices(num_devices)
+        generator = np.random.default_rng(rng)
+        k = 10.0 ** (self.k_db / 10.0)
+        los = np.sqrt(k / (k + 1.0))
+        scatter_std = np.sqrt(1.0 / (2.0 * (k + 1.0)))
+        real = los + generator.normal(0.0, scatter_std, size=num_devices)
+        imag = generator.normal(0.0, scatter_std, size=num_devices)
+        return np.maximum(real**2 + imag**2, self.floor)
+
+
+@dataclass(frozen=True)
+class NakagamiFading(FadingModel):
+    """Nakagami-m fading: power gain ~ Gamma(m, 1/m) (unit mean).
+
+    ``m = 1`` is Rayleigh; larger ``m`` concentrates the distribution
+    (milder fading); ``m = 0.5`` is the one-sided Gaussian worst case.
+    """
+
+    m: float = 2.0
+    floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.m < 0.5:
+            raise ConfigurationError(f"Nakagami m must be >= 0.5, got {self.m}")
+        if not 0.0 < self.floor < 1.0:
+            raise ConfigurationError("floor must lie in (0, 1)")
+
+    def sample_linear(
+        self, num_devices: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        _check_num_devices(num_devices)
+        generator = np.random.default_rng(rng)
+        return np.maximum(
+            generator.gamma(self.m, 1.0 / self.m, size=num_devices), self.floor
+        )
+
+
+#: Registered fading-model constructors, keyed by name.
+FADING_MODELS: dict[str, Callable[..., FadingModel]] = {}
+
+
+def register_fading_model(
+    name: str,
+) -> Callable[[Callable[..., FadingModel]], Callable[..., FadingModel]]:
+    """Register a fading-model constructor under ``name``."""
+
+    def decorator(factory: Callable[..., FadingModel]) -> Callable[..., FadingModel]:
+        FADING_MODELS[name] = factory
+        return factory
+
+    return decorator
+
+
+def fading_models() -> tuple[str, ...]:
+    """The registered fading-model names."""
+    return tuple(sorted(FADING_MODELS))
+
+
+def make_fading(name: str, **params) -> FadingModel:
+    """Construct a registered fading model from JSON-able parameters."""
+    try:
+        factory = FADING_MODELS[name]
+    except KeyError as exc:
+        known = ", ".join(fading_models())
+        raise ConfigurationError(
+            f"unknown fading model {name!r}; known: {known}"
+        ) from exc
+    return factory(**params)
+
+
+register_fading_model("rayleigh")(RayleighFading)
+register_fading_model("rician")(RicianFading)
+register_fading_model("nakagami")(NakagamiFading)

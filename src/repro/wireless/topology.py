@@ -1,7 +1,12 @@
 """Device placement around a single base station.
 
 Section VII-A drops devices uniformly at random in a circular area centred
-on the base station (default radius 0.25 km, swept up to 1.5 km in Fig. 5).
+on the base station (default radius 0.25 km, swept up to 1.5 km in Fig. 5);
+:func:`uniform_disc_topology` implements that recipe.  The non-paper
+scenario families add further layouts on the same :class:`Topology` type:
+a cell-edge annulus (:func:`cell_edge_ring_topology`), clustered hotspots
+(:func:`clustered_hotspot_topology`) and an indoor grid
+(:func:`indoor_grid_topology`).
 """
 
 from __future__ import annotations
@@ -13,7 +18,13 @@ import numpy as np
 from .. import constants
 from ..exceptions import ConfigurationError
 
-__all__ = ["Topology", "uniform_disc_topology"]
+__all__ = [
+    "Topology",
+    "uniform_disc_topology",
+    "cell_edge_ring_topology",
+    "clustered_hotspot_topology",
+    "indoor_grid_topology",
+]
 
 
 @dataclass(frozen=True)
@@ -91,3 +102,110 @@ def uniform_disc_topology(
     angles = generator.uniform(0.0, 2.0 * np.pi, size=num_devices)
     positions = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
     return Topology(positions_km=positions, radius_km=radius_km)
+
+
+def cell_edge_ring_topology(
+    num_devices: int,
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM,
+    *,
+    inner_fraction: float = 0.8,
+    rng: np.random.Generator | int | None = None,
+) -> Topology:
+    """Drop devices uniformly in the annulus ``[inner_fraction * R, R]``.
+
+    Every device sits near the cell edge, so path loss is uniformly bad —
+    the upload (communication) side dominates the optimisation.
+    """
+    if radius_km <= 0.0:
+        raise ConfigurationError(f"radius_km must be positive, got {radius_km}")
+    if not 0.0 < inner_fraction < 1.0:
+        raise ConfigurationError(
+            f"inner_fraction must lie in (0, 1), got {inner_fraction}"
+        )
+    # An annulus is a disc whose keep-out radius is the inner edge.
+    return uniform_disc_topology(
+        num_devices, radius_km, rng=rng, min_distance_km=inner_fraction * radius_km
+    )
+
+
+def clustered_hotspot_topology(
+    num_devices: int,
+    radius_km: float = constants.DEFAULT_CELL_RADIUS_KM,
+    *,
+    num_clusters: int = 3,
+    cluster_std_fraction: float = 0.08,
+    rng: np.random.Generator | int | None = None,
+    min_distance_km: float = 0.005,
+) -> Topology:
+    """Gaussian hotspots: cluster centres in the disc, devices around them.
+
+    Cluster centres are dropped uniformly in the inner 70% of the disc and
+    each device attaches to a uniformly chosen centre with an isotropic
+    Gaussian offset of standard deviation ``cluster_std_fraction * R``.
+    Positions are radially clipped into the disc, so the devices of one
+    cluster share a similar link budget — grouped contention instead of the
+    paper's smooth spread.
+    """
+    if num_devices <= 0:
+        raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
+    if radius_km <= 0.0:
+        raise ConfigurationError(f"radius_km must be positive, got {radius_km}")
+    if num_clusters <= 0:
+        raise ConfigurationError(f"num_clusters must be positive, got {num_clusters}")
+    if cluster_std_fraction <= 0.0:
+        raise ConfigurationError("cluster_std_fraction must be positive")
+    generator = np.random.default_rng(rng)
+    centre_radii = 0.7 * radius_km * np.sqrt(generator.uniform(0.0, 1.0, size=num_clusters))
+    centre_angles = generator.uniform(0.0, 2.0 * np.pi, size=num_clusters)
+    centres = np.stack(
+        [centre_radii * np.cos(centre_angles), centre_radii * np.sin(centre_angles)],
+        axis=1,
+    )
+    membership = generator.integers(0, num_clusters, size=num_devices)
+    offsets = generator.normal(
+        0.0, cluster_std_fraction * radius_km, size=(num_devices, 2)
+    )
+    positions = centres[membership] + offsets
+    # Clip radially into [min_distance_km, radius_km].
+    distances = np.linalg.norm(positions, axis=1)
+    scale = np.clip(distances, min_distance_km, radius_km) / np.maximum(distances, 1e-12)
+    positions = positions * scale[:, None]
+    return Topology(positions_km=positions, radius_km=radius_km)
+
+
+def indoor_grid_topology(
+    num_devices: int,
+    extent_km: float = 0.05,
+    *,
+    rng: np.random.Generator | int | None = None,
+    jitter_fraction: float = 0.25,
+) -> Topology:
+    """A jittered square grid inside ``[-extent/2, extent/2]^2`` (indoor).
+
+    The base station (access point) sits at the origin; devices occupy the
+    cells of the smallest square grid that fits them, each jittered by
+    ``jitter_fraction`` of a cell so repeated drops differ.  Distances are
+    tens of metres, so path loss is dominated by wall penetration rather
+    than distance (see the ``indoor`` scenario family).
+    """
+    if num_devices <= 0:
+        raise ConfigurationError(f"num_devices must be positive, got {num_devices}")
+    if extent_km <= 0.0:
+        raise ConfigurationError(f"extent_km must be positive, got {extent_km}")
+    if not 0.0 <= jitter_fraction < 0.5:
+        raise ConfigurationError("jitter_fraction must lie in [0, 0.5)")
+    generator = np.random.default_rng(rng)
+    side = int(np.ceil(np.sqrt(num_devices)))
+    cell = extent_km / side
+    cells = np.arange(side * side)
+    generator.shuffle(cells)
+    cells = cells[:num_devices]
+    rows, cols = np.divmod(cells, side)
+    centres = np.stack(
+        [(cols + 0.5) * cell - extent_km / 2.0, (rows + 0.5) * cell - extent_km / 2.0],
+        axis=1,
+    )
+    jitter = generator.uniform(-jitter_fraction, jitter_fraction, size=(num_devices, 2))
+    positions = centres + jitter * cell
+    # The radius reported for an indoor layout is the enclosing circle's.
+    return Topology(positions_km=positions, radius_km=extent_km * np.sqrt(2.0) / 2.0)

@@ -62,3 +62,50 @@ def test_paper_flag_uses_paper_config(monkeypatch, capsys):
     assert main(["run", "fig2", "--paper"]) == 0
     assert captured["config"] == fig2_module.Fig2Config.paper()
     capsys.readouterr()
+
+
+def test_list_scenarios_prints_every_family(capsys):
+    from repro import scenario_families
+
+    assert main(["list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_families():
+        assert f"{name}:" in out
+    assert "defaults:" in out
+
+
+def test_scenario_flag_points_the_sweep_at_the_family(monkeypatch, capsys):
+    captured = {}
+
+    def fake_run(config=None):
+        captured["config"] = config
+        from repro.experiments.results import ResultTable
+
+        table = ResultTable(name="stub", columns=["a"])
+        table.add_row(a=1)
+        return table
+
+    monkeypatch.setitem(EXPERIMENTS, "samples", fake_run)
+    assert main([
+        "run", "samples",
+        "--scenario", "hotspot",
+        "--scenario-param", "num_clusters=5",
+        "--scenario-param", "label=edge",
+    ]) == 0
+    capsys.readouterr()
+    sweep = captured["config"].sweep
+    assert sweep.scenario_family == "hotspot"
+    # JSON value parsed as int, non-JSON falls back to the raw string.
+    assert sweep.scenario_extra == {"num_clusters": 5, "label": "edge"}
+
+
+def test_scenario_flag_rejects_unknown_family(monkeypatch, capsys):
+    assert main(["run", "samples", "--scenario", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario family" in err and "paper" in err
+
+
+def test_scenario_param_requires_key_value(capsys):
+    assert main(["run", "samples", "--scenario", "hotspot",
+                 "--scenario-param", "oops"]) == 2
+    assert "KEY=VALUE" in capsys.readouterr().err

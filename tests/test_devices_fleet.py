@@ -94,3 +94,60 @@ def test_fleet_array_views_have_consistent_shapes():
         fleet.effective_capacitance,
     ):
         assert array.shape == (8,)
+
+
+# -- device-class mixes ------------------------------------------------------
+
+def test_mixed_fleet_draws_from_the_requested_classes():
+    from repro.devices import generate_mixed_fleet
+
+    fleet = generate_mixed_fleet(
+        80, {"phone": 0.4, "laptop": 0.3, "iot": 0.3}, rng=0
+    )
+    assert fleet.num_devices == 80
+    prefixes = {p.name.split("-")[0] for p in fleet}
+    assert prefixes <= {"phone", "laptop", "iot"}
+    assert len(prefixes) == 3  # at this size every class appears
+
+
+def test_mixed_fleet_class_scalings_apply():
+    from repro.devices import DEVICE_CLASSES, generate_mixed_fleet
+
+    fleet = generate_mixed_fleet(60, {"laptop": 0.5, "iot": 0.5}, rng=1)
+    base_fleet = generate_fleet(1, rng=0)
+    base_max_hz = base_fleet[0].max_frequency_hz
+    for profile in fleet:
+        cls = DEVICE_CLASSES[profile.name.split("-")[0]]
+        assert profile.max_frequency_hz == pytest.approx(
+            base_max_hz * cls.frequency_scale
+        )
+        assert profile.num_samples == max(1, round(500 * cls.samples_scale))
+
+
+def test_mixed_fleet_is_seed_deterministic():
+    from repro.devices import generate_mixed_fleet
+
+    a = generate_mixed_fleet(30, rng=5)
+    b = generate_mixed_fleet(30, rng=5)
+    assert [p.name for p in a] == [p.name for p in b]
+    assert np.allclose(a.cycles_per_sample, b.cycles_per_sample)
+
+
+def test_mixed_fleet_rejects_bad_shares():
+    from repro.devices import generate_mixed_fleet
+
+    with pytest.raises(ConfigurationError, match="known"):
+        generate_mixed_fleet(10, {"mainframe": 1.0}, rng=0)
+    with pytest.raises(ConfigurationError):
+        generate_mixed_fleet(10, {}, rng=0)
+    with pytest.raises(ConfigurationError):
+        generate_mixed_fleet(10, {"phone": 0.0}, rng=0)
+    with pytest.raises(ConfigurationError):
+        generate_mixed_fleet(10, samples_per_device=None, rng=0)
+
+
+def test_device_class_validates_scales():
+    from repro.devices import DeviceClass
+
+    with pytest.raises(ConfigurationError):
+        DeviceClass(name="bad", power_scale=0.0)

@@ -1,0 +1,265 @@
+"""Tests for the pluggable scenario subsystem (specs, registry, families)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ScenarioSpec,
+    build_paper_scenario,
+    build_scenario_spec,
+    get_scenario_family,
+    register_scenario_family,
+    scenario_families,
+)
+from repro.core.allocator import AllocatorConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments import SamplesConfig, SweepConfig, SweepRunner, run_samples_sweep
+from repro.experiments.base import proposed_tasks
+from repro.experiments.runner import task_hash
+from repro.scenarios.spec import SCENARIO_SCHEMA_VERSION
+
+BUILTIN_FAMILIES = ("paper", "cell-edge", "hotspot", "hetero-fleet", "indoor")
+
+#: ``build_paper_scenario(num_devices=5, seed=123).gains`` as produced by the
+#: pre-registry monolithic ``scenario.py`` — the refactor must keep the paper
+#: recipe bit-identical so every published table still reproduces.
+GOLDEN_PAPER_GAINS = (
+    3.2700376088802994e-11,
+    1.964299334287237e-12,
+    1.0721629190638075e-09,
+    7.33472816818876e-11,
+    1.8999190319385155e-11,
+)
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_builtin_families_are_registered():
+    assert set(BUILTIN_FAMILIES) <= set(scenario_families())
+
+
+def test_unknown_family_error_lists_known_names():
+    with pytest.raises(ConfigurationError, match="no-such-family") as excinfo:
+        get_scenario_family("no-such-family")
+    for name in BUILTIN_FAMILIES:
+        assert name in str(excinfo.value)
+
+
+def test_families_carry_description_and_defaults():
+    for name in BUILTIN_FAMILIES:
+        family = get_scenario_family(name)
+        assert family.description
+    assert get_scenario_family("paper").defaults["num_devices"] == 50
+    assert get_scenario_family("hotspot").defaults["num_clusters"] == 3
+
+
+def test_dotted_family_name_resolves_by_import():
+    family = get_scenario_family("repro.scenarios.paper:paper_scenario")
+    system = family.build(num_devices=4, seed=9)
+    assert np.array_equal(system.gains, build_paper_scenario(num_devices=4, seed=9).gains)
+
+
+def test_register_custom_family_roundtrip():
+    @register_scenario_family("test-tiny", description="one-off test family")
+    def tiny_scenario(**params):
+        return build_paper_scenario(num_devices=3, seed=params.get("seed", 0))
+
+    try:
+        assert "test-tiny" in scenario_families()
+        system = build_scenario_spec(ScenarioSpec("test-tiny", {"seed": 2}))
+        assert system.num_devices == 3
+    finally:
+        from repro.scenarios import spec as spec_module
+
+        spec_module._FAMILIES.pop("test-tiny", None)
+
+
+# -- specs -------------------------------------------------------------------
+
+def test_spec_from_mapping_defaults_to_paper():
+    spec = ScenarioSpec.from_mapping({"num_devices": 7, "seed": 1})
+    assert spec.family == "paper"
+    assert spec.params == {"num_devices": 7, "seed": 1}
+    assert spec.to_mapping() == {"family": "paper", "num_devices": 7, "seed": 1}
+
+
+def test_spec_rejects_family_inside_params():
+    with pytest.raises(ConfigurationError, match="family"):
+        ScenarioSpec("paper", {"family": "hotspot"})
+
+
+def test_invalid_family_params_raise_configuration_error():
+    with pytest.raises(ConfigurationError, match="paper"):
+        build_scenario_spec(ScenarioSpec("paper", {"not_a_knob": 1}))
+
+
+# -- every family builds a valid, reproducible SystemModel -------------------
+
+@pytest.mark.parametrize("family", BUILTIN_FAMILIES)
+def test_family_builds_valid_system(family):
+    system = build_scenario_spec(ScenarioSpec(family, {"num_devices": 9, "seed": 4}))
+    assert system.num_devices == 9
+    assert np.all(system.gains > 0.0) and np.all(np.isfinite(system.gains))
+    assert np.all(system.max_power_w > 0.0)
+    assert np.all(system.max_frequency_hz >= system.min_frequency_hz)
+    assert system.channel_state is not None
+    assert system.channel_state.num_devices == 9
+
+
+@pytest.mark.parametrize("family", BUILTIN_FAMILIES)
+def test_family_is_seed_deterministic(family):
+    a = build_scenario_spec(ScenarioSpec(family, {"num_devices": 6, "seed": 11}))
+    b = build_scenario_spec(ScenarioSpec(family, {"num_devices": 6, "seed": 11}))
+    c = build_scenario_spec(ScenarioSpec(family, {"num_devices": 6, "seed": 12}))
+    assert np.array_equal(a.gains, b.gains)
+    assert not np.array_equal(a.gains, c.gains)
+
+
+@pytest.mark.parametrize("family", BUILTIN_FAMILIES)
+def test_family_accepts_standard_sweep_knobs(family):
+    params = SweepConfig(num_devices=5, scenario_family=family).scenario_params(seed=0)
+    system = build_scenario_spec(ScenarioSpec.from_mapping(params))
+    assert system.num_devices == 5
+
+
+def test_paper_family_bit_identical_to_pre_refactor():
+    system = build_paper_scenario(num_devices=5, seed=123)
+    assert system.gains.tolist() == list(GOLDEN_PAPER_GAINS)
+    via_registry = build_scenario_spec(
+        ScenarioSpec("paper", {"num_devices": 5, "seed": 123})
+    )
+    assert via_registry.gains.tolist() == list(GOLDEN_PAPER_GAINS)
+
+
+# -- family-specific behaviour ----------------------------------------------
+
+def test_cell_edge_devices_sit_near_the_edge():
+    system = build_scenario_spec(
+        ScenarioSpec("cell-edge", {"num_devices": 40, "seed": 0, "radius_km": 1.0})
+    )
+    distances = system.channel_state.distances_km
+    assert np.all(distances >= 0.8 - 1e-9) and np.all(distances <= 1.0 + 1e-9)
+
+
+def test_hetero_fleet_mixes_device_classes():
+    system = build_scenario_spec(
+        ScenarioSpec("hetero-fleet", {"num_devices": 60, "seed": 0})
+    )
+    prefixes = {p.name.split("-")[0] for p in system.fleet}
+    assert len(prefixes) >= 2  # at least two classes drawn at this size
+    assert len(set(np.round(system.max_frequency_hz, 3))) >= 2
+
+
+def test_indoor_wall_loss_reduces_gains():
+    base = {"num_devices": 16, "seed": 5}
+    with_walls = build_scenario_spec(
+        ScenarioSpec("indoor", {**base, "wall_loss_db": 10.0})
+    )
+    without = build_scenario_spec(ScenarioSpec("indoor", {**base, "wall_loss_db": 0.0}))
+    assert np.all(with_walls.gains <= without.gains)
+    assert np.any(with_walls.gains < without.gains)
+
+
+# -- sweep-engine integration ------------------------------------------------
+
+def test_family_is_part_of_the_cache_key():
+    base = SweepConfig(num_devices=6, num_trials=1)
+    [paper_task] = proposed_tasks(("p",), base, 0.5)
+    [hotspot_task] = proposed_tasks(("p",), base.with_scenario("hotspot"), 0.5)
+    assert task_hash(paper_task) != task_hash(hotspot_task)
+
+    payload = hotspot_task.payload()
+    assert payload["scenario_family"] == "hotspot"
+    assert payload["scenario_schema"] == SCENARIO_SCHEMA_VERSION
+    assert "family" not in payload["scenario"]
+
+
+def test_scenario_extra_params_change_the_cache_key():
+    base = SweepConfig(num_devices=6, num_trials=1).with_scenario("hotspot")
+    [three] = proposed_tasks(("p",), base, 0.5)
+    [five] = proposed_tasks(("p",), base.with_scenario("hotspot", num_clusters=5), 0.5)
+    assert task_hash(three) != task_hash(five)
+
+
+def test_with_scenario_merges_extra_params():
+    sweep = SweepConfig().with_scenario("hotspot", num_clusters=4)
+    sweep = sweep.with_scenario("hotspot", cluster_std_fraction=0.2)
+    assert sweep.scenario_family == "hotspot"
+    assert sweep.scenario_extra == {"num_clusters": 4, "cluster_std_fraction": 0.2}
+    params = sweep.scenario_params(seed=3)
+    assert params["family"] == "hotspot"
+    assert params["num_clusters"] == 4
+
+
+def _tiny_hotspot_config() -> SamplesConfig:
+    sweep = SweepConfig(
+        num_devices=6, num_trials=2, allocator=AllocatorConfig(max_iterations=5)
+    ).with_scenario("hotspot", num_clusters=2)
+    return SamplesConfig(sweep=sweep, samples_grid=(250, 500))
+
+
+def test_non_paper_family_table_parity_between_jobs_1_and_4():
+    config = _tiny_hotspot_config()
+    serial = run_samples_sweep(config, runner=SweepRunner(jobs=1))
+    parallel = run_samples_sweep(config, runner=SweepRunner(jobs=4))
+    assert serial.rows == parallel.rows
+    assert serial.columns == parallel.columns
+
+
+# -- review regressions ------------------------------------------------------
+
+def test_hetero_fleet_honors_total_samples():
+    system = build_scenario_spec(
+        ScenarioSpec("hetero-fleet", {"num_devices": 10, "seed": 0,
+                                      "total_samples": 500})
+    )
+    # 50 base samples per device, scaled per class (0.3x .. 2x) — nowhere
+    # near the 500/device default that ignoring total_samples would give.
+    assert system.fleet.total_samples < 10 * 150
+
+
+def test_indoor_radius_sweep_changes_the_drop():
+    small = build_scenario_spec(
+        ScenarioSpec("indoor", {"num_devices": 9, "seed": 0, "radius_km": 0.25})
+    )
+    large = build_scenario_spec(
+        ScenarioSpec("indoor", {"num_devices": 9, "seed": 0, "radius_km": 1.0})
+    )
+    assert np.max(large.channel_state.distances_km) > np.max(
+        small.channel_state.distances_km
+    )
+
+
+def test_scenario_params_reject_family_smuggled_in_extras():
+    with pytest.raises(ConfigurationError, match="family"):
+        SweepConfig().with_scenario("hotspot", **{"family": "paper"})
+    with pytest.raises(ConfigurationError, match="family"):
+        SweepConfig().scenario_params(seed=0, family="hotspot")
+    # A family planted directly in scenario_extra is caught at task build.
+    smuggled = SweepConfig(scenario_extra={"family": "hotspot"})
+    with pytest.raises(ConfigurationError, match="family"):
+        smuggled.scenario_params(seed=0)
+
+
+def test_dotted_family_with_bad_module_raises_configuration_error():
+    with pytest.raises(ConfigurationError, match="cannot resolve"):
+        get_scenario_family("no_such_module.at_all:builder")
+    with pytest.raises(ConfigurationError, match="cannot resolve"):
+        get_scenario_family("repro.scenarios.paper:no_such_builder")
+
+
+def test_channel_int_seed_does_not_correlate_shadowing_and_fading():
+    from repro.wireless import ChannelModel, RayleighFading, uniform_disc_topology
+
+    topology = uniform_disc_topology(2000, 0.25, rng=0)
+    state = ChannelModel(fading=RayleighFading()).realize(topology, rng=7)
+    corr = np.corrcoef(state.shadowing_db, state.fading_db)[0, 1]
+    assert abs(corr) < 0.1
+
+
+def test_scenario_extra_cannot_pin_the_trial_seed():
+    with pytest.raises(ConfigurationError, match="seed"):
+        SweepConfig().with_scenario("hotspot", seed=5)
+    pinned = SweepConfig(scenario_extra={"seed": 5})
+    with pytest.raises(ConfigurationError, match="seed"):
+        pinned.scenario_params(seed=0)

@@ -1,0 +1,108 @@
+"""Tests for the small-scale fading models and their registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless import (
+    ChannelModel,
+    NakagamiFading,
+    RayleighFading,
+    RicianFading,
+    fading_models,
+    make_fading,
+    uniform_disc_topology,
+)
+
+ALL_MODELS = [RayleighFading(), RicianFading(k_db=6.0), NakagamiFading(m=2.0)]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_unit_mean_power(model):
+    draws = model.sample_linear(200_000, rng=0)
+    assert np.all(draws > 0.0)
+    assert np.mean(draws) == pytest.approx(1.0, rel=0.02)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_seed_determinism(model):
+    a = model.sample_linear(50, rng=np.random.default_rng(7))
+    b = model.sample_linear(50, rng=np.random.default_rng(7))
+    c = model.sample_linear(50, rng=np.random.default_rng(8))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_sample_db_matches_linear(model):
+    rng_lin, rng_db = np.random.default_rng(3), np.random.default_rng(3)
+    linear = model.sample_linear(20, rng_lin)
+    db = model.sample_db(20, rng_db)
+    assert np.allclose(db, 10.0 * np.log10(linear))
+
+
+def test_larger_rician_k_concentrates_the_distribution():
+    weak = RicianFading(k_db=0.0).sample_linear(100_000, rng=1)
+    strong = RicianFading(k_db=15.0).sample_linear(100_000, rng=1)
+    assert np.var(strong) < np.var(weak)
+
+
+def test_larger_nakagami_m_concentrates_the_distribution():
+    mild = NakagamiFading(m=1.0).sample_linear(100_000, rng=1)
+    milder = NakagamiFading(m=4.0).sample_linear(100_000, rng=1)
+    assert np.var(milder) < np.var(mild)
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ConfigurationError):
+        NakagamiFading(m=0.25)
+    with pytest.raises(ConfigurationError):
+        RayleighFading(floor=0.0)
+    with pytest.raises(ConfigurationError):
+        RayleighFading().sample_linear(0)
+
+
+def test_registry_lists_and_constructs_models():
+    assert {"rayleigh", "rician", "nakagami"} <= set(fading_models())
+    model = make_fading("rician", k_db=9.0)
+    assert isinstance(model, RicianFading) and model.k_db == 9.0
+
+
+def test_unknown_fading_name_lists_known():
+    with pytest.raises(ConfigurationError, match="rayleigh"):
+        make_fading("weibull")
+
+
+# -- channel integration -----------------------------------------------------
+
+def test_channel_with_fading_records_loss_and_changes_gains():
+    topology = uniform_disc_topology(12, 0.25, rng=0)
+    plain = ChannelModel().realize(topology, rng=np.random.default_rng(5))
+    faded = ChannelModel(fading=RayleighFading()).realize(
+        topology, rng=np.random.default_rng(5)
+    )
+    assert np.all(plain.fading_db == 0.0)
+    assert not np.array_equal(faded.gains, plain.gains)
+    assert np.any(faded.fading_db != 0.0)
+    assert np.allclose(
+        faded.gains, 10.0 ** (-(faded.total_loss_db()) / 10.0)
+    )
+
+
+def test_channel_extra_loss_db_is_applied_per_device():
+    topology = uniform_disc_topology(4, 0.25, rng=0)
+    extra = np.array([0.0, 10.0, 20.0, 30.0])
+    plain = ChannelModel().realize(topology, rng=np.random.default_rng(2))
+    lossy = ChannelModel().realize(
+        topology, rng=np.random.default_rng(2), extra_loss_db=extra
+    )
+    assert np.allclose(lossy.gains, plain.gains * 10.0 ** (-extra / 10.0))
+
+
+def test_channel_subset_keeps_fading():
+    topology = uniform_disc_topology(6, 0.25, rng=0)
+    state = ChannelModel(fading=NakagamiFading()).realize(
+        topology, rng=np.random.default_rng(1)
+    )
+    subset = state.subset(np.array([1, 3]))
+    assert np.array_equal(subset.fading_db, state.fading_db[[1, 3]])

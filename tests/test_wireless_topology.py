@@ -55,3 +55,68 @@ def test_invalid_arguments_rejected():
         uniform_disc_topology(5, radius_km=0.1, min_distance_km=0.2)
     with pytest.raises(ConfigurationError):
         Topology(positions_km=np.zeros((3, 3)))
+
+
+# -- non-paper topologies ----------------------------------------------------
+
+def test_cell_edge_ring_confines_devices_to_the_annulus():
+    from repro.wireless import cell_edge_ring_topology
+
+    topology = cell_edge_ring_topology(300, radius_km=1.0, inner_fraction=0.8, rng=0)
+    distances = topology.distances_km()
+    assert topology.num_devices == 300
+    assert np.all(distances >= 0.8 - 1e-12)
+    assert np.all(distances <= 1.0 + 1e-12)
+
+
+def test_cell_edge_ring_validates_inner_fraction():
+    from repro.wireless import cell_edge_ring_topology
+
+    with pytest.raises(ConfigurationError):
+        cell_edge_ring_topology(10, inner_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        cell_edge_ring_topology(10, inner_fraction=0.0)
+
+
+def test_clustered_hotspot_stays_in_the_disc_and_is_deterministic():
+    from repro.wireless import clustered_hotspot_topology
+
+    a = clustered_hotspot_topology(100, radius_km=0.5, num_clusters=3, rng=4)
+    b = clustered_hotspot_topology(100, radius_km=0.5, num_clusters=3, rng=4)
+    assert a.num_devices == 100
+    assert np.allclose(a.positions_km, b.positions_km)
+    distances = a.distances_km()
+    assert np.all(distances <= 0.5 + 1e-12)
+    assert np.all(distances >= 0.005 - 1e-12)
+
+
+def test_clustered_hotspot_is_more_clustered_than_uniform():
+    from repro.wireless import clustered_hotspot_topology
+
+    clustered = clustered_hotspot_topology(
+        400, radius_km=1.0, num_clusters=2, cluster_std_fraction=0.02, rng=0
+    )
+    uniform = uniform_disc_topology(400, radius_km=1.0, rng=0)
+    # With two tight clusters the spread of pairwise positions collapses.
+    assert np.std(clustered.positions_km) < np.std(uniform.positions_km)
+
+
+def test_indoor_grid_fits_the_extent():
+    from repro.wireless import indoor_grid_topology
+
+    topology = indoor_grid_topology(10, extent_km=0.05, rng=2)
+    assert topology.num_devices == 10
+    assert np.all(np.abs(topology.positions_km) <= 0.025 + 1e-12)
+    # Grid cells are distinct: no two devices share a position.
+    assert len({tuple(p) for p in np.round(topology.positions_km, 9).tolist()}) == 10
+
+
+def test_indoor_grid_validates_parameters():
+    from repro.wireless import indoor_grid_topology
+
+    with pytest.raises(ConfigurationError):
+        indoor_grid_topology(0)
+    with pytest.raises(ConfigurationError):
+        indoor_grid_topology(4, extent_km=-1.0)
+    with pytest.raises(ConfigurationError):
+        indoor_grid_topology(4, jitter_fraction=0.5)
