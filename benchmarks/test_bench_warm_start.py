@@ -1,0 +1,65 @@
+"""Benchmark the warm-started sweep hot path against the cold baseline.
+
+This is the pytest-visible twin of ``repro bench``: it times the same
+Figure-2 sweep cold and warm-started and asserts the warm-start contract —
+identical solver trajectories (same iteration totals), metric parity within
+1e-6, and a real wall-clock win.  The asserted speedup floor is softer than
+the ``repro bench`` gate (1.3x) so a loaded CI box cannot flake the tier-1
+suite; the strict gate lives in the bench job's baseline comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import Fig2Config, run_fig2
+from repro.experiments.runner import SweepRunner
+
+from .conftest import bench_sweep
+
+
+def _timed_run(config, warm):
+    outcomes = []
+    runner = SweepRunner(
+        jobs=1,
+        use_cache=False,
+        warm_start=warm,
+        progress=lambda done, total, outcome: outcomes.append(outcome),
+    )
+    started = time.perf_counter()
+    table = run_fig2(config, runner=runner)
+    elapsed = time.perf_counter() - started
+    return table, outcomes, elapsed
+
+
+def test_bench_warm_start_fig2(run_once):
+    config = Fig2Config(
+        sweep=bench_sweep(num_devices=15, num_trials=1),
+        max_power_dbm_grid=(5.0, 7.0, 9.0, 12.0),
+        weight_pairs=((0.9, 0.1), (0.5, 0.5)),
+        include_benchmark=False,
+    )
+    cold_table, cold_outcomes, cold_s = _timed_run(config, warm=False)
+    warm_table, warm_outcomes, warm_s = run_once(_timed_run, config, warm=True)
+
+    total = lambda outs, key: sum(o.metrics[key] for o in outs if o.ok)  # noqa: E731
+    speedup = cold_s / max(warm_s, 1e-9)
+    print(
+        f"\ncold {cold_s:.2f}s vs warm {warm_s:.2f}s ({speedup:.2f}x); "
+        f"outer iterations {total(cold_outcomes, 'iterations'):.0f} -> "
+        f"{total(warm_outcomes, 'iterations'):.0f}"
+    )
+
+    # Trajectory preservation: identical iteration totals, parity <= 1e-6.
+    assert total(warm_outcomes, "iterations") == total(cold_outcomes, "iterations")
+    assert total(warm_outcomes, "inner_iterations") == total(
+        cold_outcomes, "inner_iterations"
+    )
+    for cold_row, warm_row in zip(cold_table.rows, warm_table.rows):
+        for column in ("energy_j", "time_s", "objective"):
+            assert warm_row[column] == pytest.approx(cold_row[column], rel=1e-6)
+
+    # The hot path must actually be hotter (soft floor; see module docstring).
+    assert speedup > 1.15

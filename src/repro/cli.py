@@ -108,12 +108,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every task instead of reusing the on-disk result cache",
     )
     run.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed each sweep point from its neighbour's solution along the "
+        "sweep axis (faster; results match a cold run within solver tolerance)",
+    )
+    run.add_argument(
         "--cache-dir",
         metavar="DIR",
         help="result-cache root (default: $REPRO_CACHE_DIR or ./.repro-cache)",
     )
     run.add_argument("--output", help="write the result table to this JSON file")
     run.add_argument("--csv", help="write the result rows to this CSV file")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite (cold vs warm-started fig2 sweep) and "
+        "write a BENCH_PR<k>.json perf report",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced suite (smaller fleet/grid) — what CI runs",
+    )
+    bench.add_argument(
+        "--label",
+        default="PR3",
+        help="report label; also names the default output file (default: PR3)",
+    )
+    bench.add_argument(
+        "--output",
+        help="report path (default: BENCH_<label>.json in the current directory)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="compare against a committed baseline report and exit non-zero "
+        "on a tracked-metric regression, a missed floor, or a parity breach",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative regression tolerance for tracked metrics (default 0.20)",
+    )
     return parser
 
 
@@ -179,6 +217,7 @@ def _make_runner(name: str, args: argparse.Namespace) -> SweepRunner:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        warm_start=getattr(args, "warm_start", False),
         progress=_ProgressPrinter(name),
     )
 
@@ -209,9 +248,10 @@ def _run(
             table = experiment(config) if config is not None else experiment()
         stats = runner.last_stats
         if stats.total:
+            warm = f", {stats.warm_started} warm-started" if stats.warm_started else ""
             print(
                 f"[{name}] {stats.total} tasks in {stats.elapsed_s:.1f}s "
-                f"({stats.cache_hits} cached, {stats.failed} failed, "
+                f"({stats.cache_hits} cached, {stats.failed} failed{warm}, "
                 f"jobs={runner.jobs})",
                 file=sys.stderr,
             )
@@ -228,10 +268,44 @@ def _run(
     return table
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from .perf import bench
+
+    report = bench.run_bench(quick=args.quick, label=args.label)
+    metrics = report["metrics"]
+    output = args.output or f"BENCH_{args.label}.json"
+    bench.write_report(report, output)
+    print(
+        f"[bench:{report['mode']}] cold {metrics['cold_wall_s']:.2f}s -> warm "
+        f"{metrics['warm_wall_s']:.2f}s ({metrics['warm_wall_speedup']:.2f}x), "
+        f"outer iterations {metrics['cold_outer_iterations']:.0f} -> "
+        f"{metrics['warm_outer_iterations']:.0f}, parity "
+        f"{metrics['parity_max_rel_dev']:.2e}",
+        file=sys.stderr,
+    )
+    print(f"wrote {output}")
+    if args.compare:
+        baseline = bench.load_report(args.compare)
+        tolerance = args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+        problems = bench.compare_reports(report, baseline, tolerance=tolerance)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression against {args.compare} "
+            f"(tolerance {tolerance:.0%}, baseline {baseline.get('label')})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the ``repro`` script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)

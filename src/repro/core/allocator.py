@@ -27,10 +27,12 @@ Two special regimes are handled exactly as the paper's experiments use them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from ..exceptions import InfeasibleProblemError
+from ..perf.timers import StageTimings, stage
 from ..solvers.dual_decomposition import minimize_separable_with_budget
 from ..system import SystemModel
 from ..wireless.rate import min_bandwidth_for_rate
@@ -85,6 +87,13 @@ class AllocationResult:
     iterations: int
     feasible: bool
     history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+    #: Total Algorithm-1 (sum-of-ratios) iterations across every outer step.
+    inner_iterations: int = 0
+    #: Per-stage wall-clock seconds (``algorithm2``, ``sp1``, ``sp2``, ...).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Numerical warm-start hints for a neighbouring problem (currently the
+    #: final bandwidth multiplier ``mu`` of the inner KKT solve).
+    warm_hints: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
         """Scalar metrics as a plain dictionary (used by the experiment tables)."""
@@ -95,6 +104,7 @@ class AllocationResult:
             "transmission_energy_j": self.transmission_energy_j,
             "computation_energy_j": self.computation_energy_j,
             "iterations": float(self.iterations),
+            "inner_iterations": float(self.inner_iterations),
             "converged": float(self.converged),
             "feasible": float(self.feasible),
         }
@@ -111,53 +121,105 @@ class ResourceAllocator:
         self,
         problem: JointProblem,
         initial_allocation: ResourceAllocation | None = None,
+        warm_hints: Mapping[str, float] | None = None,
     ) -> AllocationResult:
-        """Run Algorithm 2 on ``problem`` and return the final allocation."""
+        """Run Algorithm 2 on ``problem`` and return the final allocation.
+
+        ``initial_allocation`` overrides the configured initial-point
+        strategy.  Beware that the alternating scheme is a heuristic with
+        many fixed points: a different initial point generally converges to
+        a (slightly) different solution.
+
+        ``warm_hints`` switches the inner solvers onto their seeded path
+        (optionally carrying a neighbouring problem's final bandwidth
+        multiplier under ``"mu"``).  This is the *trajectory-preserving*
+        warm start the sweep engine uses: every iterate matches the unhinted
+        solve to the inner bisection tolerance, only the root-finding work
+        shrinks — so warm and cold runs agree far within the parity
+        tolerance while the hot path gets measurably faster.
+        """
         system = problem.system
         config = self.config
-        allocation = initial_allocation or self._initial_allocation(problem)
+        timings = StageTimings()
+        mu_hint = (
+            max(float(warm_hints.get("mu", 0.0)), 0.0)
+            if warm_hints is not None
+            else None
+        )
+        last_mu = 0.0
+        delay_only = problem.energy_weight <= 0.0 and problem.deadline_s is None
+        with stage("algorithm2", timings):
+            allocation = initial_allocation or self._initial_allocation(problem)
 
-        if problem.energy_weight <= 0.0 and problem.deadline_s is None:
-            return self._solve_delay_only(problem, allocation)
-
-        history = ConvergenceHistory()
-        converged = False
-        feasible = True
-        round_deadline = allocation.round_time_s(system)
-        iteration = 0
-
-        for iteration in range(1, config.max_iterations + 1):
-            previous = allocation
-
-            # Step 1: Subproblem 1 — CPU frequencies and round deadline.
-            upload_time = system.upload_time_s(
-                allocation.power_w, allocation.bandwidth_hz
+            if delay_only:
+                allocation, history = self._solve_delay_only(problem, timings)
+        if delay_only:
+            return self._finalize(
+                problem,
+                allocation,
+                allocation.round_time_s(system),
+                history,
+                converged=True,
+                iterations=1,
+                feasible=True,
+                timings=timings,
             )
-            sp1 = solve_subproblem1(
-                system,
-                problem.energy_weight,
-                problem.time_weight,
-                upload_time,
-                round_deadline_s=problem.round_deadline_s,
-                method=config.subproblem1_method,
-            )
-            allocation = allocation.with_frequency(sp1.frequency_hz)
-            round_deadline = sp1.round_deadline_s
+        with stage("algorithm2", timings):
+            history = ConvergenceHistory()
+            converged = False
+            feasible = True
+            inner_iterations = 0
+            round_deadline = allocation.round_time_s(system)
+            iteration = 0
 
-            # Step 2: Subproblem 2 — transmit power and bandwidth.
-            allocation, feasible = self._solve_communication(
-                problem, allocation, round_deadline
-            )
+            for iteration in range(1, config.max_iterations + 1):
+                previous = allocation
 
-            objective = problem.objective(allocation)
-            step_change = allocation.distance_to(previous)
-            history.append(objective, step_change=step_change, note=f"outer-{iteration}")
-            if step_change <= config.tolerance:
-                converged = True
-                break
+                # Step 1: Subproblem 1 — CPU frequencies and round deadline.
+                with stage("sp1", timings):
+                    upload_time = system.upload_time_s(
+                        allocation.power_w, allocation.bandwidth_hz
+                    )
+                    sp1 = solve_subproblem1(
+                        system,
+                        problem.energy_weight,
+                        problem.time_weight,
+                        upload_time,
+                        round_deadline_s=problem.round_deadline_s,
+                        method=config.subproblem1_method,
+                    )
+                allocation = allocation.with_frequency(sp1.frequency_hz)
+                round_deadline = sp1.round_deadline_s
+
+                # Step 2: Subproblem 2 — transmit power and bandwidth.
+                with stage("sp2", timings):
+                    allocation, feasible, inner, mu = self._solve_communication(
+                        problem, allocation, round_deadline, mu_hint=mu_hint
+                    )
+                inner_iterations += inner
+                if mu > 0.0:
+                    last_mu = mu
+                    if mu_hint is not None:
+                        mu_hint = mu
+
+                objective = problem.objective(allocation)
+                step_change = allocation.distance_to(previous)
+                history.append(objective, step_change=step_change, note=f"outer-{iteration}")
+                if step_change <= config.tolerance:
+                    converged = True
+                    break
 
         return self._finalize(
-            problem, allocation, round_deadline, history, converged, iteration, feasible
+            problem,
+            allocation,
+            round_deadline,
+            history,
+            converged,
+            iteration,
+            feasible,
+            inner_iterations=inner_iterations,
+            timings=timings,
+            warm_hints={"mu": last_mu} if last_mu > 0.0 else {},
         )
 
     # -- internals ----------------------------------------------------------
@@ -272,8 +334,14 @@ class ResourceAllocator:
         problem: JointProblem,
         allocation: ResourceAllocation,
         round_deadline_s: float,
-    ) -> tuple[ResourceAllocation, bool]:
-        """Solve Subproblem 2 for the current frequencies and deadline."""
+        mu_hint: float | None = None,
+    ) -> tuple[ResourceAllocation, bool, int, float]:
+        """Solve Subproblem 2.
+
+        Returns ``(allocation, feasible, inner iterations, final bandwidth
+        multiplier)`` — the multiplier is 0 when the inner solver did not
+        run or the budget constraint was slack.
+        """
         system = problem.system
         config = self.config
 
@@ -289,18 +357,26 @@ class ResourceAllocator:
 
         if problem.energy_weight <= 0.0:
             uplink = minimize_max_upload_time(system)
-            return allocation.with_communication(uplink.power_w, uplink.bandwidth_hz), True
+            return (
+                allocation.with_communication(uplink.power_w, uplink.bandwidth_hz),
+                True,
+                0,
+                0.0,
+            )
 
         solver = SumOfRatiosSolver(
             system, problem.energy_weight, config=config.sum_of_ratios
         )
         try:
             result = solver.solve(
-                min_rate, allocation.power_w, allocation.bandwidth_hz
+                min_rate,
+                allocation.power_w,
+                allocation.bandwidth_hz,
+                mu_hint=mu_hint,
             )
         except InfeasibleProblemError:
             # Keep the previous (feasible) communication allocation.
-            return allocation, False
+            return allocation, False, 0, 0.0
         candidate = allocation.with_communication(result.power_w, result.bandwidth_hz)
         # Never accept a step that increases the overall weighted objective;
         # the alternating scheme then remains monotone even when the inner
@@ -309,15 +385,16 @@ class ResourceAllocator:
             problem.deadline_s is not None
             and not problem.is_feasible(allocation, rtol=1e-6)
         ):
-            return candidate, result.feasible
-        return allocation, True
+            return candidate, result.feasible, result.iterations, result.bandwidth_multiplier
+        return allocation, True, result.iterations, result.bandwidth_multiplier
 
     def _solve_delay_only(
-        self, problem: JointProblem, allocation: ResourceAllocation
-    ) -> AllocationResult:
+        self, problem: JointProblem, timings: StageTimings
+    ) -> tuple[ResourceAllocation, ConvergenceHistory]:
         """Closed-form solution for ``w1 = 0``: max frequency, min-max upload."""
         system = problem.system
-        uplink = minimize_max_upload_time(system)
+        with stage("sp2", timings):
+            uplink = minimize_max_upload_time(system)
         allocation = ResourceAllocation(
             power_w=uplink.power_w,
             bandwidth_hz=uplink.bandwidth_hz,
@@ -325,15 +402,7 @@ class ResourceAllocator:
         )
         history = ConvergenceHistory()
         history.append(problem.objective(allocation), note="delay-only")
-        return self._finalize(
-            problem,
-            allocation,
-            allocation.round_time_s(system),
-            history,
-            converged=True,
-            iterations=1,
-            feasible=True,
-        )
+        return allocation, history
 
     def _finalize(
         self,
@@ -344,6 +413,9 @@ class ResourceAllocator:
         converged: bool,
         iterations: int,
         feasible: bool,
+        inner_iterations: int = 0,
+        timings: StageTimings | None = None,
+        warm_hints: dict[str, float] | None = None,
     ) -> AllocationResult:
         terms = problem.objective_terms(allocation)
         report = problem.feasibility(allocation)
@@ -359,4 +431,7 @@ class ResourceAllocator:
             iterations=iterations,
             feasible=feasible and report.is_feasible,
             history=history,
+            inner_iterations=inner_iterations,
+            timings=timings.as_dict() if timings is not None else {},
+            warm_hints=warm_hints or {},
         )

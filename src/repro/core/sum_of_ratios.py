@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import InfeasibleProblemError
+from ..exceptions import InfeasibleProblemError, SolverError
+from ..perf.timers import stage
 from ..solvers.newton import damped_newton_step
 from ..system import SystemModel
 from .convergence import ConvergenceHistory
@@ -67,6 +68,9 @@ class SumOfRatiosResult:
     iterations: int
     feasible: bool
     history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
+    #: Final bandwidth multiplier of the inner KKT solve (0 when the budget
+    #: constraint was slack); a warm-start hint for nearby problems.
+    bandwidth_multiplier: float = 0.0
 
 
 class SumOfRatiosSolver:
@@ -109,13 +113,14 @@ class SumOfRatiosSolver:
         min_rate_bps: np.ndarray,
         incumbent_power: np.ndarray,
         incumbent_bandwidth: np.ndarray,
+        mu_hint: float | None = None,
     ) -> SP2Result:
         """Solve SP2_v2, falling back to the numeric solver and, as a last
         resort, to the (feasible) incumbent point."""
         from .subproblem2 import sp2_objective
 
         try:
-            result = solve_sp2_v2(self.system, nu, beta, min_rate_bps)
+            result = solve_sp2_v2(self.system, nu, beta, min_rate_bps, mu_hint=mu_hint)
             if result.feasible or not self.config.use_numeric_fallback:
                 return result
         except InfeasibleProblemError:
@@ -123,7 +128,11 @@ class SumOfRatiosSolver:
                 raise
         try:
             return solve_sp2_v2_numeric(self.system, nu, beta, min_rate_bps)
-        except InfeasibleProblemError:
+        except (InfeasibleProblemError, SolverError):
+            # SolverError covers the numeric path's own failure modes (e.g.
+            # an unbracketable budget multiplier); the incumbent is the
+            # documented last resort either way, and the caller's monotone
+            # objective guard keeps a bad step from being accepted.
             return SP2Result(
                 power_w=incumbent_power.copy(),
                 bandwidth_hz=incumbent_bandwidth.copy(),
@@ -160,17 +169,50 @@ class SumOfRatiosSolver:
         min_rate_bps: np.ndarray,
         initial_power_w: np.ndarray,
         initial_bandwidth_hz: np.ndarray,
+        *,
+        initial_beta: np.ndarray | None = None,
+        initial_nu: np.ndarray | None = None,
+        mu_hint: float | None = None,
     ) -> SumOfRatiosResult:
-        """Run Algorithm 1 from a feasible ``(p, B)`` starting point."""
+        """Run Algorithm 1 from a feasible ``(p, B)`` starting point.
+
+        ``initial_beta`` / ``initial_nu`` warm-start the auxiliary variables
+        (both must be given together); by default they are derived from the
+        initial point's exact ratios, which is the paper's initialisation.
+        A warm pair from a nearby problem can save Newton iterations — the
+        converged solution is the same root either way.
+
+        ``mu_hint`` switches the inner KKT solve onto its seeded path: the
+        bandwidth-multiplier search starts from the hint (pass ``0.0`` for
+        "seeded path, no prior value") and each subsequent inner solve is
+        seeded with its predecessor's multiplier.  Unlike ``initial_beta`` /
+        ``initial_nu`` — which select the Newton root and can change which
+        stationary point Algorithm 1 converges to — the hint is
+        trajectory-preserving: every iterate matches the unhinted solve to
+        the multiplier bisection's tolerance.
+        """
         system = self.system
         config = self.config
         min_rate = np.maximum(np.asarray(min_rate_bps, dtype=float), 0.0)
         power = np.asarray(initial_power_w, dtype=float).copy()
         bandwidth = np.asarray(initial_bandwidth_hz, dtype=float).copy()
 
+        if (initial_beta is None) != (initial_nu is None):
+            raise ValueError("initial_beta and initial_nu must be given together")
+
         rates = self._rates(power, bandwidth)
-        beta = power * system.upload_bits / rates
-        nu = self._scale / rates
+        if initial_beta is not None:
+            beta = np.asarray(initial_beta, dtype=float).copy()
+            nu = np.asarray(initial_nu, dtype=float).copy()
+            if beta.shape != power.shape or nu.shape != power.shape:
+                raise ValueError(
+                    "initial_beta/initial_nu must have one entry per device"
+                )
+            if np.any(~np.isfinite(beta)) or np.any(~np.isfinite(nu)) or np.any(nu <= 0.0):
+                raise ValueError("initial_beta/initial_nu must be finite with nu > 0")
+        else:
+            beta = power * system.upload_bits / rates
+            nu = self._scale / rates
 
         history = ConvergenceHistory()
         converged = False
@@ -180,9 +222,17 @@ class SumOfRatiosSolver:
         )
         residual_scale = max(residual_scale, 1e-12)
 
+        last_multiplier = 0.0
         iteration = 0
         for iteration in range(1, config.max_iterations + 1):
-            inner = self._solve_inner(nu, beta, min_rate, power, bandwidth)
+            with stage("sp2_inner"):
+                inner = self._solve_inner(
+                    nu, beta, min_rate, power, bandwidth, mu_hint=mu_hint
+                )
+            if inner.bandwidth_multiplier > 0.0:
+                last_multiplier = inner.bandwidth_multiplier
+            if mu_hint is not None and inner.bandwidth_multiplier > 0.0:
+                mu_hint = inner.bandwidth_multiplier
             new_power, new_bandwidth = inner.power_w, inner.bandwidth_hz
             feasible = inner.feasible
             new_rates = self._rates(new_power, new_bandwidth)
@@ -242,4 +292,5 @@ class SumOfRatiosSolver:
             iterations=iteration,
             feasible=feasible,
             history=history,
+            bandwidth_multiplier=last_multiplier,
         )

@@ -58,6 +58,15 @@ def minimize_max_upload_time(
     bits = system.upload_bits
     budget = system.total_bandwidth_hz
 
+    if not np.any(bits > 0.0):
+        # Degenerate fleet with nothing to upload: every split achieves the
+        # optimal (zero) upload time; return the equal split.
+        return UploadTimeAllocation(
+            power_w=power,
+            bandwidth_hz=np.full(system.num_devices, budget / system.num_devices),
+            max_upload_time_s=0.0,
+        )
+
     def bandwidth_needed(t: float) -> np.ndarray:
         return min_bandwidth_for_rate(
             bits / t, power, gains, noise, bandwidth_cap_hz=budget
@@ -97,11 +106,19 @@ def minimize_max_upload_time(
 
     bandwidth = bandwidth_needed(t_hi)
     # Hand out any numerically unassigned slack proportionally (it can only
-    # reduce upload times further).
+    # reduce upload times further).  Devices with nothing to upload need no
+    # bandwidth, so a fleet where only some devices upload keeps the slack
+    # with the uploaders; an all-zero demand falls back to an equal split.
     slack = budget - bandwidth.sum()
     if slack > 0:
-        bandwidth = bandwidth + slack * bandwidth / bandwidth.sum()
-    upload_times = system.upload_bits / system.rates_bps(power, bandwidth)
+        total = bandwidth.sum()
+        if total > 0.0:
+            bandwidth = bandwidth + slack * bandwidth / total
+        else:
+            bandwidth = bandwidth + slack / system.num_devices
+    rates = system.rates_bps(power, bandwidth)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        upload_times = np.where(bits > 0.0, bits / rates, 0.0)
     return UploadTimeAllocation(
         power_w=power,
         bandwidth_hz=bandwidth,

@@ -39,8 +39,8 @@ class DeviceProfile:
             raise ConfigurationError("cycles_per_sample must be positive")
         if self.num_samples <= 0:
             raise ConfigurationError("num_samples must be positive")
-        if self.upload_bits <= 0.0:
-            raise ConfigurationError("upload_bits must be positive")
+        if self.upload_bits < 0.0:
+            raise ConfigurationError("upload_bits must be non-negative")
         if not 0.0 < self.min_frequency_hz <= self.max_frequency_hz:
             raise ConfigurationError(
                 "frequencies must satisfy 0 < min_frequency_hz <= max_frequency_hz"

@@ -21,7 +21,15 @@ through a pluggable :class:`SweepRunner`:
 * successful results are stored in an **on-disk JSON cache** keyed by a
   SHA-256 hash of the task's canonical payload, so repeating a sweep with an
   unchanged configuration is instant and changing any knob invalidates
-  exactly the affected tasks.
+  exactly the affected tasks;
+* with ``warm_start=True`` the runner chains tasks that share a
+  ``warm_key`` **along the sweep axis** (``warm_order``) and seeds each
+  solve from its neighbour's solution: the iterative allocator then starts
+  next to its fixed point instead of from the cold equal split, cutting
+  outer iterations several-fold.  Chains run sequentially but *different*
+  chains still fan out over the pool, and the cache key is unchanged (a
+  warm result must agree with the cold one within solver tolerance — the
+  parity tests enforce it).
 """
 
 from __future__ import annotations
@@ -42,8 +50,10 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..baselines.registry import get_baseline
+from ..core.allocation import ResourceAllocation
 from ..core.allocator import AllocatorConfig, ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
+from ..perf.timers import StageTimings, collect_timings, stage
 from ..scenarios import SCENARIO_SCHEMA_VERSION, ScenarioSpec
 from ..system import SystemModel
 
@@ -55,7 +65,10 @@ __all__ = [
     "SweepRunner",
     "register_solver_kind",
     "solver_kinds",
+    "warm_solver_kinds",
+    "allocation_from_state",
     "execute_task",
+    "execute_task_detailed",
     "task_hash",
     "default_cache_dir",
     "get_active_runner",
@@ -66,31 +79,90 @@ __all__ = [
 #: Bump to invalidate every cached result (e.g. if the metric schema changes).
 #: 2: scenarios became (family, params) specs — the family name and scenario
 #: schema version joined the payload, so pre-registry entries are stale.
-CACHE_VERSION = 2
+#: 3: the metrics schema gained solver iteration counts (inner_iterations)
+#: and entries may carry the final allocation as warm-start state.
+CACHE_VERSION = 3
 
 SolverFn = Callable[[SystemModel, Mapping[str, Any]], Mapping[str, float]]
 
 _SOLVER_KINDS: dict[str, SolverFn] = {}
+#: Kinds whose function accepts a ``warm_state`` third argument and returns
+#: ``(metrics, state)`` — the contract that makes warm-start chains work.
+_WARM_SOLVER_KINDS: set[str] = set()
 
 
-def register_solver_kind(name: str) -> Callable[[SolverFn], SolverFn]:
+def register_solver_kind(name: str, *, warm: bool = False) -> Callable[[SolverFn], SolverFn]:
     """Register ``fn(system, params) -> metrics`` under ``name``.
 
     The registry is what keeps the engine pluggable: experiments declare the
     *name* of the computation in their tasks and the worker looks the
     function up at execution time, so task objects stay pure data.
+
+    With ``warm=True`` the function is registered as warm-start capable and
+    must instead have the signature ``fn(system, params, warm_state=None)
+    -> (metrics, state)``: ``state`` is a JSON-able snapshot of the solution
+    that the runner feeds to the next task of a warm chain (and stores in
+    the result cache), and ``warm_state`` is the neighbouring task's
+    snapshot — or ``None`` for a cold start.
     """
 
     def decorator(fn: SolverFn) -> SolverFn:
         _SOLVER_KINDS[name] = fn
+        if warm:
+            _WARM_SOLVER_KINDS.add(name)
         return fn
 
     return decorator
 
 
+def warm_solver_kinds() -> tuple[str, ...]:
+    """The registered solver kinds that support warm-start chaining."""
+    return tuple(sorted(_WARM_SOLVER_KINDS))
+
+
 def solver_kinds() -> tuple[str, ...]:
     """The currently registered solver-kind names."""
     return tuple(sorted(_SOLVER_KINDS))
+
+
+def allocation_from_state(
+    system: SystemModel, state: Mapping[str, Any]
+) -> ResourceAllocation | None:
+    """Rebuild a warm-start allocation from a neighbour's state snapshot.
+
+    The neighbouring sweep point has (slightly) different constraints, so
+    the snapshot is projected into the new problem's boxes: power and
+    frequency are clipped, the bandwidth split is rescaled into the budget.
+    Anything unusable (wrong fleet size, non-finite values, zero rates)
+    returns ``None`` and the task simply starts cold.
+    """
+    try:
+        power = np.asarray(state["power_w"], dtype=float)
+        bandwidth = np.asarray(state["bandwidth_hz"], dtype=float)
+        frequency = np.asarray(state["frequency_hz"], dtype=float)
+    except (KeyError, TypeError, ValueError):
+        return None
+    shape = (system.num_devices,)
+    if power.shape != shape or bandwidth.shape != shape or frequency.shape != shape:
+        return None
+    finite = (
+        np.all(np.isfinite(power))
+        and np.all(np.isfinite(bandwidth))
+        and np.all(np.isfinite(frequency))
+    )
+    if not finite:
+        return None
+    power = np.clip(power, np.maximum(system.min_power_w, 1e-6), system.max_power_w)
+    frequency = np.clip(frequency, system.min_frequency_hz, system.max_frequency_hz)
+    bandwidth = np.maximum(bandwidth, 0.0)
+    total = float(bandwidth.sum())
+    if total <= 0.0 or np.any(bandwidth <= 0.0) or np.any(power <= 0.0):
+        return None
+    if total > system.total_bandwidth_hz:
+        bandwidth = bandwidth * (system.total_bandwidth_hz / total)
+    return ResourceAllocation(
+        power_w=power, bandwidth_hz=bandwidth, frequency_hz=frequency
+    )
 
 
 def _resolve_solver(name: str) -> SolverFn:
@@ -115,13 +187,38 @@ def _resolve_solver(name: str) -> SolverFn:
         raise KeyError(f"unknown solver kind {name!r}; known: {known}") from exc
 
 
-@register_solver_kind("proposed")
-def _run_proposed(system: SystemModel, params: Mapping[str, Any]) -> Mapping[str, float]:
-    """Algorithm 2 on one drop (the paper's proposed scheme)."""
+@register_solver_kind("proposed", warm=True)
+def _run_proposed(
+    system: SystemModel,
+    params: Mapping[str, Any],
+    warm_state: Mapping[str, Any] | None = None,
+) -> tuple[Mapping[str, float], dict[str, Any]]:
+    """Algorithm 2 on one drop (the paper's proposed scheme).
+
+    Warm-start capable: a neighbouring sweep point's state switches the
+    allocator onto its seeded hot path, with the neighbour's final
+    bandwidth multiplier priming the inner KKT solves.  The seeding is
+    deliberately *trajectory-preserving* — Algorithm 2 is an alternating
+    heuristic whose fixed point depends on the initial allocation, so
+    seeding the initial point itself would converge to a (measurably)
+    different solution and break warm/cold parity.  The snapshot still
+    carries the full allocation for API consumers who want genuine
+    continuation via ``ResourceAllocator.solve(initial_allocation=...)``.
+    """
     weights = ProblemWeights.from_energy_weight(params["energy_weight"])
     problem = JointProblem(system, weights, deadline_s=params.get("deadline_s"))
     allocator = ResourceAllocator(params.get("allocator"))
-    return allocator.solve(problem).summary()
+    hints = None
+    if warm_state is not None:
+        hints = {"mu": float(warm_state.get("mu") or 0.0)}
+    result = allocator.solve(problem, warm_hints=hints)
+    state = {
+        "power_w": result.allocation.power_w.tolist(),
+        "bandwidth_hz": result.allocation.bandwidth_hz.tolist(),
+        "frequency_hz": result.allocation.frequency_hz.tolist(),
+        "mu": result.warm_hints.get("mu", 0.0),
+    }
+    return result.summary(), state
 
 
 @register_solver_kind("baseline")
@@ -141,12 +238,21 @@ class SweepTask:
     by the aggregation layer.  ``scenario`` holds the
     :class:`~repro.scenario.ScenarioConfig` keyword arguments *including the
     trial seed*, which is what makes execution order irrelevant.
+
+    ``warm_key`` / ``warm_order`` describe the task's position on its sweep
+    axis: tasks sharing a ``warm_key`` form one warm-start chain, executed
+    in ``warm_order`` when the runner's ``warm_start`` flag is on.  Both are
+    *scheduling hints only* — they are deliberately excluded from
+    :meth:`payload`, so warm and cold runs share cache keys (their results
+    agree within solver tolerance).
     """
 
     key: tuple
     scenario: Mapping[str, Any]
     solver_kind: str
     solver_params: Mapping[str, Any] = field(default_factory=dict)
+    warm_key: tuple | None = None
+    warm_order: float = 0.0
 
     def scenario_spec(self) -> ScenarioSpec:
         """The task's scenario as a (family, params) spec.
@@ -213,12 +319,36 @@ def execute_task(task: SweepTask) -> dict[str, float]:
     ``module:function`` families resolve by import), so custom families
     work in spawned worker processes exactly like custom solver kinds.
     """
+    metrics, _state, _timings = execute_task_detailed(task)
+    return metrics
+
+
+def execute_task_detailed(
+    task: SweepTask, warm_state: Mapping[str, Any] | None = None
+) -> tuple[dict[str, float], dict[str, Any] | None, dict[str, float]]:
+    """Run one task and also return its solution state and stage timings.
+
+    ``warm_state`` seeds warm-capable solver kinds; others ignore it.  The
+    returned state is ``None`` for kinds that do not expose one.  Timings
+    cover the whole execution (``scenario_build`` / ``solve`` plus whatever
+    stages the solver recorded through :mod:`repro.perf.timers`).
+    """
     solver = _resolve_solver(task.solver_kind)
-    system = task.scenario_spec().build()
-    return dict(solver(system, task.solver_params))
+    collector = StageTimings()
+    with collect_timings(collector):
+        with stage("scenario_build"):
+            system = task.scenario_spec().build()
+        with stage("solve"):
+            if task.solver_kind in _WARM_SOLVER_KINDS:
+                metrics, state = solver(system, task.solver_params, warm_state)
+            else:
+                metrics, state = solver(system, task.solver_params), None
+    return dict(metrics), state, collector.as_dict()
 
 
-def _execute_safely(task: SweepTask) -> tuple[dict[str, float] | None, str | None]:
+def _execute_safely(
+    task: SweepTask, warm_state: Mapping[str, Any] | None = None
+) -> tuple[dict[str, float] | None, dict[str, Any] | None, dict[str, float] | None, str | None]:
     """Run one task, trading exceptions for an error string.
 
     Keeping the failure a plain string (instead of re-raising across the
@@ -226,19 +356,28 @@ def _execute_safely(task: SweepTask) -> tuple[dict[str, float] | None, str | Non
     drop cannot take the whole sweep down.
     """
     try:
-        return execute_task(task), None
+        metrics, state, timings = execute_task_detailed(task, warm_state)
+        return metrics, state, timings, None
     except Exception as exc:  # noqa: BLE001 — crash isolation is the point
-        return None, f"{type(exc).__name__}: {exc}"
+        return None, None, None, f"{type(exc).__name__}: {exc}"
 
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """What happened to one task: metrics, a cache hit, or an error."""
+    """What happened to one task: metrics, a cache hit, or an error.
+
+    ``state`` is the solver's solution snapshot (used to seed the next task
+    of a warm chain), ``timings`` the per-stage wall-clock breakdown of the
+    execution, and ``warm`` whether the solve was seeded from a neighbour.
+    """
 
     task: SweepTask
     metrics: dict[str, float] | None
     error: str | None = None
     cached: bool = False
+    state: dict[str, Any] | None = None
+    timings: dict[str, float] | None = None
+    warm: bool = False
 
     @property
     def ok(self) -> bool:
@@ -253,7 +392,9 @@ class SweepStats:
     cache_hits: int = 0
     executed: int = 0
     failed: int = 0
+    warm_started: int = 0
     elapsed_s: float = 0.0
+    cache_io_s: float = 0.0
 
 
 def default_cache_dir() -> Path:
@@ -267,7 +408,8 @@ class SweepCache:
     Layout: ``<root>/sweeps/<hash[:2]>/<hash>.json`` with the task payload
     stored alongside the metrics so entries stay debuggable.  Only
     successful results are stored — a failed task is always retried on the
-    next run.
+    next run.  Entries may additionally carry the solver's solution
+    ``state``, which lets a warm chain keep seeding across cache hits.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
@@ -277,18 +419,36 @@ class SweepCache:
         return self.root / "sweeps" / digest[:2] / f"{digest}.json"
 
     def get(self, digest: str) -> dict[str, float] | None:
+        entry = self.get_entry(digest)
+        return entry[0] if entry is not None else None
+
+    def get_entry(
+        self, digest: str
+    ) -> tuple[dict[str, float], dict[str, Any] | None] | None:
+        """Cached ``(metrics, state)`` for ``digest``, or ``None`` on a miss."""
         path = self._path(digest)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
         metrics = payload.get("metrics")
-        return dict(metrics) if isinstance(metrics, dict) else None
+        if not isinstance(metrics, dict):
+            return None
+        state = payload.get("state")
+        return dict(metrics), (dict(state) if isinstance(state, dict) else None)
 
-    def put(self, digest: str, task: SweepTask, metrics: Mapping[str, float]) -> None:
+    def put(
+        self,
+        digest: str,
+        task: SweepTask,
+        metrics: Mapping[str, float],
+        state: Mapping[str, Any] | None = None,
+    ) -> None:
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"task": task.payload(), "metrics": dict(metrics)}
+        payload: dict[str, Any] = {"task": task.payload(), "metrics": dict(metrics)}
+        if state is not None:
+            payload["state"] = dict(state)
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, indent=2, default=float))
         os.replace(tmp, path)
@@ -311,6 +471,11 @@ class SweepRunner:
     use_cache:
         Disable to force recomputation (the cache is neither read nor
         written).
+    warm_start:
+        Chain tasks sharing a ``warm_key`` along their ``warm_order`` and
+        seed each solve from its neighbour's solution.  Off by default: a
+        warm-started result matches the cold one within solver tolerance
+        but is not bit-identical, so reproducibility-first runs stay cold.
     progress:
         Optional ``fn(done, total, outcome)`` invoked in the parent process
         after every task completes (including cache hits).
@@ -322,12 +487,14 @@ class SweepRunner:
         *,
         cache_dir: str | Path | None = None,
         use_cache: bool = False,
+        warm_start: bool = False,
         progress: ProgressFn | None = None,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = int(jobs)
         self.use_cache = use_cache
+        self.warm_start = warm_start
         self.cache = SweepCache(cache_dir)
         self.progress = progress
         self.last_stats = SweepStats()
@@ -342,9 +509,16 @@ class SweepRunner:
 
         pending: list[int] = []
         for index, task in enumerate(tasks):
-            cached = self.cache.get(task_hash(task)) if self.use_cache else None
-            if cached is not None:
-                outcome = TaskOutcome(task=task, metrics=cached, cached=True)
+            entry = None
+            if self.use_cache:
+                io_started = time.monotonic()
+                entry = self.cache.get_entry(task_hash(task))
+                stats.cache_io_s += time.monotonic() - io_started
+            if entry is not None:
+                metrics, state = entry
+                outcome = TaskOutcome(
+                    task=task, metrics=metrics, cached=True, state=state
+                )
                 outcomes[index] = outcome
                 stats.cache_hits += 1
                 done += 1
@@ -353,19 +527,23 @@ class SweepRunner:
                 pending.append(index)
 
         if pending:
+            chains = self._plan_chains(tasks, pending, outcomes)
             executor = (
                 ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
                 if self.jobs > 1
                 else None
             )
             try:
-                for index, outcome in self._execute(tasks, pending, executor):
+                for index, outcome in self._execute(tasks, chains, executor):
                     outcomes[index] = outcome
                     stats.executed += 1
+                    stats.warm_started += outcome.warm
                     if outcome.error is not None:
                         stats.failed += 1
                     elif self.use_cache:
+                        io_started = time.monotonic()
                         self._cache_put(outcome)
+                        stats.cache_io_s += time.monotonic() - io_started
                     done += 1
                     self._report(done, stats.total, outcome)
             finally:
@@ -376,31 +554,134 @@ class SweepRunner:
         self.last_stats = stats
         return [outcome for outcome in outcomes if outcome is not None]
 
-    def _execute(
+    def _plan_chains(
         self,
         tasks: Sequence[SweepTask],
         pending: Sequence[int],
+        outcomes: Sequence[TaskOutcome | None],
+    ) -> list[tuple[list[int], dict[str, Any] | None]]:
+        """Group pending task indices into ``(chain, initial seed)`` units.
+
+        Without warm starts every task is its own chain (the pool saturates
+        exactly as before).  With warm starts, tasks of a warm-capable kind
+        sharing a ``warm_key`` become one sequential chain ordered by
+        ``warm_order``; a cache hit inside a chain contributes its stored
+        state as the seed of the segment that follows it.
+        """
+        if not self.warm_start:
+            return [([index], None) for index in pending]
+
+        pending_set = set(pending)
+        groups: dict[tuple, list[int]] = {}
+        singles: list[tuple[list[int], dict[str, Any] | None]] = []
+        for index, task in enumerate(tasks):
+            if task.warm_key is None or task.solver_kind not in _WARM_SOLVER_KINDS:
+                if index in pending_set:
+                    singles.append(([index], None))
+                continue
+            groups.setdefault((task.solver_kind, task.warm_key), []).append(index)
+
+        chains: list[tuple[list[int], dict[str, Any] | None]] = singles
+        for indices in groups.values():
+            indices.sort(key=lambda i: (tasks[i].warm_order, i))
+            segment: list[int] = []
+            seed: dict[str, Any] | None = None
+            for index in indices:
+                if index in pending_set:
+                    segment.append(index)
+                    continue
+                # Cache hit mid-chain: close the running segment and seed
+                # the next one from the hit's stored state (if any).
+                if segment:
+                    chains.append((segment, seed))
+                    segment = []
+                outcome = outcomes[index]
+                seed = outcome.state if outcome is not None else None
+            if segment:
+                chains.append((segment, seed))
+        return chains
+
+    def _execute(
+        self,
+        tasks: Sequence[SweepTask],
+        chains: Sequence[tuple[list[int], dict[str, Any] | None]],
         executor: ProcessPoolExecutor | None,
     ) -> Iterator[tuple[int, TaskOutcome]]:
         if executor is None:
-            for index in pending:
-                metrics, error = _execute_safely(tasks[index])
-                yield index, TaskOutcome(task=tasks[index], metrics=metrics, error=error)
+            for indices, seed in chains:
+                for index in indices:
+                    outcome = self._outcome_of(tasks[index], seed, *_execute_safely(tasks[index], seed))
+                    yield index, outcome
+                    seed = outcome.state
             return
 
-        futures: dict[Future, int] = {
-            executor.submit(_execute_safely, tasks[index]): index for index in pending
-        }
+        futures: dict[Future, tuple[int, int, int, bool]] = {}
+
+        def submit(chain_id: int, position: int, seed: dict[str, Any] | None) -> Future:
+            index = chains[chain_id][0][position]
+            future = executor.submit(_execute_safely, tasks[index], seed)
+            futures[future] = (chain_id, position, index, seed is not None)
+            return future
+
+        for chain_id, (indices, seed) in enumerate(chains):
+            submit(chain_id, 0, seed)
         remaining = set(futures)
         while remaining:
             finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
             for future in finished:
-                index = futures[future]
+                chain_id, position, index, warm = futures[future]
                 try:
-                    metrics, error = future.result()
+                    metrics, state, timings, error = future.result()
                 except Exception as exc:  # e.g. BrokenProcessPool
-                    metrics, error = None, f"{type(exc).__name__}: {exc}"
-                yield index, TaskOutcome(task=tasks[index], metrics=metrics, error=error)
+                    metrics, state, timings, error = (
+                        None,
+                        None,
+                        None,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                yield index, TaskOutcome(
+                    task=tasks[index],
+                    metrics=metrics,
+                    error=error,
+                    state=state,
+                    timings=timings,
+                    warm=warm and metrics is not None,
+                )
+                indices = chains[chain_id][0]
+                if position + 1 < len(indices):
+                    try:
+                        # A failed element restarts the rest of its chain cold.
+                        remaining.add(submit(chain_id, position + 1, state))
+                    except Exception as exc:  # e.g. BrokenProcessPool
+                        # The executor itself is gone: surface the rest of
+                        # this chain as error outcomes instead of crashing
+                        # the sweep (crash isolation must survive a dead
+                        # worker exactly like the submit-everything-upfront
+                        # path did).
+                        for later in indices[position + 1 :]:
+                            yield later, TaskOutcome(
+                                task=tasks[later],
+                                metrics=None,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+
+    @staticmethod
+    def _outcome_of(
+        task: SweepTask,
+        seed: dict[str, Any] | None,
+        metrics: dict[str, float] | None,
+        state: dict[str, Any] | None,
+        timings: dict[str, float] | None,
+        error: str | None,
+    ) -> TaskOutcome:
+        return TaskOutcome(
+            task=task,
+            metrics=metrics,
+            error=error,
+            state=state,
+            timings=timings,
+            warm=seed is not None and metrics is not None,
+        )
 
     def _cache_put(self, outcome: TaskOutcome) -> None:
         """Store one result, degrading to cache-off if the disk won't take it.
@@ -410,7 +691,9 @@ class SweepRunner:
         uncached instead of crashing it.
         """
         try:
-            self.cache.put(task_hash(outcome.task), outcome.task, outcome.metrics)
+            self.cache.put(
+                task_hash(outcome.task), outcome.task, outcome.metrics, outcome.state
+            )
         except OSError as exc:
             self.use_cache = False
             warnings.warn(

@@ -1,0 +1,249 @@
+"""The benchmark suite and perf-trajectory tracking behind ``repro bench``.
+
+One invocation runs the Figure-2 sweep twice through the shared
+:class:`~repro.experiments.runner.SweepRunner` — cold, then warm-started —
+on a fixed, seeded configuration (serial, cache off, so the timings are
+honest), and writes a ``BENCH_PR<k>.json`` report:
+
+* **per-stage wall-clock** summed over every task (``scenario_build``,
+  ``solve``, ``algorithm2``, ``sp1``, ``sp2``, ``sp2_inner``) plus the
+  runner-level dispatch overhead;
+* **solver iteration counts** (outer Algorithm-2 and inner Algorithm-1
+  totals) for both modes — these are deterministic for a fixed suite, which
+  is what makes cross-machine regression tracking meaningful;
+* the **warm-start speedup** and the **warm/cold parity** (max relative
+  metric deviation across the produced tables).
+
+:func:`compare_reports` gates a report against a committed baseline: a
+tracked metric that regresses beyond the tolerance (default 20%), a floor
+that is no longer met (e.g. warm speedup >= 1.3x), or a parity breach fails
+the comparison — that is the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..experiments.base import SweepConfig
+from ..experiments.fig2 import Fig2Config
+from ..experiments.runner import SweepRunner, TaskOutcome
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_PARITY_TOL",
+    "bench_config",
+    "run_bench",
+    "write_report",
+    "load_report",
+    "compare_reports",
+]
+
+BENCH_SCHEMA_VERSION = 1
+#: Relative regression a tracked metric may show before the compare fails.
+DEFAULT_TOLERANCE = 0.20
+#: Maximum relative deviation allowed between warm and cold sweep metrics.
+DEFAULT_PARITY_TOL = 1e-6
+
+#: Absolute gates every report must keep meeting, whatever the baseline.
+_FLOORS: dict[str, float] = {"warm_wall_speedup": 1.3}
+
+#: Metrics compared against the baseline, with their improvement direction.
+_TRACKED: dict[str, str] = {
+    "cold_outer_iterations": "lower",
+    "cold_inner_iterations": "lower",
+    "warm_outer_iterations": "lower",
+    "warm_inner_iterations": "lower",
+    "warm_wall_speedup": "higher",
+}
+
+_PARITY_COLUMNS = ("energy_j", "time_s", "objective")
+
+
+def bench_config(quick: bool = False) -> Fig2Config:
+    """The benchmarked Figure-2 sweep (reduced paper grid, fixed seeds)."""
+    if quick:
+        return Fig2Config(
+            sweep=SweepConfig(num_devices=12, num_trials=1),
+            max_power_dbm_grid=(5.0, 7.0, 9.0, 12.0),
+            weight_pairs=((0.9, 0.1), (0.5, 0.5)),
+            include_benchmark=False,
+        )
+    return Fig2Config(
+        sweep=SweepConfig(num_devices=20, num_trials=2),
+        max_power_dbm_grid=(5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0),
+        weight_pairs=((0.9, 0.1), (0.5, 0.5), (0.1, 0.9)),
+        include_benchmark=False,
+    )
+
+
+def _run_mode(config: Fig2Config, warm: bool):
+    from ..experiments.fig2 import run_fig2
+
+    outcomes: list[TaskOutcome] = []
+    runner = SweepRunner(
+        jobs=1,
+        use_cache=False,
+        warm_start=warm,
+        progress=lambda done, total, outcome: outcomes.append(outcome),
+    )
+    table = run_fig2(config, runner=runner)
+    return table, outcomes, runner.last_stats
+
+
+def _sum_metric(outcomes: list[TaskOutcome], key: str) -> float:
+    return float(sum(o.metrics.get(key, 0.0) for o in outcomes if o.ok))
+
+
+def _sum_stages(outcomes: list[TaskOutcome]) -> dict[str, float]:
+    stages: dict[str, float] = {}
+    for outcome in outcomes:
+        for name, seconds in (outcome.timings or {}).items():
+            stages[name] = stages.get(name, 0.0) + float(seconds)
+    return {name: round(seconds, 6) for name, seconds in sorted(stages.items())}
+
+
+def _parity(cold_table, warm_table) -> float:
+    """Max relative warm/cold deviation; ``inf`` when the tables disagree
+    structurally (different row counts, or a value present in one mode and
+    NaN in the other) so a broken warm run can never pass the gate."""
+    if len(cold_table.rows) != len(warm_table.rows):
+        return float("inf")
+    deviation = 0.0
+    for cold_row, warm_row in zip(cold_table.rows, warm_table.rows):
+        for column in _PARITY_COLUMNS:
+            if column not in cold_row:
+                continue
+            cold_value, warm_value = float(cold_row[column]), float(warm_row[column])
+            cold_nan, warm_nan = cold_value != cold_value, warm_value != warm_value
+            if cold_nan and warm_nan:
+                continue  # the grid point failed in both modes
+            if cold_nan or warm_nan:
+                return float("inf")
+            scale = max(abs(cold_value), 1e-30)
+            deviation = max(deviation, abs(cold_value - warm_value) / scale)
+    return deviation
+
+
+def run_bench(*, quick: bool = False, label: str = "PR3") -> dict[str, Any]:
+    """Run the suite and return the report (see the module docstring)."""
+    config = bench_config(quick)
+    cold_table, cold_outcomes, cold_stats = _run_mode(config, warm=False)
+    warm_table, warm_outcomes, warm_stats = _run_mode(config, warm=True)
+
+    cold_stages = _sum_stages(cold_outcomes)
+    warm_stages = _sum_stages(warm_outcomes)
+    cold_task_s = cold_stages.get("scenario_build", 0.0) + cold_stages.get("solve", 0.0)
+    warm_wall = warm_stats.elapsed_s
+    metrics: dict[str, float] = {
+        "cold_wall_s": round(cold_stats.elapsed_s, 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "warm_wall_speedup": round(cold_stats.elapsed_s / max(warm_wall, 1e-12), 4),
+        "cold_outer_iterations": _sum_metric(cold_outcomes, "iterations"),
+        "warm_outer_iterations": _sum_metric(warm_outcomes, "iterations"),
+        "cold_inner_iterations": _sum_metric(cold_outcomes, "inner_iterations"),
+        "warm_inner_iterations": _sum_metric(warm_outcomes, "inner_iterations"),
+        "tasks": float(cold_stats.total),
+        "warm_started_tasks": float(warm_stats.warm_started),
+        "failed_tasks": float(cold_stats.failed + warm_stats.failed),
+        "dispatch_overhead_s": round(max(cold_stats.elapsed_s - cold_task_s, 0.0), 4),
+        "cache_io_s": round(cold_stats.cache_io_s + warm_stats.cache_io_s, 6),
+        "parity_max_rel_dev": _parity(cold_table, warm_table),
+    }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "mode": "quick" if quick else "standard",
+        "suite": "fig2 cold vs warm-started sweep (jobs=1, cache off)",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "metrics": metrics,
+        "stages": {"cold": cold_stages, "warm": warm_stages},
+        "tracked": dict(_TRACKED),
+        "floors": dict(_FLOORS),
+        "parity_tol": DEFAULT_PARITY_TOL,
+    }
+
+
+def write_report(report: Mapping[str, Any], path: str | Path) -> Path:
+    """Write ``report`` as indented JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a report written by :func:`write_report`."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_reports(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regression messages of ``current`` against ``baseline`` (empty = pass).
+
+    Three kinds of failure:
+
+    * a **floor** (absolute gate recorded in the baseline) is not met;
+    * the **parity** between warm and cold runs exceeds the baseline's
+      ``parity_tol``;
+    * modes match and a **tracked metric** regressed more than ``tolerance``
+      relative to the baseline value (iteration counts are deterministic
+      per suite, so cross-machine comparison is sound; wall-clock enters
+      only through the dimensionless speedup ratio).
+    """
+    problems: list[str] = []
+    current_metrics = current.get("metrics", {})
+    baseline_metrics = baseline.get("metrics", {})
+
+    for name, floor in {**_FLOORS, **baseline.get("floors", {})}.items():
+        value = current_metrics.get(name)
+        if value is None:
+            problems.append(f"floor metric {name!r} missing from the current report")
+        elif value < floor:
+            problems.append(f"{name} = {value:.4g} fell below its floor {floor:.4g}")
+
+    parity_tol = float(baseline.get("parity_tol", DEFAULT_PARITY_TOL))
+    parity = current_metrics.get("parity_max_rel_dev")
+    if parity is None:
+        problems.append("parity_max_rel_dev missing from the current report")
+    elif not parity <= parity_tol:  # catches NaN as well as breaches
+        problems.append(
+            f"warm/cold parity broke: max relative deviation {parity:.3e} "
+            f"exceeds {parity_tol:.1e}"
+        )
+
+    failed = current_metrics.get("failed_tasks", 0.0)
+    if failed:
+        problems.append(f"{failed:.0f} benchmark task(s) failed to solve")
+
+    if current.get("mode") != baseline.get("mode"):
+        # Iteration counts depend on the suite scale; only the floors and
+        # parity are comparable across modes.
+        return problems
+
+    for name, direction in baseline.get("tracked", _TRACKED).items():
+        base = baseline_metrics.get(name)
+        value = current_metrics.get(name)
+        if base is None or value is None or base <= 0.0:
+            continue
+        if direction == "lower" and value > base * (1.0 + tolerance):
+            problems.append(
+                f"{name} regressed: {value:.4g} vs baseline {base:.4g} "
+                f"(> +{tolerance:.0%})"
+            )
+        elif direction == "higher" and value < base * (1.0 - tolerance):
+            problems.append(
+                f"{name} regressed: {value:.4g} vs baseline {base:.4g} "
+                f"(< -{tolerance:.0%})"
+            )
+    return problems

@@ -1,0 +1,113 @@
+"""Lightweight per-stage wall-clock instrumentation.
+
+The solvers and the sweep engine are the system's hot path; knowing *where*
+the time goes (Subproblem 1, Algorithm 1's inner solves, scenario building,
+cache I/O) is what lets a PR claim a speedup.  This module provides
+
+* :class:`StageTimings` — a tiny accumulator mapping stage names to total
+  seconds and call counts;
+* :func:`stage` — a context manager that charges a block's wall-clock time
+  to a named stage, recording into an explicit collector and/or the ambient
+  one installed by :func:`collect_timings`;
+* :func:`collect_timings` — installs an ambient collector for the duration
+  of a ``with`` block, so deeply nested solver code can be timed without
+  threading a collector through every signature (the sweep worker wraps
+  each task execution in one).
+
+When no collector is active :func:`stage` costs a single truthiness check,
+so the instrumentation is safe to leave on permanently.  Stages may nest
+(``algorithm2`` contains ``sp1`` and ``sp2``); totals are therefore *not*
+disjoint — report them as a breakdown, not a partition.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, Mapping
+
+__all__ = ["StageTimings", "stage", "collect_timings", "active_collector"]
+
+
+class StageTimings:
+    """Accumulated wall-clock seconds (and call counts) per named stage."""
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Charge ``seconds`` (one call by default) to stage ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
+        self.counts[name] = self.counts.get(name, 0) + int(count)
+
+    def merge(self, other: "StageTimings | Mapping[str, float]") -> None:
+        """Fold another collector (or a plain seconds mapping) into this one."""
+        if isinstance(other, StageTimings):
+            for name, seconds in other.seconds.items():
+                self.add(name, seconds, other.counts.get(name, 1))
+        else:
+            for name, seconds in other.items():
+                self.add(name, float(seconds))
+
+    def total(self, name: str) -> float:
+        """Total seconds charged to ``name`` (0.0 when never recorded)."""
+        return self.seconds.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain ``{stage: seconds}`` mapping (JSON-able, insertion-ordered)."""
+        return dict(self.seconds)
+
+    def __bool__(self) -> bool:
+        return bool(self.seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in self.seconds.items())
+        return f"StageTimings({parts})"
+
+
+#: Stack of ambient collectors; :func:`stage` records into the innermost.
+_ACTIVE: list[StageTimings] = []
+
+
+def active_collector() -> StageTimings | None:
+    """The innermost ambient collector, or ``None`` when timing is off."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def collect_timings(collector: StageTimings | None = None) -> Iterator[StageTimings]:
+    """Install ``collector`` (a fresh one by default) as the ambient target."""
+    target = collector if collector is not None else StageTimings()
+    _ACTIVE.append(target)
+    try:
+        yield target
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def stage(name: str, collector: StageTimings | None = None) -> Iterator[None]:
+    """Charge the block's wall-clock time to ``name``.
+
+    Records into ``collector`` (when given) and into the ambient collector
+    (when one is installed and distinct from ``collector``).  With neither,
+    the block runs untimed at negligible cost.
+    """
+    ambient = _ACTIVE[-1] if _ACTIVE else None
+    if ambient is collector:
+        ambient = None
+    if collector is None and ambient is None:
+        yield
+        return
+    started = perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = perf_counter() - started
+        if collector is not None:
+            collector.add(name, elapsed)
+        if ambient is not None:
+            ambient.add(name, elapsed)

@@ -13,7 +13,7 @@ from typing import Callable, Tuple
 
 import numpy as np
 
-from ..exceptions import SolverError
+from ..exceptions import ConvergenceError, SolverError
 
 __all__ = ["bisect_scalar", "bisect_vector", "expand_bracket"]
 
@@ -61,7 +61,10 @@ def bisect_scalar(
 
     The function values at the endpoints must have opposite signs (a zero at
     an endpoint is also accepted).  The returned point ``x`` satisfies
-    ``hi - lo <= tol * max(1, |x|)`` or ``func(x) == 0``.
+    ``hi - lo <= tol * max(1, |x|)`` or ``func(x) == 0``; exhausting
+    ``max_iter`` without meeting the tolerance raises
+    :class:`~repro.exceptions.ConvergenceError` instead of silently returning
+    the midpoint of a still-too-wide interval.
     """
     f_lo = func(lo)
     f_hi = func(hi)
@@ -84,8 +87,11 @@ def bisect_scalar(
         else:
             hi, f_hi = mid, f_mid
         if hi - lo <= tol * max(1.0, abs(mid)):
-            break
-    return 0.5 * (lo + hi)
+            return 0.5 * (lo + hi)
+    raise ConvergenceError(
+        f"bisect_scalar did not converge in {max_iter} iterations: the "
+        f"bracket [{lo:.6g}, {hi:.6g}] is still wider than tol={tol:.3g}"
+    )
 
 
 def bisect_vector(
@@ -100,7 +106,9 @@ def bisect_vector(
 
     ``func`` maps an array of candidate points (one per equation) to the
     array of residuals.  Each ``[lo[i], hi[i]]`` interval must bracket a sign
-    change of residual ``i``.
+    change of residual ``i``.  Exhausting ``max_iter`` with any interval
+    still wider than its tolerance raises
+    :class:`~repro.exceptions.ConvergenceError`.
     """
     lo = np.array(lo, dtype=float, copy=True)
     hi = np.array(hi, dtype=float, copy=True)
@@ -123,5 +131,14 @@ def bisect_vector(
         f_lo = np.where(go_left, f_mid, f_lo)
         hi = np.where(go_left, hi, mid)
         if np.all(hi - lo <= tol * np.maximum(1.0, np.abs(mid))):
-            break
-    return 0.5 * (lo + hi)
+            return 0.5 * (lo + hi)
+    wide = hi - lo > tol * np.maximum(1.0, np.abs(0.5 * (lo + hi)))
+    if not np.any(wide):
+        # The in-loop test uses the pre-shrink midpoint; re-checking with
+        # the final bracket can find everything converged after all.
+        return 0.5 * (lo + hi)
+    idx = int(np.flatnonzero(wide)[0])
+    raise ConvergenceError(
+        f"bisect_vector did not converge in {max_iter} iterations: interval "
+        f"{idx} is still [{lo[idx]:.6g}, {hi[idx]:.6g}] against tol={tol:.3g}"
+    )

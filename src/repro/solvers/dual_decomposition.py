@@ -20,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..exceptions import SolverError
 from .scalar import golden_section_vector
 
 __all__ = ["DualDecompositionResult", "minimize_separable_with_budget"]
@@ -52,6 +53,11 @@ def minimize_separable_with_budget(
     ``objective`` maps an array ``x`` (one entry per component) to the array
     of per-component objective values; each component must be convex in its
     own variable.  ``lower.sum()`` must not exceed ``budget``.
+
+    Raises :class:`~repro.exceptions.SolverError` when even the largest
+    multiplier ``mu_max`` cannot push the inner solution under the budget
+    (the bisection would otherwise run on an unbracketed interval and return
+    a budget-violating allocation).
     """
     lo = np.asarray(lower, dtype=float).copy()
     hi = np.asarray(upper, dtype=float)
@@ -86,9 +92,21 @@ def minimize_separable_with_budget(
         )
 
     mu_lo, mu_hi = 0.0, 1.0
-    while solve_inner(mu_hi).sum() > budget and mu_hi < mu_max:
+    x_hi = solve_inner(mu_hi)
+    while x_hi.sum() > budget and mu_hi < mu_max:
         mu_hi *= 4.0
         iterations += 1
+        x_hi = solve_inner(mu_hi)
+    if x_hi.sum() > budget * (1.0 + 1e-9) + 1e-12:
+        # The expansion hit mu_max without bracketing the budget: bisecting
+        # on [mu_lo, mu_hi] would converge to a budget-violating point.
+        # (An overshoot within the inner solver's round-off is not a
+        # violation — the bisection handles that exactly as before.)
+        raise SolverError(
+            f"budget multiplier could not be bracketed: at mu={mu_hi:.3g} "
+            f"(mu_max={mu_max:.3g}) the inner solution still uses "
+            f"{x_hi.sum():.6g} of budget {budget:.6g}"
+        )
     x = x0
     for _ in range(max_iter):
         iterations += 1

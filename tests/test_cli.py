@@ -109,3 +109,63 @@ def test_scenario_param_requires_key_value(capsys):
     assert main(["run", "samples", "--scenario", "hotspot",
                  "--scenario-param", "oops"]) == 2
     assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_warm_start_flag_configures_the_runner(monkeypatch):
+    from repro import cli as cli_module
+
+    captured = {}
+
+    class FakeRunner:
+        def __init__(self, jobs=1, **kwargs):
+            captured.update(kwargs, jobs=jobs)
+            self.jobs = jobs
+            from repro.experiments.runner import SweepStats
+
+            self.last_stats = SweepStats()
+
+    monkeypatch.setattr(cli_module, "SweepRunner", FakeRunner)
+    args = build_parser().parse_args(["run", "samples", "--warm-start", "--no-cache"])
+    cli_module._make_runner("samples", args)
+    assert captured["warm_start"] is True
+    assert captured["use_cache"] is False
+
+
+def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch):
+    from repro.perf import bench as bench_module
+
+    fake = {
+        "schema": 1,
+        "label": "PRX",
+        "mode": "quick",
+        "metrics": {
+            "cold_wall_s": 1.0,
+            "warm_wall_s": 0.5,
+            "warm_wall_speedup": 2.0,
+            "cold_outer_iterations": 10.0,
+            "warm_outer_iterations": 10.0,
+            "cold_inner_iterations": 70.0,
+            "warm_inner_iterations": 70.0,
+            "parity_max_rel_dev": 1e-9,
+        },
+        "tracked": {"cold_inner_iterations": "lower"},
+        "floors": {"warm_wall_speedup": 1.3},
+        "parity_tol": 1e-6,
+    }
+    monkeypatch.setattr(bench_module, "run_bench", lambda quick, label: dict(fake, label=label))
+
+    out_path = tmp_path / "BENCH_PRX.json"
+    base_path = tmp_path / "baseline.json"
+    base_path.write_text(json.dumps(fake))
+    assert main(["bench", "--quick", "--label", "PRX",
+                 "--output", str(out_path), "--compare", str(base_path)]) == 0
+    captured = capsys.readouterr()
+    assert "no regression" in captured.err
+    assert json.loads(out_path.read_text())["label"] == "PRX"
+
+    # A broken parity or missed floor makes the command fail.
+    bad = dict(fake, metrics=dict(fake["metrics"], warm_wall_speedup=1.0))
+    monkeypatch.setattr(bench_module, "run_bench", lambda quick, label: bad)
+    assert main(["bench", "--quick", "--output", str(out_path),
+                 "--compare", str(base_path)]) == 1
+    assert "PERF REGRESSION" in capsys.readouterr().err

@@ -56,3 +56,35 @@ def test_zero_power_rejected(tiny_system):
         minimize_max_upload_time(
             tiny_system, power_w=np.zeros(tiny_system.num_devices)
         )
+
+
+def _zero_upload_system(num_uploading: int = 0):
+    """A 4-device paper drop where only the first ``num_uploading`` upload."""
+    from dataclasses import replace
+
+    from repro import build_paper_scenario
+    from repro.devices.fleet import DeviceFleet
+
+    system = build_paper_scenario(num_devices=4, seed=7)
+    profiles = tuple(
+        profile if index < num_uploading else replace(profile, upload_bits=0.0)
+        for index, profile in enumerate(system.fleet.profiles)
+    )
+    return system.with_fleet(DeviceFleet(profiles))
+
+
+def test_all_zero_upload_bits_fleet_is_degenerate_but_valid():
+    system = _zero_upload_system(num_uploading=0)
+    result = minimize_max_upload_time(system)
+    assert result.max_upload_time_s == 0.0
+    assert np.all(np.isfinite(result.bandwidth_hz))
+    assert result.bandwidth_hz.sum() == pytest.approx(system.total_bandwidth_hz)
+
+
+def test_partially_zero_upload_bits_fleet_keeps_finite_times():
+    system = _zero_upload_system(num_uploading=2)
+    result = minimize_max_upload_time(system)
+    assert np.isfinite(result.max_upload_time_s)
+    assert result.max_upload_time_s > 0.0
+    assert np.all(np.isfinite(result.bandwidth_hz))
+    assert result.bandwidth_hz.sum() <= system.total_bandwidth_hz * (1 + 1e-9)

@@ -47,10 +47,16 @@ def test_invalid_profiles_rejected():
     with pytest.raises(ConfigurationError):
         _profile(num_samples=0)
     with pytest.raises(ConfigurationError):
-        _profile(upload_bits=0.0)
+        _profile(upload_bits=-1.0)
     with pytest.raises(ConfigurationError):
         _profile(min_frequency_hz=3e9)  # above the default max
     with pytest.raises(ConfigurationError):
         _profile(min_power_w=1.0)  # above the default max power
     with pytest.raises(ConfigurationError):
         _profile(effective_capacitance=0.0)
+
+
+def test_zero_upload_bits_allowed_for_degenerate_fleets():
+    # A device with nothing to upload is a valid degenerate configuration
+    # (custom scenario families use it); only negative sizes are rejected.
+    assert _profile(upload_bits=0.0).upload_bits == 0.0

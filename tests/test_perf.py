@@ -1,0 +1,250 @@
+"""Tests for the perf subsystem: stage timers, solver instrumentation and
+the ``repro bench`` report/compare machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import AllocatorConfig, ResourceAllocator
+from repro.core.problem import JointProblem, ProblemWeights
+from repro.core.sum_of_ratios import SumOfRatiosSolver
+from repro.perf import bench
+from repro.perf.timers import StageTimings, active_collector, collect_timings, stage
+
+
+# -- StageTimings / stage / collect_timings ----------------------------------
+
+def test_stage_timings_accumulates_seconds_and_counts():
+    timings = StageTimings()
+    timings.add("sp1", 0.5)
+    timings.add("sp1", 0.25)
+    timings.add("sp2", 1.0, count=3)
+    assert timings.total("sp1") == pytest.approx(0.75)
+    assert timings.counts["sp1"] == 2
+    assert timings.counts["sp2"] == 3
+    assert timings.total("missing") == 0.0
+    assert timings.as_dict() == pytest.approx({"sp1": 0.75, "sp2": 1.0})
+
+
+def test_stage_records_into_explicit_collector():
+    timings = StageTimings()
+    with stage("work", timings):
+        pass
+    assert timings.total("work") >= 0.0
+    assert timings.counts["work"] == 1
+
+
+def test_stage_records_into_ambient_collector():
+    with collect_timings() as ambient:
+        with stage("inner"):
+            pass
+    assert "inner" in ambient.seconds
+    assert active_collector() is None
+
+
+def test_stage_records_into_both_collectors_without_double_count():
+    local = StageTimings()
+    with collect_timings() as ambient:
+        with stage("dual", local):
+            pass
+        # The same collector as explicit target must not be charged twice.
+        with collect_timings(local):
+            with stage("self", local):
+                pass
+    assert ambient.counts["dual"] == 1
+    assert local.counts["dual"] == 1
+    assert local.counts["self"] == 1
+
+
+def test_stage_without_any_collector_is_a_noop():
+    with stage("untracked"):
+        pass  # nothing to assert beyond "does not raise"
+
+
+def test_collect_timings_nesting_restores_previous_collector():
+    with collect_timings() as outer:
+        with collect_timings() as inner:
+            with stage("x"):
+                pass
+        with stage("y"):
+            pass
+    assert "x" in inner.seconds and "x" not in outer.seconds
+    assert "y" in outer.seconds
+
+
+def test_merge_folds_collectors_and_mappings():
+    a = StageTimings()
+    a.add("s", 1.0)
+    b = StageTimings()
+    b.add("s", 2.0)
+    a.merge(b)
+    a.merge({"t": 3.0})
+    assert a.total("s") == pytest.approx(3.0)
+    assert a.total("t") == pytest.approx(3.0)
+
+
+# -- solver instrumentation ---------------------------------------------------
+
+def test_allocation_result_carries_stage_timings_and_inner_iterations(tiny_system):
+    problem = JointProblem(tiny_system, ProblemWeights(energy=0.5, time=0.5))
+    result = ResourceAllocator(AllocatorConfig(max_iterations=5)).solve(problem)
+    for name in ("algorithm2", "sp1", "sp2"):
+        assert result.timings.get(name, 0.0) > 0.0
+    assert result.inner_iterations > 0
+    summary = result.summary()
+    assert summary["inner_iterations"] == float(result.inner_iterations)
+
+
+def test_delay_only_solve_still_reports_timings(tiny_system):
+    problem = JointProblem(tiny_system, ProblemWeights(energy=0.0, time=1.0))
+    result = ResourceAllocator().solve(problem)
+    assert result.timings.get("algorithm2", 0.0) > 0.0
+    assert result.inner_iterations == 0
+
+
+# -- SumOfRatiosSolver warm-start API ----------------------------------------
+
+def _sp2_inputs(system):
+    n = system.num_devices
+    power = system.max_power_w.copy()
+    bandwidth = np.full(n, system.total_bandwidth_hz * 0.5 / n)
+    rates = system.rates_bps(power, bandwidth)
+    min_rate = 0.5 * rates
+    return min_rate, power, bandwidth
+
+
+def test_initial_beta_nu_pair_converges_to_same_solution(tiny_system):
+    solver = SumOfRatiosSolver(tiny_system, 0.5)
+    min_rate, power, bandwidth = _sp2_inputs(tiny_system)
+    reference = solver.solve(min_rate, power, bandwidth)
+    seeded = solver.solve(
+        min_rate,
+        power,
+        bandwidth,
+        initial_beta=reference.beta,
+        initial_nu=reference.nu,
+    )
+    assert seeded.converged
+    assert seeded.iterations <= reference.iterations
+    assert seeded.communication_energy_j == pytest.approx(
+        reference.communication_energy_j, rel=1e-5
+    )
+
+
+def test_initial_beta_without_nu_is_rejected(tiny_system):
+    solver = SumOfRatiosSolver(tiny_system, 0.5)
+    min_rate, power, bandwidth = _sp2_inputs(tiny_system)
+    with pytest.raises(ValueError, match="together"):
+        solver.solve(min_rate, power, bandwidth, initial_beta=np.ones_like(power))
+
+
+def test_invalid_initial_pair_shapes_rejected(tiny_system):
+    solver = SumOfRatiosSolver(tiny_system, 0.5)
+    min_rate, power, bandwidth = _sp2_inputs(tiny_system)
+    with pytest.raises(ValueError, match="per device"):
+        solver.solve(
+            min_rate,
+            power,
+            bandwidth,
+            initial_beta=np.ones(2),
+            initial_nu=np.ones(2),
+        )
+
+
+def test_mu_hint_preserves_the_solution_trajectory(tiny_system):
+    solver = SumOfRatiosSolver(tiny_system, 0.5)
+    min_rate, power, bandwidth = _sp2_inputs(tiny_system)
+    reference = solver.solve(min_rate, power, bandwidth)
+    hinted = solver.solve(min_rate, power, bandwidth, mu_hint=0.0)
+    assert hinted.iterations == reference.iterations
+    assert hinted.communication_energy_j == pytest.approx(
+        reference.communication_energy_j, rel=1e-8
+    )
+    np.testing.assert_allclose(hinted.power_w, reference.power_w, rtol=1e-7)
+    np.testing.assert_allclose(hinted.bandwidth_hz, reference.bandwidth_hz, rtol=1e-7)
+
+
+def test_warm_hints_round_trip_through_the_allocator(tiny_system):
+    problem = JointProblem(tiny_system, ProblemWeights(energy=0.5, time=0.5))
+    cold = ResourceAllocator().solve(problem)
+    assert cold.warm_hints.get("mu", 0.0) > 0.0
+    warm = ResourceAllocator().solve(problem, warm_hints=cold.warm_hints)
+    assert warm.iterations == cold.iterations
+    assert warm.inner_iterations == cold.inner_iterations
+    assert warm.objective == pytest.approx(cold.objective, rel=1e-8)
+
+
+# -- bench report & compare ---------------------------------------------------
+
+def _report(**metric_overrides):
+    metrics = {
+        "cold_wall_s": 2.0,
+        "warm_wall_s": 1.0,
+        "warm_wall_speedup": 2.0,
+        "cold_outer_iterations": 100.0,
+        "warm_outer_iterations": 100.0,
+        "cold_inner_iterations": 700.0,
+        "warm_inner_iterations": 700.0,
+        "parity_max_rel_dev": 1e-9,
+    }
+    metrics.update(metric_overrides)
+    return {
+        "schema": bench.BENCH_SCHEMA_VERSION,
+        "label": "TEST",
+        "mode": "quick",
+        "metrics": metrics,
+        "tracked": {
+            "cold_inner_iterations": "lower",
+            "warm_wall_speedup": "higher",
+        },
+        "floors": {"warm_wall_speedup": 1.3},
+        "parity_tol": 1e-6,
+    }
+
+
+def test_compare_reports_passes_on_identical_reports():
+    base = _report()
+    assert bench.compare_reports(_report(), base) == []
+
+
+def test_compare_reports_flags_tracked_regression():
+    base = _report()
+    worse = _report(cold_inner_iterations=900.0)
+    problems = bench.compare_reports(worse, base)
+    assert any("cold_inner_iterations" in p for p in problems)
+
+
+def test_compare_reports_allows_regressions_within_tolerance():
+    base = _report()
+    slightly_worse = _report(cold_inner_iterations=750.0)
+    assert bench.compare_reports(slightly_worse, base, tolerance=0.2) == []
+
+
+def test_compare_reports_enforces_speedup_floor_and_parity():
+    base = _report()
+    slow = _report(warm_wall_speedup=1.1)
+    assert any("floor" in p for p in bench.compare_reports(slow, base))
+    broken = _report(parity_max_rel_dev=1e-3)
+    assert any("parity" in p for p in bench.compare_reports(broken, base))
+
+
+def test_compare_reports_cross_mode_checks_floors_only():
+    base = _report()
+    other_mode = _report(cold_inner_iterations=10_000.0)
+    other_mode["mode"] = "standard"
+    # Iteration counts are suite-scale dependent: not compared across modes.
+    assert bench.compare_reports(other_mode, base) == []
+
+
+def test_bench_config_scales_with_quick_flag():
+    quick = bench.bench_config(quick=True)
+    standard = bench.bench_config(quick=False)
+    assert len(quick.tasks()) < len(standard.tasks())
+    assert not quick.include_benchmark and not standard.include_benchmark
+
+
+def test_write_and_load_report_round_trip(tmp_path):
+    report = _report()
+    path = bench.write_report(report, tmp_path / "BENCH_TEST.json")
+    assert bench.load_report(path) == report

@@ -57,3 +57,33 @@ def test_expand_bracket_returns_original_interval_when_already_bracketing():
 def test_expand_bracket_gives_up_eventually():
     with pytest.raises(SolverError):
         expand_bracket(lambda x: 1.0, 0.0, 1.0, max_expansions=5)
+
+
+def test_bisect_scalar_raises_on_exhausted_iteration_budget():
+    from repro.exceptions import ConvergenceError
+
+    with pytest.raises(ConvergenceError, match="did not converge"):
+        bisect_scalar(lambda x: x - np.pi, 0.0, 10.0, tol=1e-12, max_iter=3)
+
+
+def test_bisect_scalar_converges_within_budget_when_tolerance_is_loose():
+    root = bisect_scalar(lambda x: x - np.pi, 0.0, 10.0, tol=1e-2, max_iter=15)
+    assert abs(root - np.pi) < 0.1
+
+
+def test_bisect_vector_raises_on_exhausted_iteration_budget():
+    from repro.exceptions import ConvergenceError
+
+    targets = np.array([2.0, 7.0])
+    with pytest.raises(ConvergenceError, match="did not converge"):
+        bisect_vector(
+            lambda x: x - targets, np.zeros(2), np.full(2, 10.0), tol=1e-12, max_iter=3
+        )
+
+
+def test_convergence_error_is_a_solver_error():
+    # Callers catching SolverError (the established failure surface) also
+    # see the new non-convergence reports.
+    from repro.exceptions import ConvergenceError, SolverError
+
+    assert issubclass(ConvergenceError, SolverError)

@@ -69,3 +69,34 @@ def test_bad_bounds_rejected():
         )
     with pytest.raises(ValueError):
         minimize_separable_with_budget(lambda x: x, np.zeros(2), np.zeros(3), budget=1.0)
+
+
+def test_unbracketable_budget_multiplier_raises_instead_of_violating_budget():
+    # A cost whose slope is far steeper than mu_max pins every component at
+    # its upper bound for any affordable multiplier: no mu <= mu_max can
+    # bring the inner solution under the budget.  The solver must refuse
+    # instead of silently returning a budget-violating allocation.
+    from repro.exceptions import SolverError
+
+    with pytest.raises(SolverError, match="could not be bracketed"):
+        minimize_separable_with_budget(
+            lambda x: -1e8 * x,
+            np.zeros(2),
+            np.full(2, 10.0),
+            budget=5.0,
+            mu_max=1e6,
+        )
+
+
+def test_bracketable_steep_costs_still_solve():
+    # Same steep cost, but with mu_max above the slope the expansion does
+    # bracket and the budget binds exactly.
+    result = minimize_separable_with_budget(
+        lambda x: -1e3 * x,
+        np.zeros(2),
+        np.full(2, 10.0),
+        budget=5.0,
+        mu_max=1e6,
+    )
+    assert result.x.sum() <= 5.0 * (1.0 + 1e-6)
+    assert result.multiplier > 0.0

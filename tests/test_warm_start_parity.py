@@ -1,0 +1,178 @@
+"""Warm-started sweeps: chain scheduling, state plumbing and the parity gate.
+
+The parity test is the warm-start correctness contract: a ``--warm-start``
+sweep must reproduce the cold sweep's tables within ``1e-6`` relative — the
+warm path may only change how much work the solvers do, never (beyond
+round-off) what they return.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import AllocatorConfig
+from repro.experiments.base import SweepConfig, proposed_tasks
+from repro.experiments.fig2 import Fig2Config, run_fig2
+from repro.experiments.runner import (
+    SweepRunner,
+    allocation_from_state,
+    task_hash,
+    warm_solver_kinds,
+)
+
+PARITY_RTOL = 1e-6
+
+TINY_FIG2 = Fig2Config(
+    sweep=SweepConfig(num_devices=8, num_trials=2, allocator=AllocatorConfig(max_iterations=6)),
+    max_power_dbm_grid=(5.0, 8.0, 12.0),
+    weight_pairs=((0.9, 0.1), (0.1, 0.9)),
+    include_benchmark=False,
+)
+
+
+def _tables_match(cold, warm, rtol=PARITY_RTOL):
+    assert cold.columns == warm.columns
+    assert len(cold) == len(warm)
+    for cold_row, warm_row in zip(cold.rows, warm.rows):
+        for column in ("energy_j", "time_s", "objective"):
+            assert warm_row[column] == pytest.approx(cold_row[column], rel=rtol), (
+                f"column {column} diverged at row {cold_row}"
+            )
+
+
+# -- the parity gate ----------------------------------------------------------
+
+def test_fig2_warm_start_matches_cold_start_within_tolerance():
+    cold = run_fig2(TINY_FIG2, runner=SweepRunner(jobs=1, use_cache=False))
+    warm_runner = SweepRunner(jobs=1, use_cache=False, warm_start=True)
+    warm = run_fig2(TINY_FIG2, runner=warm_runner)
+    _tables_match(cold, warm)
+    assert warm_runner.last_stats.warm_started > 0
+
+
+def test_fig2_warm_start_parity_holds_under_process_parallelism():
+    cold = run_fig2(TINY_FIG2, runner=SweepRunner(jobs=1, use_cache=False))
+    warm = run_fig2(TINY_FIG2, runner=SweepRunner(jobs=4, use_cache=False, warm_start=True))
+    _tables_match(cold, warm)
+
+
+def test_warm_start_preserves_iteration_counts():
+    # The trajectory-preserving contract is stronger than metric parity:
+    # the warm path must walk the same iterates, so outer/inner iteration
+    # totals are identical to the cold run's.
+    collect_cold, collect_warm = [], []
+    run_fig2(
+        TINY_FIG2,
+        runner=SweepRunner(jobs=1, progress=lambda d, t, o: collect_cold.append(o)),
+    )
+    run_fig2(
+        TINY_FIG2,
+        runner=SweepRunner(
+            jobs=1, warm_start=True, progress=lambda d, t, o: collect_warm.append(o)
+        ),
+    )
+    total = lambda outs, key: sum(o.metrics[key] for o in outs if o.ok)  # noqa: E731
+    assert total(collect_warm, "iterations") == total(collect_cold, "iterations")
+    assert total(collect_warm, "inner_iterations") == total(collect_cold, "inner_iterations")
+
+
+# -- chain construction and cache interplay ----------------------------------
+
+def test_warm_key_does_not_affect_the_cache_key():
+    sweep = SweepConfig(num_devices=6, num_trials=1)
+    [plain] = proposed_tasks(("p",), sweep, 0.5)
+    [chained] = proposed_tasks(("p",), sweep, 0.5, warm_group=("axis",), warm_order=3.0)
+    assert plain.warm_key is None and chained.warm_key == ("axis", 0)
+    assert task_hash(plain) == task_hash(chained)
+
+
+def test_proposed_kind_is_registered_warm_capable():
+    assert "proposed" in warm_solver_kinds()
+
+
+def test_outcomes_stay_in_task_order_with_warm_chains():
+    tasks = TINY_FIG2.tasks()
+    outcomes = SweepRunner(jobs=1, use_cache=False, warm_start=True).run(tasks)
+    assert [o.task.key for o in outcomes] == [t.key for t in tasks]
+    assert all(o.ok for o in outcomes)
+
+
+def test_warm_chain_seeds_through_cache_hits(tmp_path):
+    tasks = TINY_FIG2.tasks()
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path, use_cache=True, warm_start=True)
+    first = runner.run(tasks)
+    assert all(o.state is not None for o in first)
+    assert all("mu" in o.state for o in first)
+
+    # Second run: everything cached, states come back from disk.
+    second = runner.run(tasks)
+    assert runner.last_stats.cache_hits == len(tasks)
+    assert all(o.cached and o.state is not None for o in second)
+
+    # Third run with the first grid point evicted: the re-executed tasks sit
+    # mid-chain and must be seeded from their cached neighbour's state.
+    for task in tasks:
+        if task.warm_order != 5.0:
+            continue
+        runner.cache._path(task_hash(task)).unlink()
+    third = runner.run(tasks)
+    assert runner.last_stats.executed > 0
+    assert all(o.ok for o in third)
+
+
+def test_warm_runner_without_warm_keys_behaves_like_cold():
+    sweep = SweepConfig(num_devices=6, num_trials=2, allocator=AllocatorConfig(max_iterations=4))
+    tasks = proposed_tasks(("p",), sweep, 0.5)  # no warm_group
+    outcomes = SweepRunner(jobs=1, use_cache=False, warm_start=True).run(tasks)
+    assert all(not o.warm for o in outcomes)
+
+
+def test_task_timings_travel_with_outcomes():
+    sweep = SweepConfig(num_devices=6, num_trials=1, allocator=AllocatorConfig(max_iterations=4))
+    [outcome] = SweepRunner(jobs=1, use_cache=False).run(proposed_tasks(("p",), sweep, 0.5))
+    assert outcome.timings is not None
+    for name in ("scenario_build", "solve", "algorithm2", "sp2"):
+        assert outcome.timings.get(name, 0.0) > 0.0
+
+
+# -- warm-state reconstruction ------------------------------------------------
+
+def _state_for(system, scale=1.0):
+    n = system.num_devices
+    return {
+        "power_w": (system.max_power_w * 0.9).tolist(),
+        "bandwidth_hz": np.full(n, scale * system.total_bandwidth_hz / n).tolist(),
+        "frequency_hz": system.max_frequency_hz.tolist(),
+        "mu": 1e-9,
+    }
+
+
+def test_allocation_from_state_round_trips(tiny_system):
+    allocation = allocation_from_state(tiny_system, _state_for(tiny_system, scale=0.5))
+    assert allocation is not None
+    assert allocation.bandwidth_hz.sum() <= tiny_system.total_bandwidth_hz * (1 + 1e-9)
+
+
+def test_allocation_from_state_rescales_an_over_budget_split(tiny_system):
+    allocation = allocation_from_state(tiny_system, _state_for(tiny_system, scale=2.0))
+    assert allocation is not None
+    assert allocation.bandwidth_hz.sum() == pytest.approx(
+        tiny_system.total_bandwidth_hz, rel=1e-9
+    )
+
+
+def test_allocation_from_state_rejects_wrong_fleet_size(tiny_system):
+    state = _state_for(tiny_system)
+    state["power_w"] = state["power_w"][:-1]
+    assert allocation_from_state(tiny_system, state) is None
+
+
+def test_allocation_from_state_rejects_unusable_values(tiny_system):
+    state = _state_for(tiny_system)
+    state["bandwidth_hz"] = [0.0] * tiny_system.num_devices
+    assert allocation_from_state(tiny_system, state) is None
+    state = _state_for(tiny_system)
+    state["frequency_hz"][0] = float("nan")
+    assert allocation_from_state(tiny_system, state) is None
+    assert allocation_from_state(tiny_system, {"power_w": "garbage"}) is None
