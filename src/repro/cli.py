@@ -35,6 +35,7 @@ import json
 import sys
 from typing import Any, Sequence
 
+from .core.subproblem2 import BACKENDS
 from .exceptions import ConfigurationError
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .experiments.results import ResultTable
@@ -95,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         "as JSON, falling back to a plain string)",
     )
     run.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="SP2 inner-solve backend: 'vector' (batched array passes, the "
+        "default) or 'scalar' (probe-sequential reference oracle)",
+    )
+    run.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -133,8 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--label",
-        default="PR3",
-        help="report label; also names the default output file (default: PR3)",
+        default="PR4",
+        help="report label; also names the default output file (default: PR4)",
     )
     bench.add_argument(
         "--output",
@@ -230,6 +238,7 @@ def _run(
     csv: str | None,
     scenario: str | None = None,
     scenario_params: dict[str, Any] | None = None,
+    backend: str | None = None,
     runner: SweepRunner | None = None,
 ) -> ResultTable:
     experiment = get_experiment(name)
@@ -239,6 +248,9 @@ def _run(
         # to the experiment's reduced default when --paper wasn't given.
         config = config if config is not None else _config_class(name)()
         config = _apply_scenario(config, scenario, scenario_params or {})
+    if backend is not None:
+        config = config if config is not None else _config_class(name)()
+        config = dataclasses.replace(config, sweep=config.sweep.with_backend(backend))
     if runner is None:
         table = experiment(config) if config is not None else experiment()
     else:
@@ -280,7 +292,9 @@ def _run_bench(args: argparse.Namespace) -> int:
         f"{metrics['warm_wall_s']:.2f}s ({metrics['warm_wall_speedup']:.2f}x), "
         f"outer iterations {metrics['cold_outer_iterations']:.0f} -> "
         f"{metrics['warm_outer_iterations']:.0f}, parity "
-        f"{metrics['parity_max_rel_dev']:.2e}",
+        f"{metrics['parity_max_rel_dev']:.2e}; backend sp2 "
+        f"{metrics['backend_sp2_speedup']:.2f}x (scalar/vector parity "
+        f"{metrics['backend_parity_max_rel_dev']:.2e})",
         file=sys.stderr,
     )
     print(f"wrote {output}")
@@ -323,6 +337,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 csv=args.csv,
                 scenario=args.scenario,
                 scenario_params=scenario_params,
+                backend=args.backend,
                 runner=_make_runner(args.experiment, args),
             )
         except ConfigurationError as exc:

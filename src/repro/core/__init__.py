@@ -26,6 +26,10 @@ Modules
     paper's headline contribution.
 ``convergence``
     Iteration histories recorded by the iterative solvers.
+``verify``
+    KKT-residual certificates: feasibility + stationarity + complementary
+    slackness checks the tests (and the backend differential harness) use
+    to certify candidate solutions without re-solving.
 """
 
 from .allocation import ResourceAllocation
@@ -36,6 +40,7 @@ from .subproblem1 import Subproblem1Result, solve_subproblem1
 from .subproblem2 import SP2Result, solve_sp2_v2, solve_sp2_v2_numeric
 from .sum_of_ratios import SumOfRatiosConfig, SumOfRatiosResult, SumOfRatiosSolver
 from .uplink_delay import minimize_max_upload_time
+from .verify import KKTCertificate, check_kkt, check_primal, check_sp1
 
 __all__ = [
     "ResourceAllocation",
@@ -55,4 +60,8 @@ __all__ = [
     "SumOfRatiosResult",
     "SumOfRatiosSolver",
     "minimize_max_upload_time",
+    "KKTCertificate",
+    "check_kkt",
+    "check_primal",
+    "check_sp1",
 ]

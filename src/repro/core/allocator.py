@@ -40,6 +40,7 @@ from .allocation import ResourceAllocation
 from .convergence import ConvergenceHistory
 from .problem import JointProblem
 from .subproblem1 import solve_subproblem1
+from .subproblem2 import validate_backend
 from .sum_of_ratios import SumOfRatiosConfig, SumOfRatiosSolver
 from .uplink_delay import minimize_max_upload_time
 
@@ -111,10 +112,20 @@ class AllocationResult:
 
 
 class ResourceAllocator:
-    """Algorithm 2: alternating optimisation of ``(f, T)`` and ``(p, B)``."""
+    """Algorithm 2: alternating optimisation of ``(f, T)`` and ``(p, B)``.
 
-    def __init__(self, config: AllocatorConfig | None = None) -> None:
+    ``backend`` selects the SP2_v2 inner-solve backend (``"vector"`` /
+    ``"scalar"``), overriding ``config.sum_of_ratios.backend``; the default
+    keeps the configured backend (vector unless configured otherwise).
+    """
+
+    def __init__(
+        self, config: AllocatorConfig | None = None, *, backend: str | None = None
+    ) -> None:
         self.config = config or AllocatorConfig()
+        self.backend = validate_backend(
+            backend or self.config.sum_of_ratios.backend
+        )
 
     # -- public API --------------------------------------------------------
     def solve(
@@ -365,7 +376,10 @@ class ResourceAllocator:
             )
 
         solver = SumOfRatiosSolver(
-            system, problem.energy_weight, config=config.sum_of_ratios
+            system,
+            problem.energy_weight,
+            config=config.sum_of_ratios,
+            backend=self.backend,
         )
         try:
             result = solver.solve(

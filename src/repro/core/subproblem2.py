@@ -29,16 +29,60 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import InfeasibleProblemError
+from ..exceptions import ConvergenceError, InfeasibleProblemError
 from ..solvers.boxlp import solve_box_budget_lp
 from ..solvers.dual_decomposition import minimize_separable_with_budget
-from ..solvers.lambert import solve_x_log_x
+from ..solvers.lambert import lambert_solve_vector, solve_x_log_x
 from ..system import SystemModel
 from ..wireless.rate import min_bandwidth_for_rate, required_power_for_rate, shannon_rate
 
-__all__ = ["SP2Result", "sp2_objective", "solve_sp2_v2", "solve_sp2_v2_numeric"]
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "MU_BRACKET_MAX_EXPANSIONS",
+    "MU_BRACKET_MAX_CONTRACTIONS",
+    "MU_SEARCH_MAX_ITERATIONS",
+    "SP2Result",
+    "sp2_objective",
+    "solve_sp2_v2",
+    "solve_sp2_v2_numeric",
+    "validate_backend",
+]
 
 _LN2 = np.log(2.0)
+
+#: The available SP2_v2 inner-solve backends.  ``"vector"`` (the default)
+#: finds the bandwidth multiplier through batched array passes — a chunked
+#: geometric bracket scan plus a safeguarded Newton iteration with the
+#: analytic ``d(excess)/d(mu)`` — evaluating every device at once through
+#: :func:`~repro.solvers.lambert.lambert_solve_vector`.  ``"scalar"`` is the
+#: original probe-at-a-time bisection, retained float-for-float as the
+#: reference oracle for the differential tests.
+BACKENDS: tuple[str, ...] = ("scalar", "vector")
+DEFAULT_BACKEND = "vector"
+
+#: Iteration caps of the bandwidth-multiplier search.  Exhausting any of
+#: them raises :class:`~repro.exceptions.ConvergenceError` (callers fall
+#: back to the numeric solver) instead of silently returning a bad point.
+#: Upper-bracket expansions (``mu_hi *= 4`` / batched chunks thereof).
+MU_BRACKET_MAX_EXPANSIONS = 400
+#: Lower-bracket contractions (``mu_lo *= 0.25`` / batched chunks thereof).
+MU_BRACKET_MAX_CONTRACTIONS = 2000
+#: Root-refinement iterations (bisection / Illinois / safeguarded Newton).
+MU_SEARCH_MAX_ITERATIONS = 300
+
+#: Candidate multipliers evaluated per batched bracket-scan pass (vector
+#: backend): one ``(chunk, num_devices)`` Lambert evaluation replaces up to
+#: ``chunk`` sequential scalar probes.
+_VECTOR_SCAN_CHUNK = 16
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if it is a known SP2 backend, else raise."""
+    if backend not in BACKENDS:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown SP2 backend {backend!r}; known: {known}")
+    return backend
 
 
 @dataclass(frozen=True)
@@ -112,29 +156,363 @@ def _repair_rates(
     return repaired
 
 
+def _polish_mu(
+    mu: float,
+    j_c: np.ndarray,
+    rmin_c: np.ndarray,
+    budget: float,
+    steps: int = 8,
+) -> tuple[float, np.ndarray]:
+    """Newton-polish ``mu`` onto the exact root of the excess equation.
+
+    The bracketed searches stop at ``mu_tol`` relative width, which leaves
+    each backend (and each warm/cold path) on its own side of the root; a
+    few analytic Newton steps (``d excess / d mu = -sum rmin ln2 /
+    (j x ln(x)^3)``) collapse that residual to round-off.
+
+    The polish is deliberately **entry-independent**: the entry multiplier
+    is first snapped to a 26-bit-mantissa grid — far coarser than the
+    ``mu_tol`` agreement between the searches, far finer than the Newton
+    basin — so every search path (scalar/vector, warm/cold) almost surely
+    starts the polish from the *same* double; ``x`` is then evaluated
+    through one canonical, unseeded evaluator, and the Newton map is
+    iterated into its double-precision attractor (fixed point, or 2-cycle
+    tie-broken to the smaller value).  The backends therefore return
+    bit-identical multipliers call for call — which is what keeps their
+    downstream Algorithm-1/2 trajectories, and therefore the reported
+    sweep metrics, in lockstep.
+    """
+    mantissa, exponent = np.frexp(mu)
+    mu = float(np.ldexp(np.round(mantissa * (1 << 26)) / float(1 << 26), exponent))
+    lead = rmin_c * _LN2
+    x = solve_x_log_x(mu / j_c)
+    previous = None
+    for _ in range(steps):
+        log_x = np.maximum(np.log(x), 1e-300)
+        excess = float((lead / log_x).sum()) - budget
+        slope = -float((lead / (j_c * x * log_x**3)).sum())
+        if not np.isfinite(slope) or slope >= 0.0:
+            break
+        mu_new = mu - excess / slope
+        if not np.isfinite(mu_new) or mu_new <= 0.0 or mu_new == mu:
+            break
+        if mu_new == previous:
+            # 2-cycle between adjacent doubles: the cycle is a property of
+            # the map, not of the entry point, so the deterministic
+            # tie-break makes the result entry-independent.
+            if mu_new < mu:
+                mu = mu_new
+                x = solve_x_log_x(mu / j_c)
+            break
+        previous = mu
+        mu = mu_new
+        x = solve_x_log_x(mu / j_c)
+    return mu, x
+
+
+def _mu_search_scalar(
+    j_c: np.ndarray,
+    rmin_c: np.ndarray,
+    budget: float,
+    *,
+    mu_tol: float,
+    mu_hint: float | None,
+) -> tuple[float, np.ndarray | None]:
+    """Reference bandwidth-multiplier search: one probe at a time.
+
+    Returns ``(mu, x)`` with ``x`` the per-device SNR factors at ``mu`` (or
+    ``None`` when ``mu == 0``, i.e. the budget constraint is slack for the
+    rate-active set).  This is the original probe-sequential implementation,
+    kept float-for-float identical as the oracle the vector backend is
+    differential-tested against.
+    """
+    # Newton seed threaded across evaluations: consecutive mu probes are
+    # close, so the previous root is an excellent starting iterate.
+    # Only used on the warm path to keep the cold path's float-for-float
+    # behaviour identical to the reference implementation.
+    x_seed: list[np.ndarray | None] = [None]
+    thread_seed = mu_hint is not None
+
+    def solve_x(mu_value: float) -> np.ndarray:
+        x = solve_x_log_x(mu_value / j_c, x0=x_seed[0] if thread_seed else None)
+        if thread_seed:
+            x_seed[0] = x
+        return x
+
+    def bandwidth_at(mu_value: float) -> np.ndarray:
+        x = solve_x(mu_value)
+        return rmin_c * _LN2 / np.maximum(np.log(x), 1e-300)
+
+    def excess(mu_value: float) -> float:
+        return float(bandwidth_at(mu_value).sum()) - budget
+
+    # Bracket the multiplier: bandwidth demand explodes as mu -> 0 and
+    # vanishes as mu -> infinity.  A warm hint replaces the generic
+    # starting point, typically collapsing the expansion/contraction
+    # scans to a couple of probes.
+    if mu_hint is not None and np.isfinite(mu_hint) and mu_hint > 0.0:
+        mu_hi = float(mu_hint)
+    else:
+        mu_hi = float(np.median(j_c))
+    f_hi = excess(mu_hi)
+    expansions = 0
+    while f_hi > 0.0:
+        if expansions >= MU_BRACKET_MAX_EXPANSIONS:
+            raise ConvergenceError(
+                "bandwidth multiplier could not be bracketed from above in "
+                f"{MU_BRACKET_MAX_EXPANSIONS} expansions (excess {f_hi:.3g} "
+                f"at mu {mu_hi:.3g})"
+            )
+        mu_hi *= 4.0
+        f_hi = excess(mu_hi)
+        expansions += 1
+    mu_lo, f_lo = mu_hi, f_hi
+    contractions = 0
+    while f_lo < 0.0:
+        if contractions >= MU_BRACKET_MAX_CONTRACTIONS:
+            raise ConvergenceError(
+                "bandwidth multiplier could not be bracketed from below in "
+                f"{MU_BRACKET_MAX_CONTRACTIONS} contractions (excess "
+                f"{f_lo:.3g} at mu {mu_lo:.3g})"
+            )
+        mu_lo *= 0.25
+        f_lo = excess(mu_lo)
+        contractions += 1
+    if mu_lo > 0.0:
+        # The multiplier lives at the scale of j_n (often ~1e-11), so the
+        # stopping rule must be relative to mu itself, and the returned
+        # value is taken from the feasible side of the bracket so the
+        # active-set bandwidth can never exceed the budget.
+        converged = False
+        if mu_hint is not None:
+            # Seeded path: safeguarded regula falsi (Illinois) — the
+            # excess is smooth and monotone, so the superlinear update
+            # reaches the same ``mu_tol`` bracket in a fraction of the
+            # probes plain bisection needs.  f_lo/f_hi carry over from
+            # the bracket scans above — no re-evaluation.
+            last_side = 0
+            for _ in range(MU_SEARCH_MAX_ITERATIONS):
+                if mu_hi - mu_lo <= mu_tol * mu_hi or f_lo == 0.0 or f_hi == 0.0:
+                    converged = True
+                    break
+                denom = f_lo - f_hi
+                mu_mid = (
+                    (mu_lo * (-f_hi) + mu_hi * f_lo) / denom
+                    if denom > 0.0
+                    else 0.5 * (mu_lo + mu_hi)
+                )
+                if not mu_lo < mu_mid < mu_hi:
+                    mu_mid = 0.5 * (mu_lo + mu_hi)
+                f_mid = excess(mu_mid)
+                if f_mid > 0.0:
+                    mu_lo, f_lo = mu_mid, f_mid
+                    if last_side < 0:
+                        f_hi *= 0.5
+                    last_side = -1
+                else:
+                    mu_hi, f_hi = mu_mid, f_mid
+                    if last_side > 0:
+                        f_lo *= 0.5
+                    last_side = 1
+        else:
+            for _ in range(MU_SEARCH_MAX_ITERATIONS):
+                mu_mid = 0.5 * (mu_lo + mu_hi)
+                if excess(mu_mid) > 0.0:
+                    mu_lo = mu_mid
+                else:
+                    mu_hi = mu_mid
+                if mu_hi - mu_lo <= mu_tol * mu_hi:
+                    converged = True
+                    break
+        if not converged:
+            raise ConvergenceError(
+                "bandwidth-multiplier search did not converge in "
+                f"{MU_SEARCH_MAX_ITERATIONS} iterations: the bracket "
+                f"[{mu_lo:.6g}, {mu_hi:.6g}] is still wider than "
+                f"tol={mu_tol:.3g}"
+            )
+        return _polish_mu(mu_hi, j_c, rmin_c, budget)
+    return 0.0, None
+
+
+def _mu_search_vector(
+    j_c: np.ndarray,
+    rmin_c: np.ndarray,
+    budget: float,
+    *,
+    mu_tol: float,
+    mu_hint: float | None,
+) -> tuple[float, np.ndarray | None]:
+    """Batched bandwidth-multiplier search (the ``"vector"`` backend).
+
+    Same monotone root problem as :func:`_mu_search_scalar`, solved in a
+    handful of array passes instead of dozens of sequential probes:
+
+    * **batched bracket scan** — whole chunks of geometrically spaced
+      candidate multipliers are evaluated at once through a
+      ``(chunk, num_devices)`` :func:`lambert_solve_vector` call;
+    * **safeguarded Newton refinement** — the excess-bandwidth derivative is
+      analytic (``d B_n / d mu = -rmin_n ln2 / (j_n x_n ln(x_n)^3)``), so
+      each iteration takes a quadratically convergent Newton step, clipped
+      into the running bracket (with a bisection fallback), and threads the
+      previous Lambert iterates as seeds.
+
+    The stopping rule is the same relative bracket width on the feasible
+    side, so scalar and vector backends agree on ``mu`` to ``mu_tol``-level
+    round-off — the differential harness holds them to that.
+    """
+    lead = rmin_c * _LN2
+
+    def batch_excess(mu_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Excess bandwidth at each candidate mu: one array pass for all."""
+        x = lambert_solve_vector(mu_values[:, None] / j_c[None, :])
+        log_x = np.maximum(np.log(x), 1e-300)
+        return (lead / log_x).sum(axis=1) - budget, x
+
+    def point_excess(
+        mu_value: float, seed: np.ndarray | None
+    ) -> tuple[float, float, np.ndarray]:
+        """Excess and its mu-derivative at one multiplier, seeded."""
+        x = lambert_solve_vector(np.atleast_1d(mu_value) / j_c, x0=seed)
+        log_x = np.maximum(np.log(x), 1e-300)
+        excess = float((lead / log_x).sum()) - budget
+        slope = -float((lead / (j_c * x * log_x**3)).sum())
+        return excess, slope, x
+
+    if mu_hint is not None and np.isfinite(mu_hint) and mu_hint > 0.0:
+        mu_0 = float(mu_hint)
+    else:
+        mu_0 = float(np.median(j_c))
+    (f_0,), _ = batch_excess(np.array([mu_0]))
+    f_0 = float(f_0)
+
+    if f_0 > 0.0:
+        # Scan upward in chunks of geometrically growing candidates.  The
+        # first chunk is small: a warm hint (and usually the median start)
+        # sits within a few factors of the root, so a full-width batch
+        # would mostly evaluate candidates beyond the bracket.
+        mu_lo, f_lo = mu_0, f_0
+        mu_hi = f_hi = None
+        scanned = 0
+        width = 4
+        while mu_hi is None and scanned < MU_BRACKET_MAX_EXPANSIONS:
+            chunk = min(width, _VECTOR_SCAN_CHUNK, MU_BRACKET_MAX_EXPANSIONS - scanned)
+            width *= 2
+            candidates = mu_lo * 4.0 ** np.arange(1, chunk + 1)
+            excesses, _ = batch_excess(candidates)
+            hits = np.flatnonzero(excesses <= 0.0)
+            if hits.size:
+                first = int(hits[0])
+                mu_hi, f_hi = float(candidates[first]), float(excesses[first])
+                if first > 0:
+                    mu_lo, f_lo = float(candidates[first - 1]), float(excesses[first - 1])
+            else:
+                mu_lo, f_lo = float(candidates[-1]), float(excesses[-1])
+                scanned += chunk
+        if mu_hi is None:
+            raise ConvergenceError(
+                "bandwidth multiplier could not be bracketed from above in "
+                f"{MU_BRACKET_MAX_EXPANSIONS} expansions (excess {f_lo:.3g} "
+                f"at mu {mu_lo:.3g})"
+            )
+    elif f_0 < 0.0:
+        # Scan downward; demand grows without bound as mu -> 0, so a sign
+        # change (or exact underflow to mu = 0, where the budget is slack
+        # for the active set) must appear before the cap.
+        mu_hi, f_hi = mu_0, f_0
+        mu_lo = f_lo = None
+        scanned = 0
+        width = 4
+        while mu_lo is None and scanned < MU_BRACKET_MAX_CONTRACTIONS:
+            chunk = min(width, _VECTOR_SCAN_CHUNK, MU_BRACKET_MAX_CONTRACTIONS - scanned)
+            width *= 2
+            candidates = mu_hi * 0.25 ** np.arange(1, chunk + 1)
+            excesses, _ = batch_excess(candidates)
+            hits = np.flatnonzero(excesses >= 0.0)
+            if hits.size:
+                first = int(hits[0])
+                mu_lo, f_lo = float(candidates[first]), float(excesses[first])
+                if first > 0:
+                    mu_hi, f_hi = float(candidates[first - 1]), float(excesses[first - 1])
+            else:
+                mu_hi, f_hi = float(candidates[-1]), float(excesses[-1])
+                scanned += chunk
+        if mu_lo is None:
+            raise ConvergenceError(
+                "bandwidth multiplier could not be bracketed from below in "
+                f"{MU_BRACKET_MAX_CONTRACTIONS} contractions (excess "
+                f"{f_hi:.3g} at mu {mu_hi:.3g})"
+            )
+        if mu_lo == 0.0:
+            return 0.0, None
+    else:
+        mu_lo = mu_hi = mu_0
+        f_lo = f_hi = 0.0
+
+    # Safeguarded Newton on the bracket [mu_lo, mu_hi] (f_lo >= 0 >= f_hi).
+    mu_k, f_k, x_k = mu_hi, f_hi, None
+    converged = mu_hi - mu_lo <= mu_tol * mu_hi or f_lo == 0.0 or f_hi == 0.0
+    for _ in range(MU_SEARCH_MAX_ITERATIONS):
+        if converged:
+            break
+        f_k, slope, x_k = point_excess(mu_k, x_k)
+        if f_k > 0.0:
+            mu_lo, f_lo = mu_k, f_k
+        else:
+            mu_hi, f_hi = mu_k, f_k
+        if mu_hi - mu_lo <= mu_tol * mu_hi or f_k == 0.0:
+            converged = True
+            break
+        mu_next = mu_k - f_k / slope if slope < 0.0 else 0.5 * (mu_lo + mu_hi)
+        if not mu_lo < mu_next < mu_hi:
+            mu_next = 0.5 * (mu_lo + mu_hi)
+        mu_k = mu_next
+    if not converged:
+        raise ConvergenceError(
+            "bandwidth-multiplier search did not converge in "
+            f"{MU_SEARCH_MAX_ITERATIONS} iterations: the bracket "
+            f"[{mu_lo:.6g}, {mu_hi:.6g}] is still wider than tol={mu_tol:.3g}"
+        )
+    return _polish_mu(mu_hi, j_c, rmin_c, budget)
+
+
+_MU_SEARCHES = {"scalar": _mu_search_scalar, "vector": _mu_search_vector}
+
+
 def solve_sp2_v2(
     system: SystemModel,
     nu: np.ndarray,
     beta: np.ndarray,
     min_rate_bps: np.ndarray,
     *,
-    mu_tol: float = 1e-11,
+    mu_tol: float = 1e-13,
     mu_hint: float | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> SP2Result:
     """Closed-form KKT solution of SP2_v2 (Theorem 2 / Appendix B).
 
     Raises :class:`InfeasibleProblemError` when the decomposition's lower
-    bounds cannot fit into the bandwidth budget (callers fall back to
-    :func:`solve_sp2_v2_numeric`).
+    bounds cannot fit into the bandwidth budget, and
+    :class:`~repro.exceptions.ConvergenceError` when the multiplier search
+    exhausts one of its iteration caps (callers fall back to
+    :func:`solve_sp2_v2_numeric` in both cases).
+
+    ``backend`` selects the bandwidth-multiplier search: ``"vector"``
+    (default) batches the bracket scan and runs a safeguarded Newton
+    iteration over all devices in single array passes; ``"scalar"`` is the
+    probe-sequential reference implementation.  Both converge ``mu`` to the
+    same relative tolerance, so they agree within ``mu_tol``-level
+    round-off — the backend-parity tests enforce it.
 
     ``mu_hint`` warm-starts the bandwidth-multiplier search from a nearby
     problem's multiplier (the previous Algorithm-1 iteration, or the
     neighbouring sweep point): the bracket expansion starts at the hint and
-    every Lambert evaluation inside the bisection reuses the previous
-    iterate as its Newton seed.  The multiplier is still bisected to the
+    every Lambert evaluation inside the refinement reuses the previous
+    iterate as its Newton seed.  The multiplier still converges to the
     same relative tolerance, so a hint changes the work done, not the
     solution (beyond ``mu_tol``-level round-off).
     """
+    mu_search = _MU_SEARCHES[validate_backend(backend)]
     gains = system.gains
     bits = system.upload_bits
     noise = system.noise_psd_w_per_hz
@@ -160,102 +538,9 @@ def solve_sp2_v2(
     if np.any(constrained):
         j_c = j[constrained]
         rmin_c = rmin[constrained]
-        # Newton seed threaded across evaluations: consecutive mu probes are
-        # close, so the previous root is an excellent starting iterate.
-        # Only used on the warm path to keep the cold path's float-for-float
-        # behaviour identical to the reference implementation.
-        x_seed: list[np.ndarray | None] = [None]
-        thread_seed = mu_hint is not None
-
-        def solve_x(mu_value: float) -> np.ndarray:
-            x = solve_x_log_x(mu_value / j_c, x0=x_seed[0] if thread_seed else None)
-            if thread_seed:
-                x_seed[0] = x
-            return x
-
-        def bandwidth_at(mu_value: float) -> np.ndarray:
-            x = solve_x(mu_value)
-            return rmin_c * _LN2 / np.maximum(np.log(x), 1e-300)
-
-        def excess(mu_value: float) -> float:
-            return float(bandwidth_at(mu_value).sum()) - budget
-
-        # Bracket the multiplier: bandwidth demand explodes as mu -> 0 and
-        # vanishes as mu -> infinity.  A warm hint replaces the generic
-        # starting point, typically collapsing the expansion/contraction
-        # scans to a couple of probes.
-        if mu_hint is not None and np.isfinite(mu_hint) and mu_hint > 0.0:
-            mu_hi = float(mu_hint)
-        else:
-            mu_hi = float(np.median(j_c))
-        f_hi = excess(mu_hi)
-        for _ in range(400):
-            if f_hi <= 0.0:
-                break
-            mu_hi *= 4.0
-            f_hi = excess(mu_hi)
-        else:  # pragma: no cover - astronomically large requirements
-            raise InfeasibleProblemError("bandwidth multiplier could not be bracketed")
-        mu_lo, f_lo = mu_hi, f_hi
-        for _ in range(2000):
-            mu_lo *= 0.25
-            f_lo = excess(mu_lo)
-            if f_lo >= 0.0:
-                break
-        else:
-            # Even a vanishing multiplier does not exhaust the budget; the
-            # rate constraints are extremely loose and everything lands in
-            # the LP step below.
-            mu_lo = 0.0
-        if mu_lo > 0.0:
-            # The multiplier lives at the scale of j_n (often ~1e-11), so the
-            # stopping rule must be relative to mu itself, and the returned
-            # value is taken from the feasible side of the bracket so the
-            # active-set bandwidth can never exceed the budget.
-            if mu_hint is not None:
-                # Seeded path: safeguarded regula falsi (Illinois) — the
-                # excess is smooth and monotone, so the superlinear update
-                # reaches the same ``mu_tol`` bracket in a fraction of the
-                # probes plain bisection needs.  f_lo/f_hi carry over from
-                # the bracket scans above — no re-evaluation.
-                last_side = 0
-                for _ in range(300):
-                    if mu_hi - mu_lo <= mu_tol * mu_hi or f_lo == 0.0 or f_hi == 0.0:
-                        break
-                    denom = f_lo - f_hi
-                    mu_mid = (
-                        (mu_lo * (-f_hi) + mu_hi * f_lo) / denom
-                        if denom > 0.0
-                        else 0.5 * (mu_lo + mu_hi)
-                    )
-                    if not mu_lo < mu_mid < mu_hi:
-                        mu_mid = 0.5 * (mu_lo + mu_hi)
-                    f_mid = excess(mu_mid)
-                    if f_mid > 0.0:
-                        mu_lo, f_lo = mu_mid, f_mid
-                        if last_side < 0:
-                            f_hi *= 0.5
-                        last_side = -1
-                    else:
-                        mu_hi, f_hi = mu_mid, f_mid
-                        if last_side > 0:
-                            f_lo *= 0.5
-                        last_side = 1
-            else:
-                for _ in range(300):
-                    mu_mid = 0.5 * (mu_lo + mu_hi)
-                    if excess(mu_mid) > 0.0:
-                        mu_lo = mu_mid
-                    else:
-                        mu_hi = mu_mid
-                    if mu_hi - mu_lo <= mu_tol * mu_hi:
-                        break
-            mu = mu_hi
-        else:
-            mu = 0.0
+        mu, x_c = mu_search(j_c, rmin_c, budget, mu_tol=mu_tol, mu_hint=mu_hint)
 
         if mu > 0.0:
-            x_c = solve_x(mu)
             a_c = j_c * _LN2 * x_c  # a_n = nu_n beta_n + tau_n at stationarity
             tau_c = a_c - nu[constrained] * beta[constrained]
             tau_full = np.zeros(n)

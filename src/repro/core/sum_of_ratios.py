@@ -26,12 +26,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import InfeasibleProblemError, SolverError
+from ..exceptions import ConvergenceError, InfeasibleProblemError, SolverError
 from ..perf.timers import stage
 from ..solvers.newton import damped_newton_step
 from ..system import SystemModel
 from .convergence import ConvergenceHistory
-from .subproblem2 import SP2Result, solve_sp2_v2, solve_sp2_v2_numeric
+from .subproblem2 import (
+    DEFAULT_BACKEND,
+    SP2Result,
+    solve_sp2_v2,
+    solve_sp2_v2_numeric,
+    validate_backend,
+)
 
 __all__ = ["SumOfRatiosConfig", "SumOfRatiosResult", "SumOfRatiosSolver"]
 
@@ -53,6 +59,10 @@ class SumOfRatiosConfig:
     #: Whether to fall back to the numeric SP2_v2 solver when the
     #: closed-form path fails or returns an infeasible point.
     use_numeric_fallback: bool = True
+    #: SP2_v2 inner-solve backend: ``"vector"`` (batched array passes, the
+    #: default) or ``"scalar"`` (probe-sequential reference oracle).  Both
+    #: agree within solver tolerance; the parity tests enforce it.
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -81,6 +91,8 @@ class SumOfRatiosSolver:
         system: SystemModel,
         energy_weight: float,
         config: SumOfRatiosConfig | None = None,
+        *,
+        backend: str | None = None,
     ) -> None:
         if energy_weight <= 0.0:
             raise ValueError(
@@ -90,6 +102,9 @@ class SumOfRatiosSolver:
         self.system = system
         self.energy_weight = float(energy_weight)
         self.config = config or SumOfRatiosConfig()
+        #: SP2 backend actually used: an explicit ``backend`` argument
+        #: overrides the configuration's.
+        self.backend = validate_backend(backend or self.config.backend)
 
     # -- helpers -----------------------------------------------------------
     @property
@@ -120,10 +135,17 @@ class SumOfRatiosSolver:
         from .subproblem2 import sp2_objective
 
         try:
-            result = solve_sp2_v2(self.system, nu, beta, min_rate_bps, mu_hint=mu_hint)
+            result = solve_sp2_v2(
+                self.system,
+                nu,
+                beta,
+                min_rate_bps,
+                mu_hint=mu_hint,
+                backend=self.backend,
+            )
             if result.feasible or not self.config.use_numeric_fallback:
                 return result
-        except InfeasibleProblemError:
+        except (InfeasibleProblemError, ConvergenceError):
             if not self.config.use_numeric_fallback:
                 raise
         try:

@@ -24,7 +24,6 @@ import numpy as np
 from ..core.problem import JointProblem, ProblemWeights
 from ..core.subproblem1 import solve_subproblem1
 from ..core.subproblem2 import solve_sp2_v2, solve_sp2_v2_numeric
-from ..core.sum_of_ratios import SumOfRatiosConfig
 from .base import SweepConfig, add_grid_row, proposed_tasks, run_sweep
 from .results import ResultTable
 from .runner import SweepRunner, SweepTask, register_solver_kind
@@ -55,7 +54,10 @@ class AblationConfig:
             allocator = replace(sweep.allocator, subproblem1_method=method)
             variants.append(("subproblem1", method, replace(sweep, allocator=allocator)))
         for xi in self.damping_values:
-            allocator = replace(sweep.allocator, sum_of_ratios=SumOfRatiosConfig(damping_xi=xi))
+            # Vary only the damping: every other configured sum-of-ratios
+            # field (backend, fallback, tolerances) must survive the variant.
+            sum_of_ratios = replace(sweep.allocator.sum_of_ratios, damping_xi=xi)
+            allocator = replace(sweep.allocator, sum_of_ratios=sum_of_ratios)
             variants.append(("damping_xi", f"{xi:g}", replace(sweep, allocator=allocator)))
         for strategy in ("equal", "delay_min"):
             allocator = replace(sweep.allocator, initial_strategy=strategy)

@@ -19,6 +19,7 @@ import numpy as np
 from .. import constants
 from ..core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
+from ..core.subproblem2 import validate_backend
 from ..baselines.registry import get_baseline
 from ..exceptions import ConfigurationError
 from ..scenarios import ScenarioSpec, build_scenario_spec
@@ -96,6 +97,21 @@ class SweepConfig:
             scenario_family=family,
             scenario_extra={**dict(self.scenario_extra), **extra},
         )
+
+    def with_backend(self, backend: str) -> "SweepConfig":
+        """Copy of this sweep solving SP2 with the given backend.
+
+        The backend lives inside the allocator's sum-of-ratios
+        configuration, so it travels with every task (and enters the cache
+        key: scalar and vector results agree only within solver tolerance,
+        never byte-for-byte).
+        """
+        validate_backend(backend)
+        allocator = replace(
+            self.allocator,
+            sum_of_ratios=replace(self.allocator.sum_of_ratios, backend=backend),
+        )
+        return replace(self, allocator=allocator)
 
     def scenario_params(self, *, seed: int, **overrides: Any) -> dict[str, Any]:
         """The flat scenario-spec mapping of one random drop.

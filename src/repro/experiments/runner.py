@@ -81,7 +81,10 @@ __all__ = [
 #: schema version joined the payload, so pre-registry entries are stale.
 #: 3: the metrics schema gained solver iteration counts (inner_iterations)
 #: and entries may carry the final allocation as warm-start state.
-CACHE_VERSION = 3
+#: 4: the SP2 backend knob joined the allocator configuration (and the
+#: multiplier search gained its exact-root polish), so pre-backend entries
+#: were solved to a different tolerance profile and are stale.
+CACHE_VERSION = 4
 
 SolverFn = Callable[[SystemModel, Mapping[str, Any]], Mapping[str, float]]
 

@@ -24,10 +24,10 @@ implements the required numerical machinery directly:
 * :mod:`repro.solvers.kkt` — KKT residual diagnostics used by the tests.
 """
 
-from .bisection import bisect_scalar, bisect_vector, expand_bracket
+from .bisection import bisect_scalar, bisect_vector, expand_bracket, expand_bracket_vector
 from .boxlp import solve_box_budget_lp
 from .dual_decomposition import minimize_separable_with_budget
-from .lambert import lambert_w_principal, solve_x_log_x
+from .lambert import lambert_solve_vector, lambert_w_principal, solve_x_log_x
 from .newton import DampedNewtonResult, damped_newton_step
 from .projection import (
     project_box,
@@ -41,8 +41,10 @@ __all__ = [
     "bisect_scalar",
     "bisect_vector",
     "expand_bracket",
+    "expand_bracket_vector",
     "solve_box_budget_lp",
     "minimize_separable_with_budget",
+    "lambert_solve_vector",
     "lambert_w_principal",
     "solve_x_log_x",
     "DampedNewtonResult",

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..exceptions import ConvergenceError, SolverError
 
-__all__ = ["bisect_scalar", "bisect_vector", "expand_bracket"]
+__all__ = ["bisect_scalar", "bisect_vector", "expand_bracket", "expand_bracket_vector"]
 
 
 def expand_bracket(
@@ -46,6 +46,45 @@ def expand_bracket(
             return lo, hi
     raise SolverError(
         f"could not bracket a root: f({lo})={f_lo:.3g}, f({hi})={f_hi:.3g}"
+    )
+
+
+def expand_bracket_vector(
+    func: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    grow: float = 4.0,
+    max_expansions: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched bracket expansion: one independent monotone equation per lane.
+
+    Grows ``hi[i]`` geometrically away from ``lo[i]`` — only in the lanes
+    that have not yet found a sign change — until every lane brackets a root
+    (a zero at either endpoint counts).  Already-bracketed lanes are frozen,
+    so a slowly diverging lane never perturbs the others.  Raises
+    :class:`SolverError` naming the first unbracketed lane if any interval
+    fails to produce a sign change after ``max_expansions`` expansions.
+    """
+    lo = np.array(lo, dtype=float, copy=True)
+    hi = np.array(hi, dtype=float, copy=True)
+    if lo.shape != hi.shape:
+        raise ValueError("lo and hi must have the same shape")
+    f_lo = np.asarray(func(lo), dtype=float)
+    f_hi = np.asarray(func(hi), dtype=float)
+    open_lanes = (np.sign(f_lo) == np.sign(f_hi)) & (f_lo != 0.0) & (f_hi != 0.0)
+    for _ in range(max_expansions):
+        if not np.any(open_lanes):
+            return lo, hi
+        hi = np.where(open_lanes, lo + (hi - lo) * grow, hi)
+        f_hi = np.where(open_lanes, np.asarray(func(hi), dtype=float), f_hi)
+        open_lanes &= (np.sign(f_lo) == np.sign(f_hi)) & (f_hi != 0.0)
+    if not np.any(open_lanes):
+        return lo, hi
+    idx = int(np.flatnonzero(open_lanes)[0])
+    raise SolverError(
+        f"could not bracket a root in lane {idx}: "
+        f"f({lo[idx]:.6g})={f_lo[idx]:.3g}, f({hi[idx]:.6g})={f_hi[idx]:.3g}"
     )
 
 
@@ -106,8 +145,11 @@ def bisect_vector(
 
     ``func`` maps an array of candidate points (one per equation) to the
     array of residuals.  Each ``[lo[i], hi[i]]`` interval must bracket a sign
-    change of residual ``i``.  Exhausting ``max_iter`` with any interval
-    still wider than its tolerance raises
+    change of residual ``i``.  Lanes converge independently: a lane whose
+    bracket meets its tolerance is frozen at its midpoint (active-mask early
+    exit), so the iteration count is set by the slowest lane while converged
+    lanes stop being refined.  Exhausting ``max_iter`` with any lane still
+    wider than its tolerance raises
     :class:`~repro.exceptions.ConvergenceError`.
     """
     lo = np.array(lo, dtype=float, copy=True)
@@ -123,21 +165,24 @@ def bisect_vector(
             "bisect_vector requires a sign change in every interval; "
             f"index {idx} has f(lo)={f_lo[idx]:.3g}, f(hi)={f_hi[idx]:.3g}"
         )
+    mid = 0.5 * (lo + hi)
+    active = hi - lo > tol * np.maximum(1.0, np.abs(mid))
     for _ in range(max_iter):
-        mid = 0.5 * (lo + hi)
+        if not np.any(active):
+            return mid
         f_mid = np.asarray(func(mid), dtype=float)
-        go_left = np.sign(f_mid) == np.sign(f_lo)
+        go_left = active & (np.sign(f_mid) == np.sign(f_lo))
+        go_right = active & ~go_left
         lo = np.where(go_left, mid, lo)
         f_lo = np.where(go_left, f_mid, f_lo)
-        hi = np.where(go_left, hi, mid)
-        if np.all(hi - lo <= tol * np.maximum(1.0, np.abs(mid))):
-            return 0.5 * (lo + hi)
-    wide = hi - lo > tol * np.maximum(1.0, np.abs(0.5 * (lo + hi)))
-    if not np.any(wide):
-        # The in-loop test uses the pre-shrink midpoint; re-checking with
-        # the final bracket can find everything converged after all.
-        return 0.5 * (lo + hi)
-    idx = int(np.flatnonzero(wide)[0])
+        hi = np.where(go_right, mid, hi)
+        new_mid = 0.5 * (lo + hi)
+        # Converged lanes keep their last midpoint; only active lanes move.
+        mid = np.where(active, new_mid, mid)
+        active &= hi - lo > tol * np.maximum(1.0, np.abs(mid))
+    if not np.any(active):
+        return mid
+    idx = int(np.flatnonzero(active)[0])
     raise ConvergenceError(
         f"bisect_vector did not converge in {max_iter} iterations: interval "
         f"{idx} is still [{lo[idx]:.6g}, {hi[idx]:.6g}] against tol={tol:.3g}"

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import special
 
-__all__ = ["lambert_w_principal", "solve_x_log_x"]
+__all__ = ["lambert_w_principal", "solve_x_log_x", "lambert_solve_vector"]
 
 
 def lambert_w_principal(z: np.ndarray | float) -> np.ndarray:
@@ -39,7 +39,7 @@ def lambert_w_principal(z: np.ndarray | float) -> np.ndarray:
 def solve_x_log_x(
     rhs: np.ndarray | float,
     *,
-    tol: float = 1e-12,
+    tol: float = 1e-14,
     max_iter: int = 100,
     x0: np.ndarray | None = None,
 ) -> np.ndarray:
@@ -83,3 +83,56 @@ def solve_x_log_x(
             break
         x = x_new
     return np.where(rhs_arr == 0.0, 1.0, x)
+
+
+def lambert_solve_vector(
+    rhs: np.ndarray | float,
+    *,
+    tol: float = 1e-14,
+    max_iter: int = 60,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched solve of ``x * ln(x) - x + 1 = rhs`` for arrays of any shape.
+
+    This is the vector backend's workhorse: where :func:`solve_x_log_x` is
+    tuned for the scalar solver's one-probe-at-a-time call pattern (and kept
+    float-for-float stable as the reference oracle), this variant accepts an
+    arbitrarily shaped batch — e.g. a ``(num_probes, num_devices)`` grid of
+    right-hand sides from a batched multiplier scan — and runs one guarded
+    Newton iteration over the whole array at once.
+
+    The seed is third-order accurate on both asymptotic branches
+    (``x = 1 + sqrt(2 c) + c/3`` for small ``c``; ``x ~ c / ln c`` corrected
+    by ``ln ln c / ln c`` for large ``c``), so the iteration converges in a
+    handful of steps.  ``x0`` optionally replaces the seed (e.g. the root
+    for a nearby batch); it must match ``rhs``'s shape, be finite and
+    ``>= 1``, or it is ignored.  The root is unique, so a seed changes the
+    iteration count, not the answer.
+    """
+    c = np.asarray(rhs, dtype=float)
+    if np.any(c < -1e-12):
+        raise ValueError("rhs must be non-negative")
+    c = np.maximum(c, 0.0)
+
+    small = 1.0 + np.sqrt(2.0 * c) + c / 3.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.log(np.maximum(c, np.e))
+        large = c / t * (1.0 + np.log(t) / t)
+    x = np.where(c > np.e, np.maximum(large, 1.0 + 1e-12), small)
+    if x0 is not None:
+        seed = np.asarray(x0, dtype=float)
+        if seed.shape == c.shape:
+            usable = np.isfinite(seed) & (seed >= 1.0)
+            x = np.where(usable, seed, x)
+    x = np.maximum(x, 1.0 + 1e-15)
+
+    for _ in range(max_iter):
+        log_x = np.log(x)
+        f = x * log_x - x + 1.0 - c
+        df = np.maximum(log_x, 1e-12)
+        x_new = np.maximum(x - f / df, 0.5 * (x + 1.0))
+        if np.all(np.abs(x_new - x) <= tol * np.maximum(1.0, np.abs(x_new))):
+            x = x_new
+            break
+        x = x_new
+    return np.where(c == 0.0, 1.0, x)

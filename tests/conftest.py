@@ -45,3 +45,20 @@ def solved_balanced(small_system):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def assert_kkt():
+    """Assert a :class:`repro.core.verify.KKTCertificate` is clean.
+
+    Usage: ``assert_kkt(check_kkt(...))`` — optionally loosening individual
+    residuals by name, e.g. ``assert_kkt(cert, stationarity=1e-4)``.
+    Replaces the ad-hoc per-test tolerance soup with one named-residual
+    report that says *which* KKT condition broke.
+    """
+
+    def _assert(certificate, tol: float = 1e-6, **overrides: float) -> None:
+        problems = certificate.problems(tol, **overrides)
+        assert not problems, "; ".join(problems)
+
+    return _assert

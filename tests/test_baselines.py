@@ -147,3 +147,57 @@ def test_scheme1_detects_impossible_deadline(small_system):
     )
     with pytest.raises(InfeasibleProblemError):
         scheme1(problem)
+
+
+# -- backend knob coverage ----------------------------------------------------
+#
+# Baselines must be backend-transparent: the schemes that never touch the
+# SP2 solver stack are bit-identical whichever backend is configured, and
+# the one scheme that does (communication_only runs Algorithm 1) must stay
+# within the 1e-8 backend-parity gate on the paper scenario.
+
+def _solve_with_backend(name, problem, backend, rng_seed=7):
+    from repro.core.sum_of_ratios import SumOfRatiosConfig
+
+    kwargs = {}
+    if name == "benchmark":
+        kwargs["rng"] = rng_seed
+    if name == "communication_only":
+        kwargs["sum_of_ratios_config"] = SumOfRatiosConfig(backend=backend)
+    return get_baseline(name)(problem, **kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+def test_every_baseline_is_backend_transparent(name, balanced_problem, deadline_problem):
+    problem = (
+        deadline_problem
+        if name in ("scheme1", "communication_only", "computation_only")
+        else balanced_problem
+    )
+    scalar = _solve_with_backend(name, problem, "scalar")
+    vector = _solve_with_backend(name, problem, "vector")
+    if name == "communication_only":
+        # Algorithm 1 runs inside: backends agree within the parity gate.
+        np.testing.assert_allclose(
+            vector.allocation.power_w, scalar.allocation.power_w, rtol=1e-8
+        )
+        np.testing.assert_allclose(
+            vector.allocation.bandwidth_hz, scalar.allocation.bandwidth_hz, rtol=1e-8
+        )
+        assert vector.energy_j == pytest.approx(scalar.energy_j, rel=1e-8)
+        assert vector.completion_time_s == pytest.approx(
+            scalar.completion_time_s, rel=1e-8
+        )
+    else:
+        # No SP2 involvement: the backend knob must not leak in at all.
+        np.testing.assert_array_equal(
+            vector.allocation.power_w, scalar.allocation.power_w
+        )
+        np.testing.assert_array_equal(
+            vector.allocation.bandwidth_hz, scalar.allocation.bandwidth_hz
+        )
+        np.testing.assert_array_equal(
+            vector.allocation.frequency_hz, scalar.allocation.frequency_hz
+        )
+        assert vector.energy_j == scalar.energy_j
+        assert vector.completion_time_s == scalar.completion_time_s

@@ -135,22 +135,26 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
     from repro.perf import bench as bench_module
 
     fake = {
-        "schema": 1,
+        "schema": 2,
         "label": "PRX",
         "mode": "quick",
         "metrics": {
             "cold_wall_s": 1.0,
             "warm_wall_s": 0.5,
+            "scalar_wall_s": 2.5,
             "warm_wall_speedup": 2.0,
+            "backend_sp2_speedup": 3.0,
             "cold_outer_iterations": 10.0,
             "warm_outer_iterations": 10.0,
             "cold_inner_iterations": 70.0,
             "warm_inner_iterations": 70.0,
             "parity_max_rel_dev": 1e-9,
+            "backend_parity_max_rel_dev": 1e-12,
         },
         "tracked": {"cold_inner_iterations": "lower"},
         "floors": {"warm_wall_speedup": 1.3},
         "parity_tol": 1e-6,
+        "backend_parity_tol": 1e-8,
     }
     monkeypatch.setattr(bench_module, "run_bench", lambda quick, label: dict(fake, label=label))
 

@@ -6,14 +6,16 @@ import pytest
 from repro import JointProblem, ProblemWeights
 from repro.core.allocator import AllocatorConfig, ResourceAllocator
 from repro.core.convergence import ConvergenceHistory
+from repro.core.verify import check_primal
 from repro.exceptions import InfeasibleProblemError
 
 
-def test_result_is_feasible_and_converges(balanced_problem):
+def test_result_is_feasible_and_converges(balanced_problem, assert_kkt):
     result = ResourceAllocator().solve(balanced_problem)
     assert result.feasible
     assert result.converged
-    assert balanced_problem.is_feasible(result.allocation)
+    # Every constraint of problem (9), as one named-residual certificate.
+    assert_kkt(check_primal(balanced_problem, result.allocation))
     assert result.energy_j > 0
     assert result.completion_time_s > 0
     assert result.objective == pytest.approx(
@@ -59,7 +61,7 @@ def test_pure_delay_minimisation_runs_everything_at_max(tiny_system):
     assert result.converged
 
 
-def test_deadline_mode_respects_the_budget(tiny_system):
+def test_deadline_mode_respects_the_budget(tiny_system, assert_kkt):
     fast = ResourceAllocator().solve(
         JointProblem(tiny_system, ProblemWeights(energy=0.0, time=1.0))
     )
@@ -69,7 +71,8 @@ def test_deadline_mode_respects_the_budget(tiny_system):
     )
     result = ResourceAllocator().solve(problem)
     assert result.feasible
-    assert result.completion_time_s <= deadline * (1 + 1e-6)
+    # The deadline residual is part of the certificate for deadline problems.
+    assert_kkt(check_primal(problem, result.allocation))
     # The energy under a finite deadline exceeds the unconstrained minimum.
     unconstrained = ResourceAllocator().solve(
         JointProblem(tiny_system, ProblemWeights(energy=1.0, time=0.0))

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.core import subproblem2
 from repro.core.subproblem2 import solve_sp2_v2, solve_sp2_v2_numeric, sp2_objective
-from repro.exceptions import InfeasibleProblemError
+from repro.core.verify import check_kkt
+from repro.exceptions import ConvergenceError, InfeasibleProblemError
 
 
 def _setup(system, *, energy_weight=0.5, bandwidth_fraction=0.5, deadline_factor=1.0):
@@ -22,15 +24,13 @@ def _setup(system, *, energy_weight=0.5, bandwidth_fraction=0.5, deadline_factor
     return power, bandwidth, nu, beta, min_rate
 
 
-def test_kkt_solution_is_feasible(tiny_system):
+def test_kkt_solution_satisfies_its_certificate(tiny_system, assert_kkt):
     _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.5)
     result = solve_sp2_v2(tiny_system, nu, beta, min_rate)
     assert result.feasible
-    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
-    assert np.all(rates >= min_rate * (1 - 1e-6))
-    assert result.bandwidth_hz.sum() <= tiny_system.total_bandwidth_hz * (1 + 1e-6)
-    assert np.all(result.power_w <= tiny_system.max_power_w * (1 + 1e-9))
-    assert np.all(result.power_w >= tiny_system.min_power_w * (1 - 1e-9))
+    # Primal feasibility, stationarity and complementary slackness in one
+    # named-residual certificate (replaces the former ad-hoc tolerances).
+    assert_kkt(check_kkt(tiny_system, nu, beta, min_rate, result))
 
 
 def test_kkt_improves_over_the_starting_point(tiny_system):
@@ -51,13 +51,15 @@ def test_kkt_and_numeric_agree(tiny_system):
     assert abs(kkt.objective - numeric.objective) / scale < 0.5
 
 
-def test_numeric_solution_is_feasible(tiny_system):
+def test_numeric_solution_satisfies_its_certificate(tiny_system, assert_kkt):
     _, _, nu, beta, min_rate = _setup(tiny_system, deadline_factor=1.3)
     result = solve_sp2_v2_numeric(tiny_system, nu, beta, min_rate)
     assert result.feasible
-    rates = tiny_system.rates_bps(result.power_w, result.bandwidth_hz)
-    assert np.all(rates >= min_rate * (1 - 1e-6))
-    assert result.bandwidth_hz.sum() <= tiny_system.total_bandwidth_hz * (1 + 1e-6)
+    # The golden-section bandwidth split is coarser than the closed form,
+    # so its stationarity residual gets a looser (but still tight) bound.
+    assert_kkt(
+        check_kkt(tiny_system, nu, beta, min_rate, result), stationarity=1e-4
+    )
 
 
 def test_zero_rate_requirements_are_handled(tiny_system):
@@ -97,3 +99,101 @@ def test_objective_helper_matches_definition(tiny_system):
     rates = tiny_system.rates_bps(power, bandwidth)
     expected = float(np.sum(nu * (power * tiny_system.upload_bits - beta * rates)))
     assert sp2_objective(tiny_system, nu, beta, power, bandwidth) == pytest.approx(expected)
+
+
+# -- iteration-cap exhaustion ------------------------------------------------
+#
+# The multiplier search's three loops are capped by named module constants;
+# exhausting any of them must raise ConvergenceError instead of silently
+# returning a half-converged multiplier.  Each cap is monkeypatched to zero
+# (or one) to force its exhaustion path deterministically.
+
+def _binding_setup(system):
+    """Inputs whose rate constraints bind (demand exceeds the start bracket)."""
+    _, _, nu, beta, min_rate = _setup(system, deadline_factor=1.05)
+    return nu, beta, min_rate
+
+
+def _loose_setup(system):
+    """Inputs whose demand is slack at the starting multiplier (contraction)."""
+    _, _, nu, beta, min_rate = _setup(system, deadline_factor=50.0)
+    return nu, beta, min_rate
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+def test_expansion_exhaustion_raises_convergence_error(
+    tiny_system, monkeypatch, backend
+):
+    # Seed the search far below the root: the excess is positive there, so
+    # the bracket must expand upward — which the zeroed cap forbids.
+    nu, beta, min_rate = _binding_setup(tiny_system)
+    reference = solve_sp2_v2(tiny_system, nu, beta, min_rate, backend=backend)
+    assert reference.bandwidth_multiplier > 0.0
+    monkeypatch.setattr(subproblem2, "MU_BRACKET_MAX_EXPANSIONS", 0)
+    with pytest.raises(ConvergenceError, match="bracketed from above"):
+        solve_sp2_v2(
+            tiny_system,
+            nu,
+            beta,
+            min_rate,
+            backend=backend,
+            mu_hint=reference.bandwidth_multiplier * 1e-8,
+        )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+def test_contraction_exhaustion_raises_convergence_error(
+    tiny_system, monkeypatch, backend
+):
+    nu, beta, min_rate = _loose_setup(tiny_system)
+    monkeypatch.setattr(subproblem2, "MU_BRACKET_MAX_CONTRACTIONS", 0)
+    with pytest.raises(ConvergenceError, match="bracketed from below"):
+        solve_sp2_v2(tiny_system, nu, beta, min_rate, backend=backend)
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+def test_refinement_exhaustion_raises_convergence_error(
+    tiny_system, monkeypatch, backend
+):
+    nu, beta, min_rate = _binding_setup(tiny_system)
+    monkeypatch.setattr(subproblem2, "MU_SEARCH_MAX_ITERATIONS", 0)
+    with pytest.raises(ConvergenceError, match="did not converge"):
+        solve_sp2_v2(tiny_system, nu, beta, min_rate, backend=backend)
+
+
+def test_warm_illinois_exhaustion_raises_convergence_error(
+    tiny_system, monkeypatch
+):
+    """The scalar warm path (Illinois refinement) shares the same cap."""
+    nu, beta, min_rate = _binding_setup(tiny_system)
+    reference = solve_sp2_v2(tiny_system, nu, beta, min_rate, backend="scalar")
+    assert reference.bandwidth_multiplier > 0.0
+    monkeypatch.setattr(subproblem2, "MU_SEARCH_MAX_ITERATIONS", 0)
+    with pytest.raises(ConvergenceError, match="did not converge"):
+        solve_sp2_v2(
+            tiny_system,
+            nu,
+            beta,
+            min_rate,
+            backend="scalar",
+            mu_hint=reference.bandwidth_multiplier * 1.1,
+        )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+def test_exhaustion_falls_back_to_the_numeric_solver(
+    tiny_system, monkeypatch, backend
+):
+    """Algorithm 1 treats a cap exhaustion like closed-form infeasibility."""
+    from repro.core.sum_of_ratios import SumOfRatiosSolver
+
+    nu, beta, min_rate = _binding_setup(tiny_system)
+    monkeypatch.setattr(subproblem2, "MU_SEARCH_MAX_ITERATIONS", 0)
+    solver = SumOfRatiosSolver(tiny_system, 0.5, backend=backend)
+    power = tiny_system.max_power_w.copy()
+    bandwidth = np.full(
+        tiny_system.num_devices,
+        tiny_system.total_bandwidth_hz / (2 * tiny_system.num_devices),
+    )
+    inner = solver._solve_inner(nu, beta, min_rate, power, bandwidth)
+    assert inner.method in ("numeric", "incumbent")

@@ -181,12 +181,15 @@ def _report(**metric_overrides):
     metrics = {
         "cold_wall_s": 2.0,
         "warm_wall_s": 1.0,
+        "scalar_wall_s": 5.0,
         "warm_wall_speedup": 2.0,
+        "backend_sp2_speedup": 3.0,
         "cold_outer_iterations": 100.0,
         "warm_outer_iterations": 100.0,
         "cold_inner_iterations": 700.0,
         "warm_inner_iterations": 700.0,
         "parity_max_rel_dev": 1e-9,
+        "backend_parity_max_rel_dev": 1e-12,
     }
     metrics.update(metric_overrides)
     return {
@@ -200,6 +203,7 @@ def _report(**metric_overrides):
         },
         "floors": {"warm_wall_speedup": 1.3},
         "parity_tol": 1e-6,
+        "backend_parity_tol": 1e-8,
     }
 
 
@@ -227,6 +231,22 @@ def test_compare_reports_enforces_speedup_floor_and_parity():
     assert any("floor" in p for p in bench.compare_reports(slow, base))
     broken = _report(parity_max_rel_dev=1e-3)
     assert any("parity" in p for p in bench.compare_reports(broken, base))
+
+
+def test_compare_reports_enforces_backend_floor_and_parity():
+    base = _report()
+    slow = _report(backend_sp2_speedup=1.5)
+    assert any(
+        "backend_sp2_speedup" in p and "floor" in p
+        for p in bench.compare_reports(slow, base)
+    )
+    # The scalar/vector gate is far tighter than the warm/cold one: 1e-9
+    # passes the 1e-6 warm tolerance but must fail the 1e-8 backend gate...
+    broken = _report(backend_parity_max_rel_dev=1e-7)
+    assert any("backend parity" in p for p in bench.compare_reports(broken, base))
+    # ...and a NaN (structurally different tables) must fail, not pass.
+    nan = _report(backend_parity_max_rel_dev=float("nan"))
+    assert any("backend parity" in p for p in bench.compare_reports(nan, base))
 
 
 def test_compare_reports_cross_mode_checks_floors_only():

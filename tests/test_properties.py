@@ -1,9 +1,12 @@
 """Property-based tests (hypothesis) on the core models and solvers."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
+
+pytestmark = pytest.mark.hypothesis
 
 from repro import constants
 from repro.solvers import (

@@ -8,12 +8,15 @@ weighted objective.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import JointProblem, ProblemWeights, ResourceAllocator, build_paper_scenario
 from repro.baselines import static_equal_allocation
 from repro.core.allocator import AllocatorConfig
+
+pytestmark = pytest.mark.hypothesis
 
 _FAST = AllocatorConfig(max_iterations=4)
 
