@@ -54,6 +54,7 @@ _CONFIGS = {
     "fig6": ("repro.experiments.fig6", "Fig6Config"),
     "fig7": ("repro.experiments.fig7", "Fig7Config"),
     "fig8": ("repro.experiments.fig8", "Fig8Config"),
+    "flcurve": ("repro.experiments.flcurve", "FLCurveConfig"),
     "samples": ("repro.experiments.samples", "SamplesConfig"),
     "ablation": ("repro.experiments.ablation", "AblationConfig"),
 }
@@ -129,6 +130,92 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", help="write the result table to this JSON file")
     run.add_argument("--csv", help="write the result rows to this CSV file")
 
+    fl = subparsers.add_parser(
+        "fl",
+        help="run the closed-loop FL training simulation: every global round "
+        "redraws the fading, re-solves the resource allocation and prices "
+        "the round's training",
+    )
+    fl.add_argument(
+        "--scenario",
+        metavar="FAMILY",
+        default="paper",
+        help="scenario family the drop is built from (default: paper)",
+    )
+    fl.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="family-specific scenario parameter (repeatable; VALUE is parsed "
+        "as JSON, falling back to a plain string)",
+    )
+    fl.add_argument(
+        "--rounds", type=int, default=10, metavar="N", help="global rounds (default 10)"
+    )
+    fl.add_argument(
+        "--devices", type=int, default=12, metavar="N", help="fleet size (default 12)"
+    )
+    fl.add_argument(
+        "--scheme",
+        default="proposed",
+        help="'proposed' (Algorithm 2, re-solved each round) or a baseline "
+        "scheme name (see repro.baselines)",
+    )
+    fl.add_argument(
+        "--selection",
+        default="all",
+        help="client-selection strategy: all, random-k, fastest-k, deadline-k",
+    )
+    fl.add_argument(
+        "--select-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="the k of a k-style selection strategy (default: half the fleet)",
+    )
+    fl.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="SP2 inner-solve backend for the per-round allocation solves",
+    )
+    fl.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="chain consecutive rounds through warm-start hints (default on; "
+        "results are bit-identical either way, warm is faster)",
+    )
+    fl.add_argument(
+        "--energy-weight",
+        type=float,
+        default=0.5,
+        metavar="W1",
+        help="objective weight w1 on energy (w2 = 1 - w1; default 0.5)",
+    )
+    fl.add_argument(
+        "--fading",
+        default="rayleigh",
+        help="per-round fading model (rayleigh, rician, nakagami) or 'none' "
+        "for a static channel",
+    )
+    fl.add_argument(
+        "--local-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="local SGD iterations per round (default: the scenario's R_l)",
+    )
+    fl.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    fl.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke configuration (2 rounds, 6 devices) — what CI runs",
+    )
+    fl.add_argument("--output", help="write the per-round table to this JSON file")
+    fl.add_argument("--csv", help="write the per-round rows to this CSV file")
+
     bench = subparsers.add_parser(
         "bench",
         help="run the benchmark suite (cold vs warm-started fig2 sweep) and "
@@ -141,8 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--label",
-        default="PR4",
-        help="report label; also names the default output file (default: PR4)",
+        default="PR5",
+        help="report label; also names the default output file (default: PR5)",
     )
     bench.add_argument(
         "--output",
@@ -280,6 +367,54 @@ def _run(
     return table
 
 
+def _run_fl(args: argparse.Namespace) -> int:
+    from .fl.roundloop import FLRoundLoop, RoundLoopConfig
+
+    rounds = 2 if args.quick else args.rounds
+    devices = 6 if args.quick else args.devices
+    get_scenario_family(args.scenario)  # fail fast with the known-family list
+    scenario = {
+        "family": args.scenario,
+        "num_devices": devices,
+        "seed": args.seed,
+        **_parse_scenario_params(args.scenario_param),
+    }
+    selection_params = {} if args.select_k is None else {"k": args.select_k}
+    config = RoundLoopConfig(
+        scenario=scenario,
+        rounds=rounds,
+        local_iterations=args.local_iterations,
+        energy_weight=args.energy_weight,
+        scheme=args.scheme,
+        backend=args.backend,
+        warm_start=args.warm_start,
+        selection=args.selection,
+        selection_params=selection_params,
+        fading=None if args.fading in ("none", "") else args.fading,
+        seed=args.seed,
+    )
+    report = FLRoundLoop(config).run()
+    table = report.to_table()
+    print(table.to_markdown())
+    print(
+        f"[fl:{args.scheme}] {len(report)} rounds on {devices} devices "
+        f"({args.scenario}, selection={args.selection}): accuracy "
+        f"{report.final_accuracy:.3f} after {report.total_time_s:.1f}s "
+        f"simulated wall-clock and {report.total_energy_j:.2f}J "
+        f"({report.total_allocator_iterations} allocator iterations, "
+        f"allocate {report.stage_seconds('fl_allocate'):.2f}s / train "
+        f"{report.stage_seconds('fl_train'):.2f}s real)",
+        file=sys.stderr,
+    )
+    if args.output:
+        table.to_json(args.output)
+        print(f"\nwrote {args.output}")
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from .perf import bench
 
@@ -294,7 +429,10 @@ def _run_bench(args: argparse.Namespace) -> int:
         f"{metrics['warm_outer_iterations']:.0f}, parity "
         f"{metrics['parity_max_rel_dev']:.2e}; backend sp2 "
         f"{metrics['backend_sp2_speedup']:.2f}x (scalar/vector parity "
-        f"{metrics['backend_parity_max_rel_dev']:.2e})",
+        f"{metrics['backend_parity_max_rel_dev']:.2e}); fl loop "
+        f"{metrics['fl_rounds_per_s']:.1f} rounds/s "
+        f"(warm parity {metrics['fl_warm_parity_max_rel_dev']:.2e}, "
+        f"backend parity {metrics['fl_backend_parity_max_rel_dev']:.2e})",
         file=sys.stderr,
     )
     print(f"wrote {output}")
@@ -320,6 +458,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "fl":
+        try:
+            return _run_fl(args)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)

@@ -92,6 +92,18 @@ class ResourceAllocation:
         """Duration of one global round."""
         return system.round_time_s(self.power_w, self.bandwidth_hz, self.frequency_hz)
 
+    def per_device_time_s(self, system: SystemModel) -> np.ndarray:
+        """Per-device round duration ``T^cmp_n + T^up_n`` under this allocation."""
+        return system.per_device_round_time_s(
+            self.power_w, self.bandwidth_hz, self.frequency_hz
+        )
+
+    def per_device_energy_j(self, system: SystemModel) -> np.ndarray:
+        """Per-device round energy ``E^trans_n + E^cmp_n`` under this allocation."""
+        return system.upload_energy_j(
+            self.power_w, self.bandwidth_hz
+        ) + system.computation_energy_j(self.frequency_hz)
+
     def total_time_s(self, system: SystemModel) -> float:
         """Total completion time over ``R_g`` rounds."""
         return system.total_completion_time_s(

@@ -45,6 +45,7 @@ from .fig5 import Fig5Config, run_fig5
 from .fig6 import Fig6Config, run_fig6
 from .fig7 import Fig7Config, run_fig7
 from .fig8 import Fig8Config, run_fig8
+from .flcurve import FLCurveConfig, run_flcurve
 from .samples import SamplesConfig, run_samples_sweep
 from .ablation import AblationConfig, run_ablation
 from .plotting import ascii_line_plot
@@ -88,6 +89,8 @@ __all__ = [
     "run_fig7",
     "Fig8Config",
     "run_fig8",
+    "FLCurveConfig",
+    "run_flcurve",
     "SamplesConfig",
     "run_samples_sweep",
     "AblationConfig",

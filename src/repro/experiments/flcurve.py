@@ -1,0 +1,166 @@
+"""Closed-loop FL training curves: accuracy versus wall-clock per scheme.
+
+The paper's core claim is that joint communication/computation resource
+allocation changes the *wall-clock trajectory* of federated training: for
+the same FedAvg schedule, a better allocation reaches a given accuracy in
+fewer seconds and joules.  This experiment runs the closed-loop round loop
+(:mod:`repro.fl.roundloop`) once per (scenario family × scheme × trial) —
+the proposed Algorithm 2, re-solved every round with warm starts on the
+vector backend, against the registered baseline schemes — and reports one
+row per global round: cumulative wall-clock, cumulative energy and test
+accuracy.  Plotting ``accuracy`` against ``elapsed_s`` per scheme is the
+accuracy-versus-wall-clock comparison.
+
+Each (family, scheme, trial) run is one :class:`SweepTask` of solver kind
+``"fl_roundloop"``, so the sweep engine's parallelism, caching and crash
+isolation apply: trajectories are flattened to scalar metrics
+(``r012_accuracy`` …) for the cache and unfolded back into rows here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..fl.roundloop import FLRoundLoop, RoundLoopConfig
+from ..system import SystemModel
+from .base import SweepConfig, run_sweep
+from .results import ResultTable
+from .runner import SweepRunner, SweepTask, register_solver_kind
+
+__all__ = ["FLCurveConfig", "run_flcurve"]
+
+
+@register_solver_kind("fl_roundloop")
+def _run_fl_roundloop(
+    system: SystemModel, params: Mapping[str, Any]
+) -> Mapping[str, float]:
+    """One full closed-loop training run on a pre-built drop (worker entry)."""
+    config: RoundLoopConfig = params["roundloop"]
+    return FLRoundLoop(config, system=system).run().flat_metrics()
+
+
+@dataclass(frozen=True)
+class FLCurveConfig:
+    """Sweep definition for the closed-loop FL training comparison."""
+
+    sweep: SweepConfig = field(
+        default_factory=lambda: SweepConfig(num_devices=10, num_trials=1)
+    )
+    #: Global rounds each run trains for.
+    rounds: int = 12
+    #: Schemes to compare: ``"proposed"`` plus baseline-registry names.
+    schemes: tuple[str, ...] = ("proposed", "static", "delay_min")
+    #: Scenario families each scheme runs on.
+    families: tuple[str, ...] = ("paper", "hotspot")
+    #: Client-selection strategy (shared by every scheme, so the FedAvg
+    #: schedule is identical and only the allocation differs).
+    selection: str = "all"
+    selection_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Per-round fading redraw (None = static channel).
+    fading: str | None = "rayleigh"
+    energy_weight: float = 0.5
+    warm_start: bool = True
+    local_iterations: int = 8
+
+    @classmethod
+    def paper(cls) -> "FLCurveConfig":
+        """The fuller comparison: more rounds, trials and families."""
+        return cls(
+            sweep=SweepConfig(num_devices=20, num_trials=3),
+            rounds=30,
+            families=("paper", "hotspot", "cell-edge", "hetero-fleet"),
+        )
+
+    def roundloop_config(self, scheme: str, seed: int) -> RoundLoopConfig:
+        """The per-task round-loop config (scenario comes from the task)."""
+        return RoundLoopConfig(
+            rounds=self.rounds,
+            local_iterations=self.local_iterations,
+            energy_weight=self.energy_weight,
+            scheme=scheme,
+            backend=None,
+            warm_start=self.warm_start,
+            selection=self.selection,
+            selection_params=dict(self.selection_params),
+            fading=self.fading,
+            seed=seed,
+            allocator=self.sweep.allocator,
+        )
+
+    def tasks(self) -> list[SweepTask]:
+        """One task per (family × scheme × trial)."""
+        tasks: list[SweepTask] = []
+        for family in self.families:
+            sweep = self.sweep.with_scenario(family)
+            for scheme in self.schemes:
+                for seed in sweep.trial_seeds():
+                    tasks.append(
+                        SweepTask(
+                            key=("fl", family, scheme),
+                            scenario=sweep.scenario_params(seed=seed),
+                            solver_kind="fl_roundloop",
+                            solver_params={
+                                "roundloop": self.roundloop_config(scheme, seed)
+                            },
+                        )
+                    )
+        return tasks
+
+
+def run_flcurve(
+    config: FLCurveConfig | None = None, *, runner: SweepRunner | None = None
+) -> ResultTable:
+    """Run the comparison and return one row per (family, scheme, round)."""
+    config = config or FLCurveConfig()
+    points = run_sweep(config.tasks(), runner=runner)
+    table = ResultTable(
+        name="flcurve",
+        columns=[
+            "family",
+            "scheme",
+            "round",
+            "elapsed_s",
+            "energy_j",
+            "accuracy",
+            "test_loss",
+            "selected",
+        ],
+        metadata={
+            "figure": "fl-curve",
+            "x_axis": "elapsed_s",
+            "rounds": config.rounds,
+            "selection": config.selection,
+        },
+    )
+    for family in config.families:
+        for scheme in config.schemes:
+            point = points[("fl", family, scheme)]
+            if not point.ok:
+                table.add_error(point.key, point.errors)
+                for round_index in range(1, config.rounds + 1):
+                    table.add_row(
+                        family=family,
+                        scheme=scheme,
+                        round=round_index,
+                        elapsed_s=float("nan"),
+                        energy_j=float("nan"),
+                        accuracy=float("nan"),
+                        test_loss=float("nan"),
+                        selected=float("nan"),
+                    )
+                continue
+            metrics = point.metrics
+            for round_index in range(1, config.rounds + 1):
+                prefix = f"r{round_index:03d}"
+                table.add_row(
+                    family=family,
+                    scheme=scheme,
+                    round=round_index,
+                    elapsed_s=metrics[f"{prefix}_elapsed_s"],
+                    energy_j=metrics[f"{prefix}_energy_j"],
+                    accuracy=metrics[f"{prefix}_accuracy"],
+                    test_loss=metrics[f"{prefix}_test_loss"],
+                    selected=metrics[f"{prefix}_selected"],
+                )
+    return table

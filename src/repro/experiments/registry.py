@@ -24,6 +24,7 @@ from .fig5 import run_fig5
 from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .fig8 import run_fig8
+from .flcurve import run_flcurve
 from .results import ResultTable
 from .runner import SweepRunner
 from .samples import run_samples_sweep
@@ -41,6 +42,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": run_fig8,
+    "flcurve": run_flcurve,
     "samples": run_samples_sweep,
     "ablation": run_ablation,
 }

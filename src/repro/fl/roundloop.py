@@ -1,0 +1,342 @@
+"""The closed loop: allocator-driven round-by-round federated training.
+
+This module is where the paper's two halves finally drive each other.  The
+static :class:`~repro.fl.simulation.FederatedSimulation` prices every round
+with one fixed allocation; :class:`FLRoundLoop` instead re-runs the whole
+resource-allocation stack *every global round*:
+
+1. **Redraw the channel** — the large-scale drop (path loss + shadowing)
+   stays fixed, but a fresh small-scale fading draw from the
+   :mod:`repro.wireless.fading` registry perturbs the gains, so the
+   allocator faces an evolving channel exactly as a deployed system would.
+2. **Re-solve the allocation** — Algorithm 2 (or any registered baseline
+   scheme) solves the new drop; consecutive proposed-scheme rounds chain
+   through the PR-3 warm-start hints (the previous round's bandwidth
+   multiplier seeds the inner KKT solves) on the PR-4 vector backend.
+3. **Price the round** — the re-solved ``(p, B, f)`` gives every device its
+   computation + upload time and energy for this round.
+4. **Select clients** — a pluggable strategy (:mod:`repro.fl.selection`)
+   picks who trains from the allocation-implied timings; the round's
+   wall-clock is the slowest *selected* client.
+5. **Train and aggregate** — the selected clients run their local SGD and
+   the :class:`~repro.fl.server.FedAvgServer` aggregates, producing the
+   accuracy/loss the round's seconds and joules actually bought.
+
+Everything is deterministic in ``RoundLoopConfig.seed``: the dataset,
+partition, model init, server RNG and each round's fading/selection draws
+derive from per-purpose seed streams, so fixed-seed runs are bit-identical
+across solver backends, warm/cold starts and sweep execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..baselines.registry import BASELINES, get_baseline
+from ..core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
+from ..core.problem import JointProblem, ProblemWeights
+from ..core.subproblem2 import validate_backend
+from ..exceptions import ConfigurationError
+from ..perf.timers import StageTimings, stage
+from ..scenarios import ScenarioSpec
+from ..system import SystemModel
+from ..wireless.fading import make_fading
+from .client import Client
+from .datasets import make_classification_dataset
+from .metrics import RoundLoopReport, RoundRecord
+from .models import MLPClassifier, SoftmaxRegression
+from .optimizer import SGDConfig
+from .partition import dirichlet_partition, iid_partition
+from .selection import SelectionContext, get_selection_strategy, select_clients
+from .server import FedAvgServer
+
+__all__ = ["RoundLoopConfig", "FLRoundLoop", "run_round_loop"]
+
+#: Seed-stream tags: every RNG in the loop derives from ``(seed, tag)`` (or
+#: ``(seed, _ROUND_STREAM + round)`` for per-round draws), so adding a new
+#: consumer can never shift an existing stream.
+_DATASET_STREAM = 0
+_PARTITION_STREAM = 1
+_MODEL_STREAM = 2
+_SERVER_STREAM = 3
+_ROUND_STREAM = 1000
+
+
+@dataclass(frozen=True)
+class RoundLoopConfig:
+    """Declarative description of one closed-loop FL training run.
+
+    The config is pure, JSON-able data (plus the nested allocator config),
+    so a run can be hashed into the sweep cache, shipped to a worker
+    process, or reconstructed from a CLI invocation.
+    """
+
+    #: Flat scenario-spec mapping (optional ``"family"`` key + builder
+    #: params).  Ignored when a pre-built system is handed to
+    #: :class:`FLRoundLoop` directly (the sweep engine does that).
+    scenario: Mapping[str, Any] = field(default_factory=dict)
+    #: Number of global rounds to run.
+    rounds: int = 10
+    #: Local SGD iterations per round (default: the system's ``R_l``).
+    local_iterations: int | None = None
+    #: The objective weight ``w1`` (``w2 = 1 - w1``).
+    energy_weight: float = 0.5
+    #: Optional hard completion-time budget handed to every round's problem.
+    deadline_s: float | None = None
+    #: ``"proposed"`` (Algorithm 2) or any registered baseline scheme name.
+    scheme: str = "proposed"
+    #: SP2 inner-solve backend (``"vector"`` / ``"scalar"``; None = default).
+    backend: str | None = None
+    #: Chain consecutive rounds through warm-start hints (proposed only).
+    warm_start: bool = True
+    #: Client-selection strategy name (see :mod:`repro.fl.selection`).
+    selection: str = "all"
+    #: Strategy-specific parameters (e.g. ``{"k": 5}``).
+    selection_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Per-round fading model redrawn from the fading registry, or None to
+    #: keep the channel static across rounds.
+    fading: str | None = "rayleigh"
+    #: Fading-model parameters (e.g. ``{"k_db": 6.0}`` for Rician).
+    fading_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Master seed of every RNG stream in the loop.
+    seed: int = 0
+    #: Synthetic-dataset shape.
+    num_features: int = 16
+    num_classes: int = 4
+    samples_per_client: int = 40
+    #: ``"dirichlet"`` (label-skewed) or ``"iid"`` client partitioning.
+    partition: str = "dirichlet"
+    concentration: float = 2.0
+    #: ``"softmax"`` (multinomial regression) or ``"mlp"``.
+    model: str = "softmax"
+    hidden_units: int = 16
+    learning_rate: float = 0.1
+    batch_size: int = 32
+    #: Hyper-parameters of the per-round Algorithm-2 solve.
+    allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigurationError("rounds must be positive")
+        if self.local_iterations is not None and self.local_iterations <= 0:
+            raise ConfigurationError("local_iterations must be positive when given")
+        if not 0.0 <= self.energy_weight <= 1.0:
+            raise ConfigurationError("energy_weight must lie in [0, 1]")
+        if self.scheme != "proposed" and self.scheme not in BASELINES:
+            known = ", ".join(["proposed", *sorted(BASELINES)])
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; known: {known}"
+            )
+        if self.backend is not None:
+            validate_backend(self.backend)
+        if self.partition not in ("dirichlet", "iid"):
+            raise ConfigurationError(
+                f"partition must be 'dirichlet' or 'iid', got {self.partition!r}"
+            )
+        if self.model not in ("softmax", "mlp"):
+            raise ConfigurationError(
+                f"model must be 'softmax' or 'mlp', got {self.model!r}"
+            )
+        if self.samples_per_client <= 0:
+            raise ConfigurationError("samples_per_client must be positive")
+        # Fail fast on unknown registry names (instead of at round 1).
+        get_selection_strategy(self.selection)
+        if self.fading is not None:
+            make_fading(self.fading, **dict(self.fading_params))
+
+    def scenario_spec(self) -> ScenarioSpec:
+        """The configured scenario as a (family, params) spec."""
+        return ScenarioSpec.from_mapping(self.scenario)
+
+
+class FLRoundLoop:
+    """Run closed-loop federated training for a :class:`RoundLoopConfig`.
+
+    ``system`` overrides the config's scenario with a pre-built drop (the
+    sweep engine builds scenarios itself so they enter its cache key).
+    """
+
+    def __init__(self, config: RoundLoopConfig, system: SystemModel | None = None) -> None:
+        self.config = config
+        self.system = system if system is not None else config.scenario_spec().build()
+
+    # -- training substrate -------------------------------------------------
+    def _build_server(self) -> FedAvgServer:
+        """Dataset, partition, model and server — all seeded deterministically."""
+        config = self.config
+        num_clients = self.system.num_devices
+        train_samples = config.samples_per_client * num_clients
+        # test_fraction=0.2 of the total leaves exactly ``train_samples``
+        # for the clients when the total is train / 0.8.
+        total = int(round(train_samples / 0.8))
+        dataset = make_classification_dataset(
+            num_samples=total,
+            num_features=config.num_features,
+            num_classes=config.num_classes,
+            rng=np.random.default_rng((config.seed, _DATASET_STREAM)),
+        )
+        partition_rng = np.random.default_rng((config.seed, _PARTITION_STREAM))
+        if config.partition == "iid":
+            parts = iid_partition(dataset.num_train, num_clients, rng=partition_rng)
+        else:
+            parts = dirichlet_partition(
+                dataset.train_y,
+                num_clients,
+                concentration=config.concentration,
+                rng=partition_rng,
+            )
+        sgd = SGDConfig(
+            learning_rate=config.learning_rate, batch_size=config.batch_size
+        )
+        clients = [
+            Client(
+                client_id=i,
+                features=dataset.train_x[idx],
+                labels=dataset.train_y[idx],
+                sgd=sgd,
+            )
+            for i, idx in enumerate(parts)
+        ]
+        model_rng = np.random.default_rng((config.seed, _MODEL_STREAM))
+        if config.model == "mlp":
+            model = MLPClassifier(
+                dataset.num_features,
+                dataset.num_classes,
+                config.hidden_units,
+                rng=model_rng,
+            )
+        else:
+            model = SoftmaxRegression(
+                dataset.num_features, dataset.num_classes, rng=model_rng
+            )
+        return FedAvgServer(
+            model,
+            clients,
+            test_x=dataset.test_x,
+            test_y=dataset.test_y,
+            rng=np.random.default_rng((config.seed, _SERVER_STREAM)),
+        )
+
+    # -- per-round allocation ------------------------------------------------
+    def _solve_round(
+        self,
+        system: SystemModel,
+        allocator: ResourceAllocator | None,
+        mu_hint: float | None,
+    ) -> AllocationResult:
+        """Re-solve the allocation for this round's channel realisation."""
+        problem = JointProblem(
+            system,
+            ProblemWeights.from_energy_weight(self.config.energy_weight),
+            deadline_s=self.config.deadline_s,
+        )
+        if allocator is None:
+            return get_baseline(self.config.scheme)(problem)
+        hints = None
+        if self.config.warm_start and mu_hint is not None and mu_hint > 0.0:
+            hints = {"mu": mu_hint}
+        return allocator.solve(problem, warm_hints=hints)
+
+    # -- the loop -------------------------------------------------------------
+    def run(self) -> RoundLoopReport:
+        """Run every configured round and return the per-round trajectory."""
+        config = self.config
+        base_system = self.system
+        # Pricing and training must agree on R_l: the compute time/energy
+        # models charge ``R_l c_n D_n`` cycles per round, so an overridden
+        # iteration count is threaded into the system model, not just the
+        # SGD loop.
+        if (
+            config.local_iterations is not None
+            and config.local_iterations != base_system.local_iterations
+        ):
+            base_system = base_system.with_schedule(
+                local_iterations=config.local_iterations
+            )
+        num_clients = base_system.num_devices
+        server = self._build_server()
+        local_iterations = base_system.local_iterations
+        fading_model = (
+            make_fading(config.fading, **dict(config.fading_params))
+            if config.fading is not None
+            else None
+        )
+        allocator = (
+            ResourceAllocator(config.allocator, backend=config.backend)
+            if config.scheme == "proposed"
+            else None
+        )
+        base_gains = base_system.gains
+
+        report = RoundLoopReport()
+        elapsed = 0.0
+        consumed = 0.0
+        mu_hint: float | None = None
+        for round_index in range(1, config.rounds + 1):
+            timings = StageTimings()
+            round_rng = np.random.default_rng(
+                (config.seed, _ROUND_STREAM + round_index)
+            )
+            with stage("fl_round", timings):
+                with stage("fl_channel", timings):
+                    if fading_model is not None:
+                        factors = fading_model.sample_linear(num_clients, round_rng)
+                        system = base_system.with_gains(base_gains * factors)
+                    else:
+                        system = base_system
+                with stage("fl_allocate", timings):
+                    result = self._solve_round(system, allocator, mu_hint)
+                if allocator is not None:
+                    mu_hint = result.warm_hints.get("mu", mu_hint)
+                allocation = result.allocation
+                per_time = allocation.per_device_time_s(system)
+                per_energy = allocation.per_device_energy_j(system)
+                with stage("fl_select", timings):
+                    selected = select_clients(
+                        config.selection,
+                        SelectionContext(
+                            round_index=round_index,
+                            num_clients=num_clients,
+                            per_device_time_s=per_time,
+                            per_device_energy_j=per_energy,
+                            round_deadline_s=result.round_deadline_s,
+                            rng=round_rng,
+                            params=config.selection_params,
+                        ),
+                    )
+                round_time = float(np.max(per_time[selected]))
+                round_energy = float(np.sum(per_energy[selected]))
+                with stage("fl_train", timings):
+                    train_loss, test_loss, test_accuracy = server.run_round(
+                        round_index, local_iterations, client_indices=selected.tolist()
+                    )
+            elapsed += round_time
+            consumed += round_energy
+            report.append(
+                RoundRecord(
+                    round_index=round_index,
+                    selected=tuple(int(i) for i in selected),
+                    round_time_s=round_time,
+                    elapsed_time_s=elapsed,
+                    round_energy_j=round_energy,
+                    consumed_energy_j=consumed,
+                    train_loss=train_loss,
+                    test_loss=test_loss,
+                    test_accuracy=test_accuracy,
+                    allocator_iterations=result.iterations,
+                    allocator_objective=result.objective,
+                    round_deadline_s=result.round_deadline_s,
+                    timings=timings.as_dict(),
+                )
+            )
+        return report
+
+
+def run_round_loop(
+    config: RoundLoopConfig, system: SystemModel | None = None
+) -> RoundLoopReport:
+    """Convenience wrapper: build the loop and run it."""
+    return FLRoundLoop(config, system=system).run()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -68,17 +69,38 @@ class FedAvgServer:
         return counts / counts.sum()
 
     def run_round(
-        self, round_index: int, local_iterations: int, *, participation: float = 1.0
+        self,
+        round_index: int,
+        local_iterations: int,
+        *,
+        participation: float = 1.0,
+        client_indices: Sequence[int] | None = None,
     ) -> tuple[float, float, float]:
         """Run one global round; returns (train loss, test loss, test accuracy).
 
-        ``participation`` selects a random fraction of clients for the round
-        (FedAvg with partial participation); the paper's system model uses
-        full participation.
+        ``client_indices`` pins the participating clients explicitly — this
+        is how the closed-loop round loop's selection strategies drive
+        aggregation (the server's own RNG is not consumed, so selection
+        stays deterministic under any strategy).  Without it,
+        ``participation`` selects a random fraction of clients (FedAvg with
+        partial participation); the paper's system model uses full
+        participation.
         """
         if not 0.0 < participation <= 1.0:
             raise ConfigurationError("participation must lie in (0, 1]")
-        if participation >= 1.0:
+        if client_indices is not None:
+            indices = [int(i) for i in client_indices]
+            if not indices:
+                raise ConfigurationError("client_indices must select at least one client")
+            if len(set(indices)) != len(indices):
+                raise ConfigurationError("client_indices must not contain duplicates")
+            if min(indices) < 0 or max(indices) >= self.num_clients:
+                raise ConfigurationError(
+                    f"client_indices must lie in [0, {self.num_clients}), "
+                    f"got {sorted(indices)[0]}..{sorted(indices)[-1]}"
+                )
+            selected = [self.clients[i] for i in indices]
+        elif participation >= 1.0:
             selected = self.clients
         else:
             count = max(1, int(round(participation * self.num_clients)))

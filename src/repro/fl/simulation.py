@@ -7,6 +7,11 @@ accuracy).  A :class:`FederatedSimulation` runs FedAvg round by round and, at
 each round, charges every device the computation/transmission energy and
 time implied by a chosen :class:`~repro.core.allocation.ResourceAllocation`,
 producing accuracy-versus-wallclock and accuracy-versus-energy curves.
+
+The allocation here is *static* — one ``(p, B, f)`` prices every round.
+For the closed loop where the allocator re-solves round by round as the
+channel evolves (fresh fading draws, warm-started solves, client
+selection), see :mod:`repro.fl.roundloop`.
 """
 
 from __future__ import annotations
@@ -100,16 +105,33 @@ class FederatedSimulation:
         server: FedAvgServer,
         allocation: ResourceAllocation,
     ) -> None:
-        if server.num_clients != system.num_devices:
-            raise ConfigurationError(
-                "the FedAvg server must have exactly one client per device "
-                f"({server.num_clients} clients vs {system.num_devices} devices)"
-            )
-        if allocation.num_devices != system.num_devices:
-            raise ConfigurationError("allocation size must match the system size")
         self.system = system
         self.server = server
         self.allocation = allocation
+        self._validate()
+
+    def _validate(self) -> None:
+        """Check the system / client / allocation sizes agree.
+
+        Re-run by :meth:`run` so a server whose client list was mutated
+        after construction (or a swapped-in allocation) still fails loudly
+        instead of silently pricing the wrong fleet.
+        """
+        if self.server.num_clients != self.system.num_devices:
+            raise ConfigurationError(
+                "the FedAvg server must have exactly one client per device "
+                f"({self.server.num_clients} clients vs {self.system.num_devices} devices)"
+            )
+        if self.allocation.num_devices != self.server.num_clients:
+            # Together with the check above this also pins the allocation
+            # to the system size, so no third comparison is needed.
+            raise ConfigurationError(
+                "the resource allocation must cover exactly the partitioned "
+                f"clients: the allocation prices {self.allocation.num_devices} "
+                f"device(s) but the server aggregates {self.server.num_clients} "
+                "client(s) — rebuild the allocation (or the client partition) "
+                "so the counts match"
+            )
 
     def round_cost(self) -> RoundCost:
         """Energy and time of one global round under the bound allocation."""
@@ -142,6 +164,7 @@ class FederatedSimulation:
         Stops at ``global_rounds`` (default: the system's ``R_g``) or earlier
         when a time budget, an energy budget, or a target accuracy is hit.
         """
+        self._validate()
         rounds = global_rounds if global_rounds is not None else self.system.global_rounds
         iterations = (
             local_iterations if local_iterations is not None else self.system.local_iterations

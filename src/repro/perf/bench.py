@@ -17,11 +17,20 @@ writes a ``BENCH_PR<k>.json`` report:
 * the **backend SP2-stage speedup** (scalar over vector, on the ``sp2``
   stage wall-clock) and the **scalar/vector parity**.
 
+Since schema 3 the report also carries a **closed-loop FL suite**: one
+:class:`~repro.fl.roundloop.FLRoundLoop` run per mode (cold vector /
+warm-started / cold scalar) on a fixed seeded configuration, reporting the
+round-loop throughput (rounds per second), the per-stage split (allocate
+versus train), the deterministic total of allocator iterations across
+rounds, and two *exact* parities — fixed-seed round loops must be
+bit-identical across backends and warm/cold, so their parity gates are
+zero-tolerance (within the sweep parity epsilon).
+
 :func:`compare_reports` gates a report against a committed baseline: a
 tracked metric that regresses beyond the tolerance (default 20%), a floor
 that is no longer met (backend SP2 speedup >= 2x), or a parity breach
-(warm/cold above 1e-6, scalar/vector above 1e-8) fails the comparison —
-that is the CI perf gate.
+(warm/cold above 1e-6, scalar/vector above 1e-8, FL round loops above the
+same bounds) fails the comparison — that is the CI perf gate.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from typing import Any, Mapping
 from ..experiments.base import SweepConfig
 from ..experiments.fig2 import Fig2Config
 from ..experiments.runner import SweepRunner, TaskOutcome
+from ..fl.roundloop import FLRoundLoop, RoundLoopConfig
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -44,13 +54,14 @@ __all__ = [
     "DEFAULT_PARITY_TOL",
     "DEFAULT_BACKEND_PARITY_TOL",
     "bench_config",
+    "fl_bench_config",
     "run_bench",
     "write_report",
     "load_report",
     "compare_reports",
 ]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 #: Relative regression a tracked metric may show before the compare fails.
 DEFAULT_TOLERANCE = 0.20
 #: Maximum relative deviation allowed between warm and cold sweep metrics.
@@ -79,6 +90,7 @@ _TRACKED: dict[str, str] = {
     "warm_outer_iterations": "lower",
     "warm_inner_iterations": "lower",
     "backend_sp2_speedup": "higher",
+    "fl_outer_iterations": "lower",
 }
 
 _PARITY_COLUMNS = ("energy_j", "time_s", "objective")
@@ -99,6 +111,53 @@ def bench_config(quick: bool = False) -> Fig2Config:
         weight_pairs=((0.9, 0.1), (0.5, 0.5), (0.1, 0.9)),
         include_benchmark=False,
     )
+
+
+def fl_bench_config(quick: bool = False) -> RoundLoopConfig:
+    """The benchmarked closed-loop FL run (fixed seed, Rayleigh redraws)."""
+    scenario = {
+        "family": "paper",
+        "num_devices": 8 if quick else 12,
+        "seed": 7,
+    }
+    return RoundLoopConfig(
+        scenario=scenario,
+        rounds=4 if quick else 8,
+        local_iterations=6,
+        selection="deadline-k",
+        seed=7,
+    )
+
+
+def _run_fl_mode(config: RoundLoopConfig, *, warm: bool, backend: str):
+    """One closed-loop run; returns (flat metrics, report, wall seconds)."""
+    mode = replace(config, warm_start=warm, backend=backend)
+    started = time.monotonic()
+    report = FLRoundLoop(mode).run()
+    wall = time.monotonic() - started
+    return report.flat_metrics(), report, wall
+
+
+def _flat_parity(left: Mapping[str, float], right: Mapping[str, float]) -> float:
+    """Max relative deviation between two flat-metric trajectories.
+
+    ``inf`` on a structural mismatch (different key sets or a NaN on one
+    side only), so a broken mode can never pass the gate.
+    """
+    if set(left) != set(right):
+        return float("inf")
+    deviation = 0.0
+    for key, left_value in left.items():
+        right_value = float(right[key])
+        left_value = float(left_value)
+        left_nan, right_nan = left_value != left_value, right_value != right_value
+        if left_nan and right_nan:
+            continue
+        if left_nan or right_nan:
+            return float("inf")
+        scale = max(abs(left_value), 1e-30)
+        deviation = max(deviation, abs(left_value - right_value) / scale)
+    return deviation
 
 
 def _run_mode(config: Fig2Config, warm: bool, backend: str | None = None):
@@ -151,13 +210,24 @@ def _parity(cold_table, warm_table) -> float:
     return deviation
 
 
-def run_bench(*, quick: bool = False, label: str = "PR4") -> dict[str, Any]:
+def run_bench(*, quick: bool = False, label: str = "PR5") -> dict[str, Any]:
     """Run the suite and return the report (see the module docstring)."""
     config = bench_config(quick)
     cold_table, cold_outcomes, cold_stats = _run_mode(config, warm=False)
     warm_table, warm_outcomes, warm_stats = _run_mode(config, warm=True)
     scalar_table, scalar_outcomes, scalar_stats = _run_mode(
         config, warm=False, backend="scalar"
+    )
+
+    fl_config = fl_bench_config(quick)
+    fl_cold, fl_cold_report, fl_cold_wall = _run_fl_mode(
+        fl_config, warm=False, backend="vector"
+    )
+    fl_warm, _fl_warm_report, fl_warm_wall = _run_fl_mode(
+        fl_config, warm=True, backend="vector"
+    )
+    fl_scalar, _fl_scalar_report, fl_scalar_wall = _run_fl_mode(
+        fl_config, warm=False, backend="scalar"
     )
 
     cold_stages = _sum_stages(cold_outcomes)
@@ -188,13 +258,23 @@ def run_bench(*, quick: bool = False, label: str = "PR4") -> dict[str, Any]:
         "cache_io_s": round(cold_stats.cache_io_s + warm_stats.cache_io_s, 6),
         "parity_max_rel_dev": _parity(cold_table, warm_table),
         "backend_parity_max_rel_dev": _parity(scalar_table, cold_table),
+        "fl_wall_s": round(fl_cold_wall, 4),
+        "fl_warm_wall_s": round(fl_warm_wall, 4),
+        "fl_scalar_wall_s": round(fl_scalar_wall, 4),
+        "fl_rounds_per_s": round(fl_config.rounds / max(fl_cold_wall, 1e-12), 4),
+        "fl_allocate_s": round(fl_cold_report.stage_seconds("fl_allocate"), 6),
+        "fl_train_s": round(fl_cold_report.stage_seconds("fl_train"), 6),
+        "fl_outer_iterations": float(fl_cold_report.total_allocator_iterations),
+        "fl_final_accuracy": round(fl_cold_report.final_accuracy, 6),
+        "fl_warm_parity_max_rel_dev": _flat_parity(fl_cold, fl_warm),
+        "fl_backend_parity_max_rel_dev": _flat_parity(fl_cold, fl_scalar),
     }
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "label": label,
         "mode": "quick" if quick else "standard",
         "suite": "fig2 sweep: cold (vector) vs warm-started vs scalar backend "
-        "(jobs=1, cache off)",
+        "(jobs=1, cache off) + closed-loop FL round loop (cold/warm/scalar)",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -271,6 +351,21 @@ def compare_reports(
             f"scalar/vector backend parity broke: max relative deviation "
             f"{backend_parity:.3e} exceeds {backend_tol:.1e}"
         )
+
+    # Closed-loop FL parities (schema >= 3).  Guarded on presence so a
+    # schema-2 report can still be compared against; once the current
+    # report carries them they must hold — fixed-seed round loops are
+    # bit-identical by construction, so these should in fact be 0.0.
+    for name, tol in (
+        ("fl_warm_parity_max_rel_dev", parity_tol),
+        ("fl_backend_parity_max_rel_dev", backend_tol),
+    ):
+        fl_parity = current_metrics.get(name)
+        if fl_parity is not None and not fl_parity <= tol:
+            problems.append(
+                f"FL round-loop parity broke: {name} = {fl_parity:.3e} "
+                f"exceeds {tol:.1e}"
+            )
 
     failed = current_metrics.get("failed_tasks", 0.0)
     if failed:

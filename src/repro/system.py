@@ -203,6 +203,26 @@ class SystemModel:
         return trans, comp
 
     # -- transformations -----------------------------------------------------
+    def with_gains(
+        self,
+        gains: np.ndarray,
+        *,
+        channel_state: ChannelState | None = None,
+    ) -> "SystemModel":
+        """Copy with replaced channel gains (same fleet, bandwidth and schedule).
+
+        This is how the closed-loop FL round loop re-realises the channel
+        between global rounds: the large-scale drop stays fixed while a
+        fresh small-scale fading draw perturbs the gains.  The stored
+        ``channel_state`` is dropped unless a replacement is given — the old
+        state's gains would no longer match.
+        """
+        return replace(
+            self,
+            gains=np.asarray(gains, dtype=float),
+            channel_state=channel_state,
+        )
+
     def with_schedule(self, *, local_iterations: int | None = None, global_rounds: int | None = None) -> "SystemModel":
         """Copy with a different FL schedule (Fig. 6 sweeps)."""
         return replace(

@@ -135,7 +135,7 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
     from repro.perf import bench as bench_module
 
     fake = {
-        "schema": 2,
+        "schema": 3,
         "label": "PRX",
         "mode": "quick",
         "metrics": {
@@ -150,6 +150,10 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
             "warm_inner_iterations": 70.0,
             "parity_max_rel_dev": 1e-9,
             "backend_parity_max_rel_dev": 1e-12,
+            "fl_rounds_per_s": 30.0,
+            "fl_outer_iterations": 12.0,
+            "fl_warm_parity_max_rel_dev": 0.0,
+            "fl_backend_parity_max_rel_dev": 0.0,
         },
         "tracked": {"cold_inner_iterations": "lower"},
         "floors": {"warm_wall_speedup": 1.3},
@@ -173,3 +177,63 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
     assert main(["bench", "--quick", "--output", str(out_path),
                  "--compare", str(base_path)]) == 1
     assert "PERF REGRESSION" in capsys.readouterr().err
+
+
+def test_fl_command_runs_the_closed_loop(tmp_path, capsys):
+    json_path = tmp_path / "fl.json"
+    csv_path = tmp_path / "fl.csv"
+    assert (
+        main(
+            [
+                "fl",
+                "--rounds", "2",
+                "--devices", "5",
+                "--local-iterations", "2",
+                "--output", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr()
+    assert "| round |" in out.out
+    payload = json.loads(json_path.read_text())
+    assert len(payload["rows"]) == 2
+    assert payload["rows"][0]["selected"] == 5
+    assert "accuracy" in out.err
+    assert csv_path.read_text().startswith("round,")
+
+
+def test_fl_command_quick_flag_overrides_scale(capsys):
+    assert main(["fl", "--quick", "--rounds", "50"]) == 0
+    out = capsys.readouterr().out
+    table_lines = [line for line in out.splitlines() if line.startswith("|")]
+    # --quick pins 2 rounds whatever --rounds says: header + divider + 2 rows.
+    assert len(table_lines) == 4
+
+
+def test_fl_command_rejects_unknown_scenario_and_scheme(capsys):
+    assert main(["fl", "--quick", "--scenario", "nope"]) == 2
+    assert "unknown scenario family" in capsys.readouterr().err
+    assert main(["fl", "--quick", "--scheme", "nope"]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_fl_command_selection_and_backend_flags(capsys):
+    assert (
+        main(
+            [
+                "fl",
+                "--quick",
+                "--selection", "fastest-k",
+                "--select-k", "2",
+                "--backend", "scalar",
+                "--no-warm-start",
+                "--fading", "none",
+                "--scheme", "static",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "| 2 |" in out

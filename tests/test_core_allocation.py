@@ -99,3 +99,23 @@ def test_derived_metrics_against_system(tiny_system):
         tiny_system.global_rounds * allocation.round_time_s(tiny_system)
     )
     assert allocation.rates_bps(tiny_system).shape == (n,)
+
+
+def test_per_device_time_and_energy_match_the_system_accounting(tiny_system):
+    import numpy as np
+
+    from repro.core.allocation import ResourceAllocation
+
+    n = tiny_system.num_devices
+    allocation = ResourceAllocation(
+        power_w=tiny_system.max_power_w.copy(),
+        bandwidth_hz=np.full(n, tiny_system.total_bandwidth_hz / n),
+        frequency_hz=tiny_system.max_frequency_hz.copy(),
+    )
+    times = allocation.per_device_time_s(tiny_system)
+    energies = allocation.per_device_energy_j(tiny_system)
+    assert times.shape == (n,)
+    assert float(np.max(times)) == allocation.round_time_s(tiny_system)
+    assert float(energies.sum()) * tiny_system.global_rounds == (
+        allocation.total_energy_j(tiny_system)
+    )

@@ -1,0 +1,90 @@
+"""Tests for the closed-loop FL accuracy-versus-wall-clock experiment."""
+
+import pytest
+
+from repro.experiments.flcurve import FLCurveConfig, run_flcurve
+from repro.experiments.runner import SweepRunner, task_hash
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FLCurveConfig(rounds=2, families=("paper",), schemes=("proposed", "static"))
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    return run_flcurve(config, runner=SweepRunner(jobs=1, use_cache=False))
+
+
+def test_one_row_per_family_scheme_round(config, table):
+    assert len(table) == len(config.families) * len(config.schemes) * config.rounds
+    assert table.column("scheme") == ["proposed"] * 2 + ["static"] * 2
+    assert table.column("round") == [1, 2, 1, 2]
+
+
+def test_elapsed_and_energy_are_cumulative(table):
+    for scheme in ("proposed", "static"):
+        rows = table.filter(scheme=scheme).rows
+        assert rows[1]["elapsed_s"] > rows[0]["elapsed_s"]
+        assert rows[1]["energy_j"] > rows[0]["energy_j"]
+
+
+def test_proposed_beats_static_on_energy_for_the_same_curve(table):
+    proposed = table.filter(scheme="proposed").rows
+    static = table.filter(scheme="static").rows
+    # Same seed + full participation: the FedAvg trajectory is identical,
+    # only its price differs — which is exactly the paper's comparison.
+    assert [r["accuracy"] for r in proposed] == [r["accuracy"] for r in static]
+    assert proposed[-1]["energy_j"] < static[-1]["energy_j"]
+
+
+def test_parallel_run_matches_serial_bit_for_bit(config, table):
+    parallel = run_flcurve(config, runner=SweepRunner(jobs=2, use_cache=False))
+    assert parallel.rows == table.rows
+
+
+def test_cache_round_trip_is_bit_identical(config, table, tmp_path):
+    runner = SweepRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+    first = run_flcurve(config, runner=runner)
+    assert runner.last_stats.cache_hits == 0
+    second = run_flcurve(config, runner=runner)
+    assert runner.last_stats.cache_hits == runner.last_stats.total
+    assert first.rows == table.rows
+    assert second.rows == table.rows
+
+
+def test_task_payloads_hash_roundloop_configuration(config):
+    tasks = config.tasks()
+    assert len(tasks) == len(config.families) * len(config.schemes)
+    digests = {task_hash(task) for task in tasks}
+    assert len(digests) == len(tasks)
+    # Changing the round count must invalidate every cache key.
+    import dataclasses
+
+    changed = dataclasses.replace(config, rounds=3)
+    assert digests.isdisjoint({task_hash(t) for t in changed.tasks()})
+
+
+def test_failed_point_becomes_nan_rows_not_a_crash(config, monkeypatch):
+    import repro.experiments.flcurve as flcurve_module
+
+    def boom(system, params):
+        raise RuntimeError("synthetic failure")
+
+    monkeypatch.setitem(
+        flcurve_module.__dict__, "_run_fl_roundloop", boom
+    )
+    monkeypatch.setitem(
+        __import__("repro.experiments.runner", fromlist=["_SOLVER_KINDS"])._SOLVER_KINDS,
+        "fl_roundloop",
+        boom,
+    )
+    table = run_flcurve(config, runner=SweepRunner(jobs=1, use_cache=False))
+    assert len(table.errors) == 2
+    assert all(row["accuracy"] != row["accuracy"] for row in table.rows)  # NaN
+
+
+def test_paper_config_scales_up():
+    paper = FLCurveConfig.paper()
+    assert paper.rounds > FLCurveConfig().rounds
+    assert len(paper.families) >= 4

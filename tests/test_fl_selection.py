@@ -1,0 +1,129 @@
+"""Tests for the pluggable client-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl.selection import (
+    SelectionContext,
+    get_selection_strategy,
+    register_selection_strategy,
+    select_clients,
+    selection_strategies,
+)
+
+
+def make_ctx(
+    times,
+    *,
+    round_index=1,
+    deadline=None,
+    params=None,
+    seed=0,
+):
+    times = np.asarray(times, dtype=float)
+    return SelectionContext(
+        round_index=round_index,
+        num_clients=times.shape[0],
+        per_device_time_s=times,
+        per_device_energy_j=np.ones_like(times),
+        round_deadline_s=float(np.max(times)) if deadline is None else deadline,
+        rng=np.random.default_rng(seed),
+        params=params or {},
+    )
+
+
+def test_builtin_strategies_are_registered():
+    assert {"all", "random-k", "fastest-k", "deadline-k"} <= set(selection_strategies())
+
+
+def test_unknown_strategy_raises_with_known_list():
+    with pytest.raises(ConfigurationError, match="deadline-k"):
+        get_selection_strategy("nope")
+
+
+def test_select_all_returns_every_client():
+    selected = select_clients("all", make_ctx([3.0, 1.0, 2.0]))
+    assert selected.tolist() == [0, 1, 2]
+
+
+def test_random_k_is_deterministic_in_the_rng_and_sorted():
+    ctx_a = make_ctx(np.ones(10), params={"k": 4}, seed=7)
+    ctx_b = make_ctx(np.ones(10), params={"k": 4}, seed=7)
+    a = select_clients("random-k", ctx_a)
+    b = select_clients("random-k", ctx_b)
+    assert a.tolist() == b.tolist()
+    assert a.size == 4
+    assert np.all(np.diff(a) > 0)
+
+
+def test_random_k_defaults_to_half_the_fleet():
+    assert select_clients("random-k", make_ctx(np.ones(10))).size == 5
+    # A one-client fleet still selects someone.
+    assert select_clients("random-k", make_ctx([1.0])).tolist() == [0]
+
+
+def test_fastest_k_picks_smallest_times_with_stable_ties():
+    selected = select_clients(
+        "fastest-k", make_ctx([5.0, 1.0, 1.0, 0.5, 9.0], params={"k": 3})
+    )
+    assert selected.tolist() == [1, 2, 3]
+
+
+def test_fastest_k_caps_k_at_the_fleet_size():
+    selected = select_clients("fastest-k", make_ctx([2.0, 1.0], params={"k": 99}))
+    assert selected.tolist() == [0, 1]
+
+
+def test_nonpositive_k_is_rejected():
+    with pytest.raises(ConfigurationError, match="k must be positive"):
+        select_clients("fastest-k", make_ctx([1.0, 2.0], params={"k": 0}))
+
+
+def test_deadline_k_keeps_only_clients_inside_the_deadline():
+    selected = select_clients(
+        "deadline-k", make_ctx([1.0, 4.0, 2.0, 8.0], deadline=2.5)
+    )
+    assert selected.tolist() == [0, 2]
+
+
+def test_deadline_k_truncates_to_fastest_k_when_oversubscribed():
+    selected = select_clients(
+        "deadline-k",
+        make_ctx([1.0, 0.5, 2.0, 1.5], deadline=10.0, params={"k": 2}),
+    )
+    assert selected.tolist() == [0, 1]
+
+
+def test_deadline_k_never_selects_nobody():
+    selected = select_clients("deadline-k", make_ctx([5.0, 4.0, 6.0], deadline=1.0))
+    assert selected.tolist() == [1]
+
+
+def test_deadline_k_rejects_nonpositive_slack():
+    with pytest.raises(ConfigurationError, match="deadline_slack"):
+        select_clients(
+            "deadline-k", make_ctx([1.0], params={"deadline_slack": 0.0})
+        )
+
+
+def test_select_clients_validates_strategy_output():
+    @register_selection_strategy("_test_bad_empty")
+    def _bad_empty(ctx):
+        return np.array([], dtype=int)
+
+    @register_selection_strategy("_test_bad_range")
+    def _bad_range(ctx):
+        return np.array([0, ctx.num_clients])
+
+    @register_selection_strategy("_test_bad_dupes")
+    def _bad_dupes(ctx):
+        return np.array([0, 0])
+
+    ctx = make_ctx([1.0, 2.0])
+    with pytest.raises(ConfigurationError, match="selected no clients"):
+        select_clients("_test_bad_empty", ctx)
+    with pytest.raises(ConfigurationError, match="outside"):
+        select_clients("_test_bad_range", ctx)
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        select_clients("_test_bad_dupes", ctx)

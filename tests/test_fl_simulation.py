@@ -118,3 +118,29 @@ def test_mismatched_sizes_rejected(setup):
         FederatedSimulation(system, _make_server(dataset, clients), proposed.allocation).run(
             global_rounds=0
         )
+
+
+def test_allocation_client_count_mismatch_raises_clear_error(setup):
+    """Regression: an allocation sized unlike the partitioned client fleet
+    must fail loudly, naming both counts, instead of pricing the wrong
+    devices."""
+    system, dataset, clients, proposed, _ = setup
+    shrunk = type(proposed.allocation)(
+        power_w=proposed.allocation.power_w[:-1],
+        bandwidth_hz=proposed.allocation.bandwidth_hz[:-1],
+        frequency_hz=proposed.allocation.frequency_hz[:-1],
+    )
+    with pytest.raises(ConfigurationError, match=r"prices 7 device\(s\).*8 client\(s\)"):
+        FederatedSimulation(system, _make_server(dataset, clients), shrunk)
+
+
+def test_mutated_server_fails_at_run_not_silently(setup):
+    """Regression: client lists mutated after construction are re-validated
+    by run() — the priced fleet and the aggregated fleet must always agree."""
+    system, dataset, clients, proposed, _ = setup
+    simulation = FederatedSimulation(
+        system, _make_server(dataset, clients), proposed.allocation
+    )
+    simulation.server.clients.pop()
+    with pytest.raises(ConfigurationError, match="one client per device"):
+        simulation.run(global_rounds=1, local_iterations=1)

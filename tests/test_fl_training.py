@@ -123,3 +123,34 @@ def test_server_requires_clients(dataset):
     # Without a test split evaluation returns NaN instead of crashing.
     loss, acc = server.evaluate()
     assert np.isnan(loss) and np.isnan(acc)
+
+
+def test_run_round_with_explicit_client_indices(dataset, clients):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=4)
+    server = FedAvgServer(
+        model, clients, test_x=dataset.test_x, test_y=dataset.test_y, rng=1
+    )
+    server.run_round(1, local_iterations=3, client_indices=[0, 3])
+    assert len(server.history) == 1
+    # Pinned selection does not consume the server's RNG: two servers with
+    # the same seed stay in lock-step whatever the selection was.
+    other = FedAvgServer(
+        SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=4),
+        clients,
+        test_x=dataset.test_x,
+        test_y=dataset.test_y,
+        rng=1,
+    )
+    other.run_round(1, local_iterations=3, client_indices=[0, 3])
+    assert np.array_equal(server.global_weights, other.global_weights)
+
+
+def test_run_round_rejects_bad_client_indices(dataset, clients):
+    model = SoftmaxRegression(dataset.num_features, dataset.num_classes, rng=4)
+    server = FedAvgServer(model, clients)
+    with pytest.raises(ConfigurationError, match="at least one"):
+        server.run_round(1, local_iterations=1, client_indices=[])
+    with pytest.raises(ConfigurationError, match="duplicates"):
+        server.run_round(1, local_iterations=1, client_indices=[1, 1])
+    with pytest.raises(ConfigurationError, match=r"\[0, 5\)"):
+        server.run_round(1, local_iterations=1, client_indices=[0, 5])

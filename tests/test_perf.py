@@ -268,3 +268,48 @@ def test_write_and_load_report_round_trip(tmp_path):
     report = _report()
     path = bench.write_report(report, tmp_path / "BENCH_TEST.json")
     assert bench.load_report(path) == report
+
+
+# -- closed-loop FL bench additions (schema 3) -------------------------------
+
+def test_flat_parity_on_matching_and_broken_trajectories():
+    left = {"r001_accuracy": 0.5, "r001_elapsed_s": 1.0}
+    assert bench._flat_parity(left, dict(left)) == 0.0
+    shifted = {"r001_accuracy": 0.5, "r001_elapsed_s": 1.1}
+    assert bench._flat_parity(left, shifted) == pytest.approx(0.1)
+    assert bench._flat_parity(left, {"r001_accuracy": 0.5}) == float("inf")
+    assert (
+        bench._flat_parity(left, {"r001_accuracy": 0.5, "r001_elapsed_s": float("nan")})
+        == float("inf")
+    )
+    both_nan = {"a": float("nan")}
+    assert bench._flat_parity(both_nan, dict(both_nan)) == 0.0
+
+
+def test_fl_bench_config_scales_with_quick_flag():
+    quick = bench.fl_bench_config(quick=True)
+    standard = bench.fl_bench_config(quick=False)
+    assert quick.rounds < standard.rounds
+    assert quick.scenario["num_devices"] < standard.scenario["num_devices"]
+    # The benchmarked loop must exercise the allocation-aware selection.
+    assert quick.selection == "deadline-k"
+
+
+def test_compare_reports_flags_fl_parity_breach():
+    current = _report(
+        fl_warm_parity_max_rel_dev=1e-3, fl_backend_parity_max_rel_dev=0.0
+    )
+    baseline = _report()
+    problems = bench.compare_reports(current, baseline)
+    assert any("fl_warm_parity_max_rel_dev" in p for p in problems)
+
+    current = _report(
+        fl_warm_parity_max_rel_dev=0.0, fl_backend_parity_max_rel_dev=1e-3
+    )
+    problems = bench.compare_reports(current, baseline)
+    assert any("fl_backend_parity_max_rel_dev" in p for p in problems)
+
+
+def test_compare_reports_tolerates_reports_without_fl_metrics():
+    # A schema-2 report (no FL suite) must still compare cleanly.
+    assert bench.compare_reports(_report(), _report()) == []

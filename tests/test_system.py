@@ -100,3 +100,28 @@ def test_invalid_construction_rejected(system):
 def test_computation_time_requires_positive_frequency(system):
     with pytest.raises(ValueError):
         system.computation_time_s(np.zeros(system.num_devices))
+
+
+def test_with_gains_replaces_gains_and_drops_stale_channel_state(tiny_system):
+    import numpy as np
+
+    new_gains = tiny_system.gains * 2.0
+    updated = tiny_system.with_gains(new_gains)
+    assert np.array_equal(updated.gains, new_gains)
+    assert updated.channel_state is None  # the old state no longer matches
+    assert updated.fleet is tiny_system.fleet
+    assert updated.total_bandwidth_hz == tiny_system.total_bandwidth_hz
+    # The original is untouched (frozen dataclass semantics).
+    assert not np.array_equal(tiny_system.gains, new_gains)
+
+
+def test_with_gains_validates_like_the_constructor(tiny_system):
+    import numpy as np
+    import pytest
+
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        tiny_system.with_gains(np.zeros(tiny_system.num_devices))
+    with pytest.raises(ConfigurationError):
+        tiny_system.with_gains(tiny_system.gains[:-1])

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate: fail when modules under src/repro lack docstrings.
+
+A tiny stand-in for ``interrogate --fail-under`` that needs nothing beyond
+the standard library (the CI image and the local toolchain both have it by
+definition).  It walks every ``*.py`` file under the given root, parses it
+with :mod:`ast`, and checks for a module-level docstring; coverage below
+the threshold (default 100%) exits non-zero listing the offenders.
+
+Usage::
+
+    python tools/check_docstrings.py                 # src/repro, 100%
+    python tools/check_docstrings.py --fail-under 90
+    python tools/check_docstrings.py --root src/repro/fl
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["module_docstring_report", "main"]
+
+
+def module_docstring_report(root: Path) -> tuple[list[Path], list[Path]]:
+    """Split the modules under ``root`` into (documented, undocumented)."""
+    documented: list[Path] = []
+    undocumented: list[Path] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if ast.get_docstring(tree):
+            documented.append(path)
+        else:
+            undocumented.append(path)
+    return documented, undocumented
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default="src/repro",
+        help="directory tree to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=100.0,
+        metavar="PCT",
+        help="minimum module-docstring coverage percentage (default: 100)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    documented, undocumented = module_docstring_report(root)
+    total = len(documented) + len(undocumented)
+    if total == 0:
+        print(f"error: no python modules found under {root}", file=sys.stderr)
+        return 2
+    coverage = 100.0 * len(documented) / total
+    print(
+        f"module docstrings: {len(documented)}/{total} ({coverage:.1f}%), "
+        f"threshold {args.fail_under:.1f}%"
+    )
+    if coverage < args.fail_under:
+        for path in undocumented:
+            print(f"missing module docstring: {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
