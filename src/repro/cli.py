@@ -247,6 +247,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="relative regression tolerance for tracked metrics (default 0.20)",
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro-lint static-analysis rules (determinism, "
+        "convergence, and cache-key invariants); needs a source checkout",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint, relative to the repo root "
+        "(default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -452,12 +486,54 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Dispatch ``repro lint`` to :mod:`tools.lint`.
+
+    The linter lives outside the installed package (it lints the *source
+    tree*, so shipping it in a wheel would be misleading); a source checkout
+    is located from this file's position and put on ``sys.path`` when
+    ``tools`` is not already importable.
+    """
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    try:
+        from tools.lint import main as lint_main
+    except ImportError:
+        if not (repo_root / "tools" / "lint" / "__init__.py").is_file():
+            print(
+                "error: `repro lint` needs a source checkout (tools/lint/ "
+                f"not found under {repo_root})",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, str(repo_root))
+        from tools.lint import main as lint_main
+
+    argv: list[str] = ["--root", str(repo_root), "--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    # Anchor relative paths at the repo root so `repro lint` works from any
+    # working directory (rule scoping is relative-path based).
+    argv += [
+        path if Path(path).is_absolute() else str(repo_root / path)
+        for path in args.paths
+    ]
+    return lint_main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro.cli`` and the ``repro`` script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "fl":
         try:
             return _run_fl(args)

@@ -34,7 +34,6 @@ import numpy as np
 from ..exceptions import InfeasibleProblemError
 from ..perf.timers import StageTimings, stage
 from ..solvers.dual_decomposition import minimize_separable_with_budget
-from ..system import SystemModel
 from ..wireless.rate import min_bandwidth_for_rate
 from .allocation import ResourceAllocation
 from .convergence import ConvergenceHistory

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import InfeasibleProblemError
+from ..exceptions import ConvergenceError, InfeasibleProblemError
 from ..system import SystemModel
 from ..wireless.rate import min_bandwidth_for_rate
 
@@ -103,6 +103,12 @@ def minimize_max_upload_time(
             t_lo = t_mid
         if t_hi - t_lo <= tol * max(1.0, t_mid):
             break
+    else:
+        raise ConvergenceError(
+            f"min-max upload-time bisection did not converge in {max_iter} "
+            f"steps: time bracket [{t_lo:.6g}, {t_hi:.6g}] is still wider "
+            f"than tol={tol:.3g}"
+        )
 
     bandwidth = bandwidth_needed(t_hi)
     # Hand out any numerically unassigned slack proportionally (it can only

@@ -10,6 +10,13 @@ See DESIGN.md for the experiment index (figure -> module -> bench target)
 and EXPERIMENTS.md for the paper-versus-measured comparison.
 """
 
+from ..scenarios import (
+    ScenarioSpec,
+    build_scenario_spec,
+    register_scenario_family,
+    scenario_families,
+)
+from .ablation import AblationConfig, run_ablation
 from .base import (
     PAPER_WEIGHT_PAIRS,
     GridPoint,
@@ -21,6 +28,17 @@ from .base import (
     solve_baseline,
     solve_proposed,
 )
+from .fig2 import Fig2Config, run_fig2
+from .fig3 import Fig3Config, run_fig3
+from .fig4 import Fig4Config, run_fig4
+from .fig5 import Fig5Config, run_fig5
+from .fig6 import Fig6Config, run_fig6
+from .fig7 import Fig7Config, run_fig7
+from .fig8 import Fig8Config, run_fig8
+from .flcurve import FLCurveConfig, run_flcurve
+from .plotting import ascii_line_plot
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+from .results import ResultTable
 from .runner import (
     SweepCache,
     SweepRunner,
@@ -32,25 +50,7 @@ from .runner import (
     task_hash,
     use_runner,
 )
-from ..scenarios import (
-    ScenarioSpec,
-    build_scenario_spec,
-    register_scenario_family,
-    scenario_families,
-)
-from .fig2 import Fig2Config, run_fig2
-from .fig3 import Fig3Config, run_fig3
-from .fig4 import Fig4Config, run_fig4
-from .fig5 import Fig5Config, run_fig5
-from .fig6 import Fig6Config, run_fig6
-from .fig7 import Fig7Config, run_fig7
-from .fig8 import Fig8Config, run_fig8
-from .flcurve import FLCurveConfig, run_flcurve
 from .samples import SamplesConfig, run_samples_sweep
-from .ablation import AblationConfig, run_ablation
-from .plotting import ascii_line_plot
-from .registry import EXPERIMENTS, get_experiment, run_experiment
-from .results import ResultTable
 
 __all__ = [
     "PAPER_WEIGHT_PAIRS",

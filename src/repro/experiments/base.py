@@ -17,10 +17,10 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from .. import constants
+from ..baselines.registry import get_baseline
 from ..core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
 from ..core.subproblem2 import validate_backend
-from ..baselines.registry import get_baseline
 from ..exceptions import ConfigurationError
 from ..scenarios import ScenarioSpec, build_scenario_spec
 from ..system import SystemModel

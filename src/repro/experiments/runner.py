@@ -39,7 +39,6 @@ import hashlib
 import importlib
 import json
 import os
-import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import contextmanager
@@ -51,9 +50,9 @@ import numpy as np
 
 from ..baselines.registry import get_baseline
 from ..core.allocation import ResourceAllocation
-from ..core.allocator import AllocatorConfig, ResourceAllocator
+from ..core.allocator import ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
-from ..perf.timers import StageTimings, collect_timings, stage
+from ..perf.timers import StageTimings, collect_timings, stage, wall_clock
 from ..scenarios import SCENARIO_SCHEMA_VERSION, ScenarioSpec
 from ..system import SystemModel
 
@@ -361,7 +360,7 @@ def _execute_safely(
     try:
         metrics, state, timings = execute_task_detailed(task, warm_state)
         return metrics, state, timings, None
-    except Exception as exc:  # noqa: BLE001 — crash isolation is the point
+    except Exception as exc:  # repro-lint: disable=RL005 -- crash isolation: one bad drop must become an error row, not kill the sweep
         return None, None, None, f"{type(exc).__name__}: {exc}"
 
 
@@ -505,7 +504,7 @@ class SweepRunner:
     # -- execution -----------------------------------------------------------
     def run(self, tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
         """Run every task, returning outcomes in task order."""
-        started = time.monotonic()
+        started = wall_clock()
         stats = SweepStats(total=len(tasks))
         outcomes: list[TaskOutcome | None] = [None] * len(tasks)
         done = 0
@@ -514,9 +513,9 @@ class SweepRunner:
         for index, task in enumerate(tasks):
             entry = None
             if self.use_cache:
-                io_started = time.monotonic()
+                io_started = wall_clock()
                 entry = self.cache.get_entry(task_hash(task))
-                stats.cache_io_s += time.monotonic() - io_started
+                stats.cache_io_s += wall_clock() - io_started
             if entry is not None:
                 metrics, state = entry
                 outcome = TaskOutcome(
@@ -544,16 +543,16 @@ class SweepRunner:
                     if outcome.error is not None:
                         stats.failed += 1
                     elif self.use_cache:
-                        io_started = time.monotonic()
+                        io_started = wall_clock()
                         self._cache_put(outcome)
-                        stats.cache_io_s += time.monotonic() - io_started
+                        stats.cache_io_s += wall_clock() - io_started
                     done += 1
                     self._report(done, stats.total, outcome)
             finally:
                 if executor is not None:
                     executor.shutdown(wait=True, cancel_futures=True)
 
-        stats.elapsed_s = time.monotonic() - started
+        stats.elapsed_s = wall_clock() - started
         self.last_stats = stats
         return [outcome for outcome in outcomes if outcome is not None]
 
@@ -635,7 +634,7 @@ class SweepRunner:
                 chain_id, position, index, warm = futures[future]
                 try:
                     metrics, state, timings, error = future.result()
-                except Exception as exc:  # e.g. BrokenProcessPool
+                except Exception as exc:  # repro-lint: disable=RL005 -- pool failures (e.g. BrokenProcessPool) must become error outcomes
                     metrics, state, timings, error = (
                         None,
                         None,
@@ -655,7 +654,7 @@ class SweepRunner:
                     try:
                         # A failed element restarts the rest of its chain cold.
                         remaining.add(submit(chain_id, position + 1, state))
-                    except Exception as exc:  # e.g. BrokenProcessPool
+                    except Exception as exc:  # repro-lint: disable=RL005 -- pool failures (e.g. BrokenProcessPool) must become error outcomes
                         # The executor itself is gone: surface the rest of
                         # this chain as error outcomes instead of crashing
                         # the sweep (crash isolation must survive a dead

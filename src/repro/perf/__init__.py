@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import Any
 
-from .timers import StageTimings, active_collector, collect_timings, stage
+from .timers import StageTimings, active_collector, collect_timings, stage, wall_clock
 
 __all__ = [
     "StageTimings",
     "active_collector",
     "collect_timings",
     "stage",
+    "wall_clock",
     "BenchReport",
     "run_bench",
     "compare_reports",

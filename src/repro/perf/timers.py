@@ -23,10 +23,23 @@ disjoint — report them as a breakdown, not a partition.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Iterator, Mapping
 
-__all__ = ["StageTimings", "stage", "collect_timings", "active_collector"]
+__all__ = ["StageTimings", "stage", "collect_timings", "active_collector", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """A monotonic wall-clock reading, for bookkeeping outside this module.
+
+    ``repro.perf`` is the only tree allowed to touch the clock primitives
+    (enforced by repro-lint RL004): solver code that observes time can
+    branch on it and silently break trajectory parity.  Bookkeeping code —
+    the sweep runner's cache-I/O accounting, progress reporting — reads the
+    clock through this function instead, so every clock access in the
+    library is auditable from one module.
+    """
+    return monotonic()
 
 
 class StageTimings:

@@ -15,17 +15,17 @@ family inside sweep worker processes, name it by its dotted path
 (``"my_pkg.scenarios:my_family"``) so workers can resolve it by import.
 """
 
-from .paper import (
-    ScenarioConfig,
-    build_paper_scenario,
-    build_scenario,
-    paper_scenario,
-)
 from .families import (  # noqa: F401  (import registers the built-in families)
     cell_edge_scenario,
     hetero_fleet_scenario,
     hotspot_scenario,
     indoor_scenario,
+)
+from .paper import (
+    ScenarioConfig,
+    build_paper_scenario,
+    build_scenario,
+    paper_scenario,
 )
 from .spec import (
     SCENARIO_SCHEMA_VERSION,

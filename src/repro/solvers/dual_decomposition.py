@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..exceptions import SolverError
+from ..exceptions import ConvergenceError, SolverError
 from .scalar import golden_section_vector
 
 __all__ = ["DualDecompositionResult", "minimize_separable_with_budget"]
@@ -118,6 +118,12 @@ def minimize_separable_with_budget(
             mu_hi = mu_mid
         if mu_hi - mu_lo <= tol * max(1.0, mu_mid):
             break
+    else:
+        raise ConvergenceError(
+            f"budget-multiplier bisection did not converge in {max_iter} "
+            f"steps: bracket [{mu_lo:.6g}, {mu_hi:.6g}] is still wider "
+            f"than tol={tol:.3g}"
+        )
     mu = mu_hi
     x = solve_inner(mu)
     # If the budget is not exhausted but the multiplier is positive, spread

@@ -74,7 +74,10 @@ def damped_newton_step(
         return DampedNewtonResult(
             alpha=alpha, residual_norm=0.0, step_exponent=0, step_size=1.0, accepted=True
         )
-    for j in range(max_backtracks + 1):
+    # A bounded line search *is* the fallback: exhaustion takes the smallest
+    # step and reports it via accepted=False, which the caller's damping
+    # logic (condition (29)) handles — not a silent convergence miss.
+    for j in range(max_backtracks + 1):  # repro-lint: disable=RL002 -- exhaustion is recorded in DampedNewtonResult.accepted
         step = xi**j
         candidate = alpha + step * direction
         norm = float(np.linalg.norm(residual(candidate)))

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import ConvergenceError
+
 __all__ = ["project_box", "project_simplex", "project_capped_simplex"]
 
 
@@ -77,5 +79,11 @@ def project_capped_simplex(
             theta_hi = mid
         if theta_hi - theta_lo <= tol * max(1.0, abs(mid)):
             break
+    else:
+        raise ConvergenceError(
+            f"capped-simplex projection did not converge in {max_iter} "
+            f"bisection steps: shift bracket [{theta_lo:.6g}, {theta_hi:.6g}] "
+            f"is still wider than tol={tol:.3g}"
+        )
     theta = 0.5 * (theta_lo + theta_hi)
     return np.clip(v - theta, lo_arr, hi_arr)

@@ -17,6 +17,8 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from ..exceptions import ConvergenceError
+
 __all__ = ["golden_section_scalar", "golden_section_vector"]
 
 _INV_PHI = (np.sqrt(5.0) - 1.0) / 2.0  # 1 / golden ratio ~ 0.618
@@ -58,6 +60,14 @@ def golden_section_scalar(
             h = b - a
             d = a + _INV_PHI * h
             fd = func(d)
+    else:
+        # The interval check sits at the top of the loop, so re-test the
+        # final width before declaring exhaustion a failure.
+        if h > tol * max(1.0, abs(a) + abs(b)):
+            raise ConvergenceError(
+                f"golden_section_scalar did not converge in {max_iter} "
+                f"iterations: interval width {h:.6g} > tol={tol:.3g}"
+            )
     if fc < fd:
         return c, fc
     return d, fd
@@ -106,6 +116,14 @@ def golden_section_vector(
         c, d = new_c, new_d
         fc = np.asarray(func(c), dtype=float)
         fd = np.asarray(func(d), dtype=float)
+    else:
+        # Same top-of-loop check as the scalar variant: re-test on exit.
+        if not np.all(h <= tol * np.maximum(1.0, np.abs(a) + np.abs(b))):
+            raise ConvergenceError(
+                f"golden_section_vector did not converge in {max_iter} "
+                f"iterations: max interval width {float(np.max(h)):.6g} > "
+                f"tol={tol:.3g}"
+            )
     x = np.where(fc < fd, c, d)
     fx = np.where(fc < fd, fc, fd)
     return x, fx

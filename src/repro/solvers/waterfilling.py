@@ -25,7 +25,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..exceptions import SolverError
+from ..exceptions import ConvergenceError, SolverError
 
 __all__ = ["maximize_concave_on_simplex", "power_waterfilling"]
 
@@ -90,6 +90,12 @@ def power_waterfilling(
             eta_hi = eta_mid
         if eta_hi - eta_lo <= tol * max(1.0, abs(eta_mid)):
             break
+    else:
+        raise ConvergenceError(
+            f"power_waterfilling did not converge in {max_iter} bisection "
+            f"steps: multiplier bracket [{eta_lo:.6g}, {eta_hi:.6g}] is "
+            f"still wider than tol={tol:.3g}"
+        )
     eta = 0.5 * (eta_lo + eta_hi)
     x = x_of_eta(eta)
     # Numerical clean-up: rescale onto the simplex exactly.

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.devices import DeviceFleet, DeviceProfile, generate_fleet
+from repro.devices import DeviceFleet, generate_fleet
 from repro.exceptions import ConfigurationError
 
 

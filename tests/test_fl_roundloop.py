@@ -5,9 +5,6 @@ give bit-identical per-round metrics across solver backends, warm and cold
 starts, and sweep execution order.
 """
 
-import dataclasses
-
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError

@@ -1,0 +1,336 @@
+"""Tests for the repro-lint static-analysis subsystem (``tools.lint``).
+
+Every rule is exercised against the fixture corpus in
+``tools/lint/fixtures/``: the ``*_fail.py`` file must fire (with the
+expected finding count) and the ``*_pass.py`` twin must stay quiet.  The
+fixtures are copied into a scratch ``src/repro/`` tree under ``tmp_path``
+because rule scoping is path-based — the files are inert where they live.
+
+On top of the per-rule pairs: suppression semantics, the RL003
+field-removal acceptance test, path scoping (RL004/RL006), parse-error
+handling, the CLI (exit codes, JSON output, ``repro lint``), and the
+"the real src/ tree is clean" end-to-end gate.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.lint import PARSE_ERROR_ID, all_rules, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tools" / "lint" / "fixtures"
+
+RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+#: Findings each fail fixture must produce (keep in sync with the corpus).
+EXPECTED_FAIL_COUNTS = {
+    "RL001": 4,  # unseeded default_rng, np.random.seed, np.random.rand, import random
+    "RL002": 2,  # silent for/range(max_iter), silent while n < MAX_EXPANSIONS
+    "RL003": 2,  # extra_knob missing from payload(), RoundLoopConfig without _jsonify
+    "RL004": 4,  # from-time import, 2x time.monotonic(), datetime.now()
+    "RL005": 3,  # bare except, except Exception, swallowed ConvergenceError
+    "RL006": 3,  # == 0.25, a / b == target, float(x) != scale
+}
+
+
+def lint_fixture(
+    tmp_path,
+    name,
+    *,
+    dest="src/repro/core",
+    select=None,
+    transform=None,
+):
+    """Copy fixture ``name`` into a scratch tree and lint it there."""
+    source = (FIXTURES / f"{name}.py").read_text()
+    if transform is not None:
+        source = transform(source)
+    target = tmp_path / dest / f"{name}.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return lint_paths([target], root=tmp_path, select=select)
+
+
+def fixture_dest(rule_id, kind):
+    """Where a fixture must live for its rule to be in scope."""
+    if rule_id == "RL004" and kind == "pass":
+        return "src/repro/perf"  # the one tree where the clock is allowed
+    return "src/repro/core"
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_fail_fixture_fires(tmp_path, rule_id):
+    name = f"{rule_id.lower()}_fail"
+    findings = lint_fixture(
+        tmp_path, name, dest=fixture_dest(rule_id, "fail"), select=[rule_id]
+    )
+    assert len(findings) == EXPECTED_FAIL_COUNTS[rule_id], [
+        f.render() for f in findings
+    ]
+    assert all(f.rule == rule_id for f in findings)
+    # Findings point into the scratch copy with 1-based positions.
+    assert all(f.path.endswith(f"{name}.py") for f in findings)
+    assert all(f.line >= 1 for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_pass_fixture_stays_quiet(tmp_path, rule_id):
+    name = f"{rule_id.lower()}_pass"
+    findings = lint_fixture(
+        tmp_path, name, dest=fixture_dest(rule_id, "pass"), select=[rule_id]
+    )
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_pass_fixtures_clean_under_all_rules(tmp_path):
+    """The pass corpus survives the full rule set, not just its own rule."""
+    for rule_id in RULE_IDS:
+        name = f"{rule_id.lower()}_pass"
+        findings = lint_fixture(tmp_path, name, dest=fixture_dest(rule_id, "pass"))
+        assert findings == [], (name, [f.render() for f in findings])
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def _suppress(line_fragment, rule_id):
+    """A transform adding a disable comment to the line containing the fragment."""
+
+    def transform(source):
+        out = []
+        for line in source.splitlines():
+            if line_fragment in line:
+                line += f"  # repro-lint: disable={rule_id} -- fixture test"
+            out.append(line)
+        return "\n".join(out) + "\n"
+
+    return transform
+
+
+def test_disable_comment_silences_the_rule(tmp_path):
+    findings = lint_fixture(
+        tmp_path,
+        "rl002_fail",
+        select=["RL002"],
+        transform=lambda s: _suppress("for _ in range(max_iter):", "RL002")(
+            _suppress("while f(hi) < 0.0", "RL002")(s)
+        ),
+    )
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_disable_comment_is_rule_scoped(tmp_path):
+    """Disabling a *different* rule on the line must not suppress RL002."""
+    findings = lint_fixture(
+        tmp_path,
+        "rl002_fail",
+        select=["RL002"],
+        transform=_suppress("for _ in range(max_iter):", "RL001"),
+    )
+    assert len(findings) == EXPECTED_FAIL_COUNTS["RL002"]
+
+
+def test_disable_comment_is_line_scoped(tmp_path):
+    """Suppressing one loop leaves the other loop's finding intact."""
+    findings = lint_fixture(
+        tmp_path,
+        "rl002_fail",
+        select=["RL002"],
+        transform=_suppress("for _ in range(max_iter):", "RL002"),
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "RL002"
+    # The survivor is the while loop (the transform leaves line numbers alone).
+    lines = (FIXTURES / "rl002_fail.py").read_text().splitlines()
+    assert lines[findings[0].line - 1].lstrip().startswith("while ")
+
+
+# ---------------------------------------------------------------------------
+# RL003 specifics
+# ---------------------------------------------------------------------------
+
+
+def test_rl003_catches_field_removed_from_payload(tmp_path):
+    """Acceptance test: drop a field from the scratch SweepTask.payload()."""
+
+    def remove_payload_line(source):
+        assert '"extra_knob": self.extra_knob,' in source
+        return source.replace('            "extra_knob": self.extra_knob,\n', "")
+
+    findings = lint_fixture(
+        tmp_path, "rl003_pass", select=["RL003"], transform=remove_payload_line
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "RL003"
+    assert "extra_knob" in findings[0].message
+    assert "CACHE_VERSION" in findings[0].message
+
+
+def test_rl003_fail_names_both_failure_modes(tmp_path):
+    findings = lint_fixture(tmp_path, "rl003_fail", select=["RL003"])
+    messages = " | ".join(f.message for f in findings)
+    assert "extra_knob" in messages
+    assert "RoundLoopConfig" in messages
+
+
+def test_rl003_allowlisted_field_is_quiet(tmp_path):
+    """`key` never enters payload() in the pass fixture, by allowlist."""
+    source = (FIXTURES / "rl003_pass.py").read_text()
+    assert '"key"' not in source.split("def payload")[1].split("@dataclass")[0]
+    findings = lint_fixture(tmp_path, "rl003_pass", select=["RL003"])
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Path scoping
+# ---------------------------------------------------------------------------
+
+
+def test_rl004_pass_fixture_fires_outside_perf(tmp_path):
+    """The exact same code is a finding when it leaves repro.perf."""
+    findings = lint_fixture(
+        tmp_path, "rl004_pass", dest="src/repro/solvers", select=["RL004"]
+    )
+    assert len(findings) == 4  # the from-time import + three resolved calls
+    assert all(f.rule == "RL004" for f in findings)
+
+
+def test_rules_out_of_scope_outside_src_repro(tmp_path):
+    """A file outside src/repro/ is not checked by the path-scoped rules."""
+    findings = lint_fixture(tmp_path, "rl001_fail", dest="scripts")
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    target = tmp_path / "src" / "repro" / "broken.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def broken(:\n    pass\n")
+    findings = lint_paths([target], root=tmp_path)
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_ID
+
+
+def test_parse_errors_are_not_suppressible(tmp_path):
+    target = tmp_path / "src" / "repro" / "broken.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def broken(:  # repro-lint: disable=RL000\n    pass\n")
+    findings = lint_paths([target], root=tmp_path)
+    assert [f.rule for f in findings] == [PARSE_ERROR_ID]
+
+
+def test_unknown_rule_id_is_an_error(tmp_path):
+    from tools.lint import LintError
+
+    with pytest.raises(LintError, match="RL999"):
+        lint_fixture(tmp_path, "rl001_pass", select=["RL999"])
+
+
+def test_every_rule_has_id_name_summary():
+    rules = all_rules()
+    assert sorted(rule.id for rule in rules) == list(RULE_IDS)
+    for rule in rules:
+        assert rule.name and rule.summary
+
+
+# ---------------------------------------------------------------------------
+# CLI + end-to-end
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+    )
+
+
+def test_cli_clean_tree_exits_zero(tmp_path):
+    target = tmp_path / "src" / "repro" / "ok.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / "rl001_pass.py").read_text())
+    proc = _run_cli("--root", str(tmp_path), str(target))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_cli_findings_exit_one_and_json_is_structured(tmp_path):
+    target = tmp_path / "src" / "repro" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / "rl001_fail.py").read_text())
+    proc = _run_cli("--root", str(tmp_path), "--format", "json", str(target))
+    assert proc.returncode == 1
+    findings = json.loads(proc.stdout)
+    assert len(findings) == EXPECTED_FAIL_COUNTS["RL001"]
+    assert {f["rule"] for f in findings} == {"RL001"}
+    assert all({"path", "line", "col", "message"} <= set(f) for f in findings)
+
+
+def test_cli_unknown_rule_exits_two():
+    proc = _run_cli("--select", "RL999", "tools/lint/fixtures/rl001_pass.py")
+    assert proc.returncode == 2
+    assert "RL999" in proc.stderr
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in RULE_IDS:
+        assert rule_id in proc.stdout
+
+
+def test_repro_cli_lint_subcommand(capfd):
+    from repro.cli import main
+
+    assert main(["lint"]) == 0
+    assert "0 findings" in capfd.readouterr().out
+
+
+def test_src_tree_is_clean_end_to_end():
+    """The shipped src/ tree passes its own linter — the PR's bootstrap gate."""
+    findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# External tools (exercised fully in CI; skipped where not installed)
+# ---------------------------------------------------------------------------
+
+
+def test_ruff_clean_when_available():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed (CI's static-analysis job runs it)")
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "tools"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_when_available():
+    if shutil.which("mypy") is None:
+        pytest.skip("mypy not installed (CI's static-analysis job runs it)")
+    proc = subprocess.run(
+        ["mypy"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

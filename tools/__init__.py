@@ -1,0 +1,1 @@
+"""Repo-internal developer tooling (not part of the installed package)."""

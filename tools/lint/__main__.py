@@ -1,0 +1,9 @@
+"""``python -m tools.lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from .engine import main
+
+sys.exit(main())

@@ -1,0 +1,115 @@
+"""Small AST utilities shared by the repro-lint rules.
+
+Nothing here knows about the project's conventions — these are generic
+helpers for resolving dotted names through import aliases, walking
+statement blocks with sibling context, and spotting node kinds the rules
+care about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted_name",
+    "import_aliases",
+    "resolve_call_target",
+    "iter_blocks",
+    "contains_raise",
+    "names_in",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, or ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified dotted path, from the module's imports.
+
+    Covers ``import numpy as np`` (``np -> numpy``), ``from numpy import
+    random as nr`` (``nr -> numpy.random``) and ``from numpy.random import
+    default_rng`` (``default_rng -> numpy.random.default_rng``).  Relative
+    imports are recorded with a leading ``.`` so callers can still match on
+    the tail.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            prefix = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+    return aliases
+
+
+def resolve_call_target(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """The call target's fully qualified dotted path, aliases expanded."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expanded = aliases.get(head, head)
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+def iter_blocks(tree: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every statement list in the tree (module/function/if/loop bodies...)."""
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+        for handler in getattr(node, "handlers", []) or []:
+            if handler.body:
+                yield handler.body
+
+
+def contains_raise(nodes: ast.AST | list[ast.stmt]) -> bool:
+    """Whether a ``raise`` statement appears anywhere under ``nodes``.
+
+    Nested function/class definitions are not descended into — a raise in
+    an inner ``def`` does not handle the enclosing loop's exhaustion.
+    """
+    stack: list[ast.AST] = list(nodes) if isinstance(nodes, list) else [nodes]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """All bare names plus ALL_CAPS attribute tails referenced under a node.
+
+    Attribute tails are only reported when they look like module-level
+    constants (``mod.MAX_ITERATIONS``); lowercase attributes like
+    ``config.max_iterations`` are deliberately excluded — see RL002's
+    docstring for why.
+    """
+    found: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            found.add(child.id)
+        elif isinstance(child, ast.Attribute) and child.attr.isupper():
+            found.add(child.attr)
+    return found

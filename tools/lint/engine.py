@@ -1,0 +1,315 @@
+"""The repro-lint engine: file walking, parsing, dispatch, output.
+
+The engine is deliberately small: it finds ``*.py`` files, parses each one
+once into an :class:`ast.Module`, records line-scoped suppressions, hands
+every parsed module to every in-scope rule (then the whole
+:class:`Project` to the cross-module rules), filters suppressed findings
+and renders the rest as text or JSON.  All project knowledge lives in the
+rules under :mod:`tools.lint.rules`.
+
+Paths are resolved relative to a *root* (default: the current working
+directory) because rule scoping is path-based — ``src/repro/perf`` is the
+only tree allowed to touch the wall clock, for example.  Run the linter
+from the repository root, or pass ``--root``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .registry import Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ParsedModule",
+    "Project",
+    "PARSE_ERROR_ID",
+    "lint_paths",
+    "main",
+]
+
+#: Pseudo rule id for files the engine could not parse.  Not suppressible:
+#: a syntax error hides every real finding in the file.
+PARSE_ERROR_ID = "RL000"
+
+_SUPPRESSION_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+class LintError(Exception):
+    """A usage error (bad path, unknown rule id) — exit code 2."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form (``path:line:col: RLnnn msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line number -> rule ids disabled on that line.
+    suppressions: dict[int, frozenset[str]]
+
+    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` (1-based line, 0-based column)."""
+        return Finding(
+            rule=rule.id,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class Project:
+    """Every module of one lint run, for cross-module rules."""
+
+    root: Path
+    modules: tuple[ParsedModule, ...]
+
+    def in_scope(self, rule: Rule) -> tuple[ParsedModule, ...]:
+        """The run's modules that fall inside ``rule``'s path scope."""
+        return tuple(m for m in self.modules if rule.applies_to(m.relpath))
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line numbers to the rule ids disabled there.
+
+    The marker is ``# repro-lint: disable=RL001`` (comma-separate several
+    ids); anything after the id list — e.g. an ``-- explanation`` — is
+    ignored, so suppressions can and should carry a reason.
+    """
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match:
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                table[lineno] = ids
+    return table
+
+
+def _collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_modules(
+    files: Iterable[Path], root: Path
+) -> tuple[list[ParsedModule], list[Finding]]:
+    modules: list[ParsedModule] = []
+    errors: list[Finding] = []
+    for path in files:
+        relpath = _relpath(path, root)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule=PARSE_ERROR_ID,
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"could not parse file: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            ParsedModule(
+                path=path,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                suppressions=_parse_suppressions(source),
+            )
+        )
+    return modules, errors
+
+
+def _select_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> tuple[Rule, ...]:
+    rules = all_rules()
+    known = {rule.id for rule in rules}
+    for rule_id in list(select or []) + list(ignore or []):
+        if rule_id not in known:
+            raise LintError(f"unknown rule id {rule_id!r}; known: {', '.join(sorted(known))}")
+    if select:
+        rules = tuple(rule for rule in rules if rule.id in set(select))
+    if ignore:
+        rules = tuple(rule for rule in rules if rule.id not in set(ignore))
+    return rules
+
+
+def _suppressed(finding: Finding, modules_by_relpath: dict[str, ParsedModule]) -> bool:
+    if finding.rule == PARSE_ERROR_ID:
+        return False
+    module = modules_by_relpath.get(finding.path)
+    if module is None:
+        return False
+    disabled = module.suppressions.get(finding.line, frozenset())
+    return finding.rule in disabled
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | str | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories and return the unsuppressed findings, sorted.
+
+    ``root`` anchors the relative paths that rule scoping matches against
+    (default: the current working directory).  ``select`` restricts the run
+    to the given rule ids; ``ignore`` drops rules from it.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    rules = _select_rules(select, ignore)
+    files = _collect_files([Path(p) for p in paths])
+    modules, findings = _parse_modules(files, root_path)
+    project = Project(root=root_path, modules=tuple(modules))
+    modules_by_relpath = {module.relpath: module for module in modules}
+
+    for rule in rules:
+        for module in project.in_scope(rule):
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(project))
+
+    findings = [f for f in findings if not _suppressed(f, modules_by_relpath)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _render_text(findings: list[Finding], *, stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for finding in findings:
+        print(finding.render(), file=stream)
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"repro-lint: {len(findings)} {noun}", file=stream)
+
+
+def _render_json(findings: list[Finding], *, stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    print(json.dumps([asdict(f) for f in findings], indent=2), file=stream)
+
+
+def _list_rules(stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name}: {rule.summary}", file=stream)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns 0 (clean), 1 (findings) or 2 (usage error)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based static analysis enforcing the reproduction's "
+        "determinism, convergence and cache-key conventions.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root for path scoping (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    split = lambda csv: [p.strip() for p in csv.split(",") if p.strip()] if csv else None
+    try:
+        findings = lint_paths(
+            args.paths,
+            root=args.root,
+            select=split(args.select),
+            ignore=split(args.ignore),
+        )
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _render_json(findings)
+    else:
+        _render_text(findings)
+    return 1 if findings else 0

@@ -1,0 +1,11 @@
+"""RL001 failing fixture: unseeded and legacy RNG use."""
+
+import random
+
+import numpy as np
+
+
+def draw(n):
+    rng = np.random.default_rng()
+    np.random.seed(0)
+    return rng.normal(size=n) + np.random.rand(n) + random.random()

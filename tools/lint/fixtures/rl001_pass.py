@@ -1,0 +1,18 @@
+"""RL001 passing fixture: purpose-seeded Generators only."""
+
+import numpy as np
+from numpy.random import PCG64, Generator
+
+#: Purpose tag separating this module's stream from the trial seed.
+_STREAM = 7
+
+
+def draw(seed, n):
+    rng = np.random.default_rng((seed, _STREAM))
+    explicit = Generator(PCG64(seed))
+    return rng.normal(size=n) + explicit.normal(size=n)
+
+
+def thread_through(rng, n):
+    child = np.random.default_rng(rng)
+    return child.normal(size=n)

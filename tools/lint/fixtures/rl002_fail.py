@@ -1,0 +1,26 @@
+"""RL002 failing fixture: cap-bounded loops that fall through silently."""
+
+#: Module-level cap constant, to exercise the ALL_CAPS spelling.
+MAX_EXPANSIONS = 60
+
+
+def bisect_silent(f, lo, hi, tol, max_iter):
+    """The PR-3 smoking gun: returns the midpoint of an unconverged bracket."""
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if f(mid) > 0.0:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def expand_silent(f, hi):
+    """Accepts an unbracketed endpoint when the cap runs out."""
+    n = 0
+    while f(hi) < 0.0 and n < MAX_EXPANSIONS:
+        hi *= 2.0
+        n += 1
+    return hi

@@ -1,0 +1,43 @@
+"""RL002 passing fixture: exhaustion paths raise ConvergenceError."""
+
+from repro.exceptions import ConvergenceError
+
+MAX_EXPANSIONS = 60
+
+
+def bisect_raising(f, lo, hi, tol, max_iter):
+    """The for/else raise idiom used throughout repro.solvers."""
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if f(mid) > 0.0:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= tol:
+            break
+    else:
+        raise ConvergenceError("bracket is still wider than tol")
+    return 0.5 * (lo + hi)
+
+
+def expand_flagging(f, hi):
+    """The converged-flag pattern: the raise sits one block after the loop."""
+    converged = False
+    n = 0
+    while n < MAX_EXPANSIONS:
+        hi *= 2.0
+        n += 1
+        if f(hi) >= 0.0:
+            converged = True
+            break
+    if not converged:
+        raise ConvergenceError("no sign change within the expansion cap")
+    return hi
+
+
+def uncapped_scan(items):
+    """Not cap-bounded at all: plain data iteration stays out of scope."""
+    total = 0.0
+    for item in items:
+        total += item
+    return total

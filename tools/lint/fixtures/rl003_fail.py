@@ -1,0 +1,23 @@
+"""RL003 failing fixture: a semantic field missing from the cache key.
+
+``extra_knob`` never appears in ``payload()``, and ``RoundLoopConfig``
+has no ``asdict``-based ``_jsonify`` carrier in this (single-file) run.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    key: str
+    seed: int
+    tolerance: float
+    extra_knob: float
+
+    def payload(self):
+        return {"seed": self.seed, "tolerance": self.tolerance}
+
+
+@dataclass(frozen=True)
+class RoundLoopConfig:
+    rounds: int

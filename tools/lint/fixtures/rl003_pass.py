@@ -1,0 +1,37 @@
+"""RL003 passing fixture: every field keyed or allowlisted, carrier intact.
+
+``key`` rides on ``SweepTask``'s allowlist; every other field is named in
+``payload()``'s dict literal; ``RoundLoopConfig`` is covered by the
+``dataclasses.asdict`` branch of ``_jsonify``.  The field-removal test in
+``tests/test_lint.py`` deletes the ``extra_knob`` payload line from this
+file and asserts the rule catches it.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    key: str
+    seed: int
+    tolerance: float
+    extra_knob: float
+
+    def payload(self):
+        return {
+            "seed": self.seed,
+            "tolerance": self.tolerance,
+            "extra_knob": self.extra_knob,
+        }
+
+
+@dataclass(frozen=True)
+class RoundLoopConfig:
+    rounds: int
+
+
+def _jsonify(value):
+    if dataclasses.is_dataclass(value):
+        return dataclasses.asdict(value)
+    return value

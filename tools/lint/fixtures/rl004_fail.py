@@ -1,0 +1,12 @@
+"""RL004 failing fixture: clock access outside repro.perf."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def timed_solve(solve):
+    started = time.monotonic()
+    result = solve()
+    stamp = datetime.datetime.now()
+    return result, time.monotonic() - started, stamp

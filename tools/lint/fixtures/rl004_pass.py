@@ -1,0 +1,13 @@
+"""RL004 passing fixture: clock primitives are fine *inside* repro.perf.
+
+The tests copy this file under ``src/repro/perf/`` (quiet) and under
+``src/repro/solvers/`` (four findings) to pin the path scoping.
+"""
+
+from time import monotonic, perf_counter
+
+
+def span(block):
+    started = perf_counter()
+    block()
+    return monotonic(), perf_counter() - started

@@ -1,0 +1,25 @@
+"""RL005 failing fixture: broad handlers and swallowed solver errors."""
+
+from repro.exceptions import ConvergenceError
+
+
+def run_task(task):
+    try:
+        return task()
+    except:  # noqa: E722 -- the bare except IS the fixture
+        return None
+
+
+def run_quietly(solve):
+    try:
+        return solve()
+    except Exception:
+        return None
+
+
+def ignore_failures(solve, fallback):
+    try:
+        return solve()
+    except ConvergenceError:
+        pass
+    return fallback

@@ -1,0 +1,24 @@
+"""RL005 passing fixture: narrow handlers whose bodies do real work."""
+
+from repro.exceptions import ConvergenceError, SolverError
+
+
+def resolve(solve, numeric_fallback):
+    try:
+        return solve()
+    except ConvergenceError:
+        return numeric_fallback()
+
+
+def annotate(solve):
+    try:
+        return solve()
+    except SolverError as exc:
+        raise SolverError(f"solve failed: {exc}") from exc
+
+
+def parse_or_default(text, default):
+    try:
+        return float(text)
+    except ValueError:
+        return default

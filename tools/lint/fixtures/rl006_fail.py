@@ -1,0 +1,13 @@
+"""RL006 failing fixture: representation-dependent float equality."""
+
+
+def on_grid(x):
+    return x == 0.25
+
+
+def ratio_matches(a, b, target):
+    return a / b == target
+
+
+def denormalised(x, scale):
+    return float(x) != scale

@@ -1,0 +1,13 @@
+"""RL006 passing fixture: sentinels, tolerances and quantized comparisons."""
+
+
+def exact_root(f_lo):
+    return f_lo == 0.0
+
+
+def close(a, b, tol):
+    return abs(a - b) <= tol
+
+
+def quantized_match(a, b, step):
+    return round(a / step) == round(b / step)

@@ -1,0 +1,82 @@
+"""Rule registry: the pluggable core of the repro-lint framework.
+
+A rule is a class with an ``id`` (``RLnnn``), a one-line ``summary``, a
+path scope (:meth:`Rule.applies_to`) and one or both of
+
+* :meth:`Rule.check_module` — per-file findings from one parsed module;
+* :meth:`Rule.check_project` — cross-module findings from the whole run
+  (used by RL003, whose invariant spans a dataclass in one file and a
+  cache-key builder in another).
+
+Rules self-register at import time through the :func:`register` decorator
+(importing :mod:`tools.lint.rules` pulls every built-in in), mirroring the
+solver-kind and scenario-family registries in :mod:`repro`: the engine
+never needs to know which rules exist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import Finding, ParsedModule, Project
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for lint rules; subclasses override the hooks they need."""
+
+    #: Unique rule identifier (``RL001`` ...), used in output and suppressions.
+    id: str = ""
+    #: Short human-readable name (kebab-case).
+    name: str = ""
+    #: One-line description shown by ``--list-rules``.
+    summary: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether ``relpath`` (posix, relative to the lint root) is in scope.
+
+        The default scope is the library itself: tests, benchmarks and the
+        tools tree are free to poke at wall clocks and broad excepts.
+        """
+        return relpath.startswith("src/repro/")
+
+    def check_module(self, module: "ParsedModule") -> Iterable["Finding"]:
+        """Per-file hook: yield findings for one parsed module."""
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable["Finding"]:
+        """Whole-run hook: yield findings that need cross-module context."""
+        return ()
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its ``id``) to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id."""
+    _load_builtins()
+    return tuple(rule for _, rule in sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id (raises ``KeyError`` for unknown ids)."""
+    _load_builtins()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r}; known: {known}") from None
+
+
+def _load_builtins() -> None:
+    """Import the built-in rule modules (idempotent, registers on import)."""
+    from . import rules  # noqa: F401  (import for side effects)

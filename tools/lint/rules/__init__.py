@@ -1,0 +1,12 @@
+"""Built-in repro-lint rules, one module per rule (imported to register)."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (import for side effects: rule registration)
+    rl001_seed_discipline,
+    rl002_silent_convergence,
+    rl003_cache_key,
+    rl004_wall_clock,
+    rl005_exception_hygiene,
+    rl006_float_equality,
+)

@@ -1,0 +1,123 @@
+"""RL002 silent-convergence: exhausted iteration caps must raise.
+
+PR 3 fixed two real bugs of the same shape — ``bisect_scalar`` silently
+returning the midpoint of a still-too-wide bracket, and the SP2 budget
+expansion silently accepting an infeasible point — and established the
+convention: a loop bounded by an iteration cap either meets its tolerance
+or raises :class:`~repro.exceptions.ConvergenceError`; it never falls
+through to a fallback value.  This rule makes the convention static.
+
+A loop is *cap-bounded* when its ``range(...)`` bound (or ``while``
+condition) references a name matching the iteration-cap pattern: a bare
+``max_iter`` / ``max_iterations`` / ``max_expansions`` /
+``max_contractions`` / ``max_backtracks`` local or parameter, or an
+ALL_CAPS constant containing ``MAX`` plus one of those stems (e.g.
+``MU_SEARCH_MAX_ITERATIONS``).  Lowercase *attribute* accesses such as
+``config.max_iterations`` are deliberately **out of scope**: the outer
+algorithm loops (Algorithm 1/2) report exhaustion through a ``converged``
+flag in their result object, which is the paper's semantics — the raise
+convention applies to the solver primitives underneath them.
+
+A cap-bounded loop passes when its exhaustion path can raise: the loop's
+``else:`` clause raises, or a ``raise`` statement appears *after* the
+loop inside the innermost enclosing function (covering the pervasive
+``for ...: ... / raise ConvergenceError(...)`` idiom, the
+``while cond and n < CAP: ... / if cond: raise`` shape, and the
+``converged``-flag pattern where the raise sits one block up).  This is
+a deliberate over-approximation — an unrelated later raise also passes —
+because the smoking-gun failure mode is unambiguous the other way
+around: a solver that simply returns a fallback value has *no* raise
+anywhere after its loop, and that is what gets flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..asthelpers import contains_raise, iter_blocks, names_in
+from ..engine import Finding, ParsedModule
+from ..registry import Rule, register
+
+_CAP_NAME = re.compile(
+    r"(?i)(^|_)max_?(iter(ations?)?|expansions?|contractions?|backtracks?)($|_)"
+)
+
+
+def _is_cap_bounded(loop: ast.stmt) -> bool:
+    if isinstance(loop, ast.For):
+        iterator = loop.iter
+        if not (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+        ):
+            return False
+        referenced = set()
+        for arg in iterator.args:
+            referenced |= names_in(arg)
+    elif isinstance(loop, ast.While):
+        referenced = names_in(loop.test)
+    else:
+        return False
+    return any(_CAP_NAME.search(name) for name in referenced)
+
+
+@register
+class SilentConvergence(Rule):
+    """Flag cap-bounded loops whose exhaustion path does not raise."""
+
+    id = "RL002"
+    name = "silent-convergence"
+    summary = (
+        "loops bounded by an iteration-cap name must raise ConvergenceError "
+        "on exhaustion instead of falling through to a fallback value"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        raise_lines = sorted(
+            node.lineno for node in ast.walk(module.tree) if isinstance(node, ast.Raise)
+        )
+        module_end = max(
+            (getattr(node, "end_lineno", 0) or 0 for node in module.tree.body), default=0
+        )
+        for block in iter_blocks(module.tree):
+            for stmt in block:
+                if not isinstance(stmt, (ast.For, ast.While)):
+                    continue
+                if not _is_cap_bounded(stmt):
+                    continue
+                if stmt.orelse and contains_raise(stmt.orelse):
+                    continue
+                scope_end = _enclosing_scope_end(stmt, functions, module_end)
+                loop_end = stmt.end_lineno or stmt.lineno
+                if any(loop_end < line <= scope_end for line in raise_lines):
+                    continue
+                yield module.finding(
+                    self,
+                    stmt,
+                    "iteration-cap-bounded loop has no raising exhaustion "
+                    "path; raise ConvergenceError after the loop (or in its "
+                    "else clause) instead of returning a fallback value",
+                )
+
+
+def _enclosing_scope_end(
+    loop: ast.stmt, functions: list, module_end: int
+) -> int:
+    """Last line of the innermost function containing ``loop`` (or module)."""
+    best_span = None
+    best_end = module_end
+    for fn in functions:
+        start, end = fn.lineno, fn.end_lineno or fn.lineno
+        if start <= loop.lineno <= end:
+            span = end - start
+            if best_span is None or span < best_span:
+                best_span, best_end = span, end
+    return best_end

@@ -1,0 +1,100 @@
+"""RL004 wall-clock-in-solver: only ``repro.perf`` reads the clock.
+
+Wall-clock reads are the canonical nondeterminism leak: a solver that
+times itself and branches on the result (adaptive tolerances, time-boxed
+iteration, "fast enough, stop refining") produces machine-dependent
+trajectories, which the parity gates can only catch after the fact.  The
+convention is that all timing flows through :mod:`repro.perf.timers`
+(``stage(...)`` spans and the ``wall_clock()`` reader) so clock access is
+auditable in one module — and that module is the only place allowed to
+import the primitives.
+
+The rule flags, everywhere in ``src/repro`` except ``src/repro/perf``:
+
+* calls resolving to the :mod:`time` module's clock readers
+  (``time.time``, ``perf_counter``, ``monotonic``, ``process_time``,
+  their ``_ns`` variants) and ``time.sleep``;
+* ``from time import ...`` of those names (use before the alias map sees
+  a call is already a leak);
+* ``datetime.now`` / ``datetime.utcnow`` / ``datetime.today`` calls.
+
+Pure-bookkeeping timing (cache I/O accounting, progress reporting) is
+fine — route it through ``repro.perf.timers.wall_clock`` so the import
+graph says so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..asthelpers import import_aliases, resolve_call_target
+from ..engine import Finding, ParsedModule
+from ..registry import Rule, register
+
+_TIME_FUNCTIONS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "thread_time",
+    "thread_time_ns",
+    "sleep",
+}
+
+_DATETIME_TARGETS = {
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockInSolver(Rule):
+    """Flag direct clock access outside ``repro.perf``."""
+
+    id = "RL004"
+    name = "wall-clock-in-solver"
+    summary = (
+        "no time.time()/perf_counter()/monotonic() (or datetime.now) "
+        "outside repro.perf; route timing through repro.perf.timers"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/") and not relpath.startswith(
+            "src/repro/perf/"
+        )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module == "time":
+                bad = [a.name for a in node.names if a.name in _TIME_FUNCTIONS]
+                if bad:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"importing {', '.join(bad)} from time outside "
+                        "repro.perf; use repro.perf.timers "
+                        "(stage spans / wall_clock) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                target = resolve_call_target(node, aliases)
+                if target is None:
+                    continue
+                if (
+                    target.startswith("time.")
+                    and target.rsplit(".", 1)[1] in _TIME_FUNCTIONS
+                ) or target in _DATETIME_TARGETS:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"direct clock access {target}() outside repro.perf; "
+                        "parity-sensitive code must not observe the wall "
+                        "clock — use repro.perf.timers instead",
+                    )

@@ -1,0 +1,101 @@
+"""RL005 exception hygiene: no naked excepts, no swallowed solver errors.
+
+PR 3's headline bugfix was a solver that *couldn't* fail loudly; this
+rule guards the other half of that contract — call sites that catch
+failures and drop them on the floor.  Two shapes are flagged in
+``src/repro``:
+
+* **broad handlers**: bare ``except:``, ``except Exception:`` and
+  ``except BaseException:``.  The library has a precise hierarchy
+  (:class:`~repro.exceptions.ReproError` and friends); catching
+  everything also catches typos, ``KeyboardInterrupt`` leaks through
+  ``BaseException``, and — worst — a :class:`ConvergenceError` that
+  should have invalidated a result.  The deliberate uses (the sweep
+  runner's per-task crash isolation, pool-failure fallbacks) carry
+  line-scoped suppressions with their reasons.
+* **swallowed solver errors**: a handler naming ``SolverError`` /
+  ``ConvergenceError`` / ``InfeasibleProblemError`` (alone or in a
+  tuple) whose body is only ``pass``/``...`` — the error neither
+  propagates, nor is transformed, nor reaches the outcome record.
+  Fallback paths that *handle* the error (numeric re-solve, incumbent
+  point) are untouched: their bodies do real work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..asthelpers import dotted_name
+from ..engine import Finding, ParsedModule
+from ..registry import Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+_SOLVER_ERRORS = {"SolverError", "ConvergenceError", "InfeasibleProblemError"}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    if handler.type is None:
+        return set()
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names: set[str] = set()
+    for node in nodes:
+        name = dotted_name(node)
+        if name:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+def _is_swallowing(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register
+class ExceptionHygiene(Rule):
+    """Flag naked/broad excepts and pass-only solver-error handlers."""
+
+    id = "RL005"
+    name = "exception-hygiene"
+    summary = (
+        "no bare/broad except clauses in src/repro, and no pass-only "
+        "handlers that swallow SolverError/ConvergenceError"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    self,
+                    node,
+                    "bare except: catches everything including "
+                    "KeyboardInterrupt; catch the narrowest repro.exceptions "
+                    "type that can actually occur here",
+                )
+                continue
+            caught = _caught_names(node)
+            broad = caught & _BROAD
+            if broad:
+                yield module.finding(
+                    self,
+                    node,
+                    f"broad except {'/'.join(sorted(broad))}: also catches "
+                    "ConvergenceError and plain bugs; catch the narrowest "
+                    "repro.exceptions type (suppress with a reason where "
+                    "crash isolation is the point)",
+                )
+            if caught & _SOLVER_ERRORS and _is_swallowing(node):
+                yield module.finding(
+                    self,
+                    node,
+                    f"handler swallows {'/'.join(sorted(caught & _SOLVER_ERRORS))} "
+                    "with a pass-only body; a convergence failure must "
+                    "propagate, be transformed, or reach the outcome record",
+                )

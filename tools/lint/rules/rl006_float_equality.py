@@ -1,0 +1,100 @@
+"""RL006 float-equality: no representation-dependent ``==`` in solver code.
+
+``x == 0.1`` is a statement about one binary representation, not a
+mathematical value — refactoring ``x``'s arithmetic (or switching
+backend) flips the comparison while every tolerance-based gate still
+passes.  In the parity-sensitive trees (``src/repro/core``,
+``src/repro/solvers``) this rule flags ``==`` / ``!=`` comparisons where
+an operand is *float-valued by construction*:
+
+* a non-zero float literal (``x == 0.1``);
+* an arithmetic expression containing a float literal
+  (``x == hi - 0.5`` — true division alone also counts);
+* an explicit ``float(...)`` conversion.
+
+Comparisons against the literal ``0.0`` alone are **allowed**: an exact
+zero test is IEEE-well-defined and is the bracketing solvers' deliberate
+sentinel idiom (``f_lo == 0.0`` = "endpoint is an exact root"), while
+tolerating it costs nothing — rounding a nonzero residual to exactly
+``0.0`` only short-circuits a branch whose tolerance check was about to
+pass anyway.  Quantization helpers (functions whose name contains
+``quant``) are exempt wholesale: comparing values *after* snapping them
+to a shared grid is the one place float equality is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, ParsedModule
+from ..registry import Rule, register
+
+
+def _is_zero_float(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value == 0.0
+    )
+
+
+def _is_float_expression(node: ast.AST) -> bool:
+    """Float-valued by construction (see module docstring); zeros exempt."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float) and node.value != 0.0
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expression(node.operand)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Constant)
+                and isinstance(child.value, float)
+            ):
+                return True
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """Flag ``==``/``!=`` against float-valued expressions in solver code."""
+
+    id = "RL006"
+    name = "float-equality"
+    summary = (
+        "no ==/!= on float-valued expressions in repro.core/repro.solvers "
+        "(exact-zero sentinels and quantization helpers exempt)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(("src/repro/core/", "src/repro/solvers/"))
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        exempt_spans: list[tuple[int, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef) and "quant" in node.name.lower():
+                exempt_spans.append((node.lineno, node.end_lineno or node.lineno))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in exempt_spans):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_zero_float(operand) for operand in operands):
+                continue
+            if any(_is_float_expression(operand) for operand in operands):
+                yield module.finding(
+                    self,
+                    node,
+                    "==/!= on a float-valued expression is representation-"
+                    "dependent; compare against a tolerance, or quantize "
+                    "both sides first (exact-zero sentinel tests are exempt)",
+                )
