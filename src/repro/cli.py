@@ -112,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (1 = serial, 0 = all CPU cores)",
     )
     run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solve up to N same-shape cold tasks in one lockstep multi-solve "
+        "pass (results bit-identical to the per-drop path; requires --jobs 1)",
+    )
+    run.add_argument(
         "--no-cache",
         action="store_true",
         help="recompute every task instead of reusing the on-disk result cache",
@@ -228,8 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--label",
-        default="PR5",
-        help="report label; also names the default output file (default: PR5)",
+        default="PR7",
+        help="report label; also names the default output file (default: PR7)",
     )
     bench.add_argument(
         "--output",
@@ -348,6 +356,7 @@ def _make_runner(name: str, args: argparse.Namespace) -> SweepRunner:
         use_cache=not args.no_cache,
         warm_start=getattr(args, "warm_start", False),
         progress=_ProgressPrinter(name),
+        batch_size=getattr(args, "batch_size", None),
     )
 
 
@@ -461,7 +470,10 @@ def _run_bench(args: argparse.Namespace) -> int:
         f"{metrics['warm_wall_s']:.2f}s ({metrics['warm_wall_speedup']:.2f}x), "
         f"outer iterations {metrics['cold_outer_iterations']:.0f} -> "
         f"{metrics['warm_outer_iterations']:.0f}, parity "
-        f"{metrics['parity_max_rel_dev']:.2e}; backend sp2 "
+        f"{metrics['parity_max_rel_dev']:.2e}; batch "
+        f"{metrics['batch_wall_s']:.2f}s ({metrics['batch_wall_speedup']:.2f}x, "
+        f"fill {metrics['batch_fill']:.2f}, parity "
+        f"{metrics['batch_parity_max_rel_dev']:.2e}); backend sp2 "
         f"{metrics['backend_sp2_speedup']:.2f}x (scalar/vector parity "
         f"{metrics['backend_parity_max_rel_dev']:.2e}); fl loop "
         f"{metrics['fl_rounds_per_s']:.1f} rounds/s "

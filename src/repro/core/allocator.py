@@ -27,7 +27,7 @@ Two special regimes are handled exactly as the paper's experiments use them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -38,9 +38,13 @@ from ..wireless.rate import min_bandwidth_for_rate
 from .allocation import ResourceAllocation
 from .convergence import ConvergenceHistory
 from .problem import JointProblem
-from .subproblem1 import solve_subproblem1
+from .subproblem1 import solve_subproblem1, solve_subproblem1_rows
 from .subproblem2 import validate_backend
-from .sum_of_ratios import SumOfRatiosConfig, SumOfRatiosSolver
+from .sum_of_ratios import (
+    SumOfRatiosConfig,
+    SumOfRatiosSolver,
+    solve_sum_of_ratios_rows,
+)
 from .uplink_delay import minimize_max_upload_time
 
 __all__ = ["AllocatorConfig", "AllocationResult", "ResourceAllocator"]
@@ -231,6 +235,205 @@ class ResourceAllocator:
             timings=timings,
             warm_hints={"mu": last_mu} if last_mu > 0.0 else {},
         )
+
+    def solve_batch(
+        self,
+        problems: Sequence[JointProblem],
+        *,
+        return_exceptions: bool = False,
+    ) -> list[AllocationResult | Exception]:
+        """Run Algorithm 2 on many independent problems in lockstep.
+
+        Each lane's trajectory — every SP1/SP2 iterate, the convergence
+        history, iteration counts and the final allocation — is bit-identical
+        to a stand-alone ``solve(problems[i])`` call.  Only the numeric hot
+        spots (the SP2 bandwidth-multiplier search and the SP1 golden-section
+        search) actually run batched; everything else executes per lane with
+        the exact per-drop code.  Lanes the batched kernels do not cover
+        (``energy_weight <= 0``, a hard deadline, or a non-vector backend)
+        are transparently routed through :meth:`solve`.
+
+        With ``return_exceptions=True`` a failing lane's exception is
+        returned in its slot (the :func:`asyncio.gather` idiom) instead of
+        aborting the batch; otherwise the first failure propagates.
+
+        Batched lanes report empty ``timings`` — the lockstep loop
+        interleaves all lanes' SP1/SP2 work, so per-lane stage wall-clock
+        has no meaning there.
+        """
+        num_lanes = len(problems)
+        results: list[AllocationResult | Exception | None] = [None] * num_lanes
+
+        class _Lane:
+            """Mutable per-lane outer-loop state (mirrors ``solve`` locals)."""
+
+            def __init__(self, problem: JointProblem, allocation: ResourceAllocation) -> None:
+                self.problem = problem
+                self.allocation = allocation
+                self.history = ConvergenceHistory()
+                self.converged = False
+                self.feasible = True
+                self.inner_iterations = 0
+                self.round_deadline = allocation.round_time_s(problem.system)
+                self.iteration = 0
+                self.last_mu = 0.0
+
+        lanes: dict[int, _Lane] = {}
+        for i, problem in enumerate(problems):
+            if (
+                self.backend != "vector"
+                or problem.energy_weight <= 0.0
+                or problem.deadline_s is not None
+            ):
+                # Corners the batched kernels do not model; the per-drop
+                # solver is authoritative there (and trivially bit-identical).
+                try:
+                    results[i] = self.solve(problem)
+                except Exception as exc:  # repro-lint: disable=RL005 -- lane isolation: one bad problem must fail its own slot, not the batch
+                    if not return_exceptions:
+                        raise
+                    results[i] = exc
+                continue
+            try:
+                lanes[i] = _Lane(problem, self._initial_allocation(problem))
+            except Exception as exc:  # repro-lint: disable=RL005 -- lane isolation: one bad problem must fail its own slot, not the batch
+                if not return_exceptions:
+                    raise
+                results[i] = exc
+
+        config = self.config
+        active = [i for i in sorted(lanes) if config.max_iterations >= 1]
+        while active:
+            for i in active:
+                lanes[i].iteration += 1
+
+            # Step 1 (batched): Subproblem 1 across all active lanes.
+            sp1_results = solve_subproblem1_rows(
+                [lanes[i].problem.system for i in active],
+                [lanes[i].problem.energy_weight for i in active],
+                [lanes[i].problem.time_weight for i in active],
+                [
+                    lanes[i].problem.system.upload_time_s(
+                        lanes[i].allocation.power_w, lanes[i].allocation.bandwidth_hz
+                    )
+                    for i in active
+                ],
+                method=config.subproblem1_method,
+            )
+            previous: dict[int, ResourceAllocation] = {}
+            survivors: list[int] = []
+            for k, i in enumerate(active):
+                lane = lanes[i]
+                sp1 = sp1_results[k]
+                if isinstance(sp1, Exception):
+                    # ``solve`` would have raised this out of the outer loop.
+                    if not return_exceptions:
+                        raise sp1
+                    results[i] = sp1
+                    lanes.pop(i)
+                    continue
+                previous[i] = lane.allocation
+                lane.allocation = lane.allocation.with_frequency(sp1.frequency_hz)
+                lane.round_deadline = sp1.round_deadline_s
+                survivors.append(i)
+            active = survivors
+
+            # Step 2 (batched): Subproblem 2 across the surviving lanes,
+            # replicating ``_solve_communication`` lane by lane around one
+            # batched Algorithm-1 call.
+            min_rates: dict[int, np.ndarray] = {}
+            for i in active:
+                lane = lanes[i]
+                system = lane.problem.system
+                min_rate = lane.problem.min_rate_requirements(
+                    lane.allocation.frequency_hz, lane.round_deadline
+                )
+                min_rates[i] = np.where(
+                    np.isfinite(min_rate),
+                    min_rate,
+                    system.rates_bps(lane.allocation.power_w, lane.allocation.bandwidth_hz),
+                )
+            inner_results = solve_sum_of_ratios_rows(
+                [
+                    SumOfRatiosSolver(
+                        lanes[i].problem.system,
+                        lanes[i].problem.energy_weight,
+                        config=config.sum_of_ratios,
+                        backend=self.backend,
+                    )
+                    for i in active
+                ],
+                [min_rates[i] for i in active],
+                [lanes[i].allocation.power_w for i in active],
+                [lanes[i].allocation.bandwidth_hz for i in active],
+            )
+            survivors = []
+            for k, i in enumerate(active):
+                lane = lanes[i]
+                inner = inner_results[k]
+                if isinstance(inner, InfeasibleProblemError):
+                    # Keep the previous (feasible) communication allocation.
+                    lane.feasible = False
+                    mu = 0.0
+                elif isinstance(inner, Exception):
+                    if not return_exceptions:
+                        raise inner
+                    results[i] = inner
+                    lanes.pop(i)
+                    continue
+                else:
+                    candidate = lane.allocation.with_communication(
+                        inner.power_w, inner.bandwidth_hz
+                    )
+                    # Same monotone guard as ``_solve_communication`` (the
+                    # deadline clause is vacuous here: deadline lanes never
+                    # reach the lockstep loop).
+                    if lane.problem.objective(candidate) <= lane.problem.objective(
+                        lane.allocation
+                    ) * (1 + 1e-12):
+                        lane.allocation = candidate
+                        lane.feasible = inner.feasible
+                    else:
+                        lane.feasible = True
+                    lane.inner_iterations += inner.iterations
+                    mu = inner.bandwidth_multiplier
+                if mu > 0.0:
+                    lane.last_mu = mu
+
+                objective = lane.problem.objective(lane.allocation)
+                step_change = lane.allocation.distance_to(previous[i])
+                lane.history.append(
+                    objective, step_change=step_change, note=f"outer-{lane.iteration}"
+                )
+                if step_change <= config.tolerance:
+                    lane.converged = True
+                elif lane.iteration < config.max_iterations:
+                    survivors.append(i)
+            active = survivors
+
+        for i, lane in lanes.items():
+            try:
+                results[i] = self._finalize(
+                    lane.problem,
+                    lane.allocation,
+                    lane.round_deadline,
+                    lane.history,
+                    lane.converged,
+                    lane.iteration,
+                    lane.feasible,
+                    inner_iterations=lane.inner_iterations,
+                    warm_hints={"mu": lane.last_mu} if lane.last_mu > 0.0 else {},
+                )
+            except Exception as exc:  # repro-lint: disable=RL005 -- lane isolation: one bad problem must fail its own slot, not the batch
+                if not return_exceptions:
+                    raise
+                results[i] = exc
+        final: list[AllocationResult | Exception] = []
+        for i, item in enumerate(results):
+            if item is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"batch lane {i} was never solved")
+            final.append(item)
+        return final
 
     # -- internals ----------------------------------------------------------
     def _initial_allocation(self, problem: JointProblem) -> ResourceAllocation:

@@ -31,15 +31,16 @@ every device simply runs at the slowest feasible frequency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, InfeasibleProblemError
-from ..solvers.scalar import golden_section_scalar
+from ..exceptions import ConfigurationError, ConvergenceError, InfeasibleProblemError
+from ..solvers.scalar import golden_section_rows, golden_section_scalar
 from ..solvers.waterfilling import maximize_concave_on_simplex
 from ..system import SystemModel
 
-__all__ = ["Subproblem1Result", "solve_subproblem1"]
+__all__ = ["Subproblem1Result", "solve_subproblem1", "solve_subproblem1_rows"]
 
 
 @dataclass(frozen=True)
@@ -220,3 +221,136 @@ def solve_subproblem1(
     if method == "dual":
         return _solve_dual(system, energy_weight, time_weight, upload)
     raise ConfigurationError(f"unknown Subproblem 1 method: {method!r}")
+
+
+def solve_subproblem1_rows(
+    systems: Sequence[SystemModel],
+    energy_weights: Sequence[float],
+    time_weights: Sequence[float],
+    upload_times_s: Sequence[np.ndarray],
+    *,
+    method: str = "primal",
+) -> list[Subproblem1Result | Exception]:
+    """Batched Subproblem-1 solve across independent lanes.
+
+    Lane ``i`` solves ``solve_subproblem1(systems[i], energy_weights[i],
+    time_weights[i], upload_times_s[i], method=method)`` and the result is
+    bit-identical to that per-drop call.  Only the primal golden-section
+    search over the deadline ``T`` is genuinely batched (through
+    :func:`~repro.solvers.scalar.golden_section_rows`, whose lanes
+    replicate the scalar search exactly); degenerate corners — ``w1 <= 0``,
+    ``w2 <= 0``, an already-collapsed interval, or a non-primal ``method``
+    — fall through to the per-drop solver lane by lane.  Exceptions the
+    per-drop call would raise are returned in that lane's slot.
+
+    Golden lanes are sub-grouped by device count so the stacked objective
+    sums run over rectangular ``(lanes, n)`` arrays, which NumPy reduces
+    with the same pairwise trees as the per-drop 1-D sums — the keystone of
+    the bit-parity guarantee.
+    """
+    num_lanes = len(systems)
+    results: list[Subproblem1Result | Exception] = [
+        ConfigurationError("lane not solved") for _ in range(num_lanes)
+    ]
+    golden: dict[int, list[int]] = {}
+    uploads: dict[int, np.ndarray] = {}
+    bounds: dict[int, tuple[float, float]] = {}
+    for i in range(num_lanes):
+        system = systems[i]
+        w1 = float(energy_weights[i])
+        w2 = float(time_weights[i])
+        upload = np.asarray(upload_times_s[i], dtype=float)
+        try:
+            if upload.shape != (system.num_devices,):
+                raise ConfigurationError(
+                    f"upload_time_s must have shape ({system.num_devices},), "
+                    f"got {upload.shape}"
+                )
+            if np.any(~np.isfinite(upload)) or np.any(upload < 0.0):
+                raise ConfigurationError(
+                    "upload times must be finite and non-negative"
+                )
+            if w1 < 0.0 or w2 < 0.0:
+                raise ConfigurationError("weights must be non-negative")
+            t_lower = float(np.max(upload + system.cycles_per_round / system.max_frequency_hz))
+            t_upper = float(np.max(upload + system.cycles_per_round / system.min_frequency_hz))
+            if (
+                method == "primal"
+                and w1 > 0.0
+                and w2 > 0.0
+                and t_upper > t_lower * (1.0 + 1e-12)
+            ):
+                golden.setdefault(system.num_devices, []).append(i)
+                uploads[i] = upload
+                bounds[i] = (t_lower, t_upper)
+            else:
+                results[i] = solve_subproblem1(
+                    system, w1, w2, upload, method=method
+                )
+        except (ConfigurationError, InfeasibleProblemError, ConvergenceError) as exc:
+            results[i] = exc
+
+    for n, lanes in golden.items():
+        upload_rows = np.stack([uploads[i] for i in lanes])
+        cycles_rows = np.stack([systems[i].cycles_per_round for i in lanes])
+        fmin_rows = np.stack([systems[i].min_frequency_hz for i in lanes])
+        fmax_rows = np.stack([systems[i].max_frequency_hz for i in lanes])
+        kappa_rows = np.stack(
+            [
+                np.broadcast_to(
+                    np.asarray(systems[i].effective_capacitance, dtype=float), (n,)
+                )
+                for i in lanes
+            ]
+        )
+        rg = np.array([float(systems[i].global_rounds) for i in lanes])
+        w1_arr = np.array([float(energy_weights[i]) for i in lanes])
+        w2_arr = np.array([float(time_weights[i]) for i in lanes])
+        t_lo = np.array([bounds[i][0] for i in lanes])
+        t_hi = np.array([bounds[i][1] for i in lanes])
+
+        def objective_rows(sel: np.ndarray, deadlines: np.ndarray) -> np.ndarray:
+            slack = np.maximum(deadlines[:, None] - upload_rows[sel], 1e-300)
+            freq = np.clip(cycles_rows[sel] / slack, fmin_rows[sel], fmax_rows[sel])
+            energy = (kappa_rows[sel] * cycles_rows[sel] * freq**2).sum(axis=1)
+            return rg[sel] * (w1_arr[sel] * energy + w2_arr[sel] * deadlines)
+
+        try:
+            deadlines, _ = golden_section_rows(objective_rows, t_lo, t_hi, tol=1e-12)
+        except ConvergenceError:
+            # One stuck lane aborts the whole rows search; redo the group
+            # lane by lane so only the genuinely failing lanes error out.
+            for i in lanes:
+                try:
+                    results[i] = solve_subproblem1(
+                        systems[i],
+                        float(energy_weights[i]),
+                        float(time_weights[i]),
+                        uploads[i],
+                        method=method,
+                    )
+                except (ConfigurationError, InfeasibleProblemError, ConvergenceError) as exc:
+                    results[i] = exc
+            continue
+        for k, i in enumerate(lanes):
+            system = systems[i]
+            w1 = float(energy_weights[i])
+            w2 = float(time_weights[i])
+            upload = uploads[i]
+            deadline = float(deadlines[k])
+            slack = np.maximum(deadline - upload, 1e-300)
+            frequency = np.clip(
+                system.cycles_per_round / slack,
+                system.min_frequency_hz,
+                system.max_frequency_hz,
+            )
+            realised = float(np.max(upload + system.cycles_per_round / frequency))
+            deadline = min(deadline, realised)
+            deadline = max(deadline, realised)
+            results[i] = Subproblem1Result(
+                frequency_hz=frequency,
+                round_deadline_s=deadline,
+                objective=_objective(system, w1, w2, frequency, deadline),
+                method="primal",
+            )
+    return results

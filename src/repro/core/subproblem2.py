@@ -26,13 +26,19 @@ with ``G_n`` the Shannon rate of eq. (1).  Two solvers are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import ConvergenceError, InfeasibleProblemError
 from ..solvers.boxlp import solve_box_budget_lp
 from ..solvers.dual_decomposition import minimize_separable_with_budget
-from ..solvers.lambert import lambert_solve_vector, solve_x_log_x
+from ..solvers.lambert import (
+    lambert_solve_rows,
+    lambert_solve_vector,
+    solve_x_log_x,
+    solve_x_log_x_rows,
+)
 from ..system import SystemModel
 from ..wireless.rate import min_bandwidth_for_rate, required_power_for_rate, shannon_rate
 
@@ -45,6 +51,7 @@ __all__ = [
     "SP2Result",
     "sp2_objective",
     "solve_sp2_v2",
+    "solve_sp2_v2_rows",
     "solve_sp2_v2_numeric",
     "validate_backend",
 ]
@@ -207,6 +214,63 @@ def _polish_mu(
         previous = mu
         mu = mu_new
         x = solve_x_log_x(mu / j_c)
+    return mu, x
+
+
+def _polish_mu_rows(
+    mu: np.ndarray,
+    j_rows: np.ndarray,
+    rmin_rows: np.ndarray,
+    budgets: np.ndarray,
+    steps: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lockstep batch of independent :func:`_polish_mu` polishes.
+
+    Lane ``i`` of the result is bitwise equal to
+    ``_polish_mu(mu[i], j_rows[i], rmin_rows[i], budgets[i])``: the snap,
+    the canonical unseeded root evaluation, and every Newton/tie-break
+    decision are the same float-for-float expressions, applied per lane
+    with a per-lane stop mask.  Two properties carry that guarantee over
+    from the scalar polish:
+
+    * :func:`solve_x_log_x_rows` freezes each row on its own criterion, so
+      a row equals a stand-alone 1-D solve bitwise;
+    * the excess/slope row sums run over the rectangular ``(lanes, n_c)``
+      stack with ``.sum(axis=1)``, which NumPy evaluates with the same
+      pairwise tree as the 1-D sums of the scalar polish.
+
+    Together with the entry-independence of the polish itself, this is what
+    lets the batched multiplier search return bit-identical results to the
+    per-drop path even though its bracket iterates differ in round-off.
+    """
+    mantissa, exponent = np.frexp(mu)
+    mu = np.ldexp(np.round(mantissa * (1 << 26)) / float(1 << 26), exponent)
+    lead = rmin_rows * _LN2
+    x = solve_x_log_x_rows(mu[:, None] / j_rows)
+    previous = np.full_like(mu, np.nan)
+    active = np.ones(mu.shape[0], dtype=bool)
+    for _ in range(steps):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        xa = x[idx]
+        log_x = np.maximum(np.log(xa), 1e-300)
+        excess = (lead[idx] / log_x).sum(axis=1) - budgets[idx]
+        slope = -(lead[idx] / (j_rows[idx] * xa * log_x**3)).sum(axis=1)
+        ok = np.isfinite(slope) & (slope < 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mu_new = np.where(ok, mu[idx] - excess / slope, mu[idx])
+        ok &= np.isfinite(mu_new) & (mu_new > 0.0) & (mu_new != mu[idx])
+        cycle = ok & (mu_new == previous[idx])
+        take_cycle = cycle & (mu_new < mu[idx])
+        advance = ok & ~cycle
+        update = advance | take_cycle
+        previous[idx[advance]] = mu[idx[advance]]
+        mu[idx[update]] = mu_new[update]
+        if np.any(update):
+            upd = idx[update]
+            x[upd] = solve_x_log_x_rows(mu[upd][:, None] / j_rows[upd])
+        active[idx[~advance]] = False
     return mu, x
 
 
@@ -476,7 +540,205 @@ def _mu_search_vector(
     return _polish_mu(mu_hi, j_c, rmin_c, budget)
 
 
+def _mu_search_vector_rows(
+    j_rows: np.ndarray,
+    rmin_rows: np.ndarray,
+    budgets: np.ndarray,
+    *,
+    mu_tol: float,
+) -> tuple[np.ndarray, np.ndarray, list[str | None]]:
+    """Lockstep bandwidth-multiplier search across independent lanes.
+
+    One row per lane: ``j_rows[i]``/``rmin_rows[i]`` are lane ``i``'s
+    constrained-device coefficients and ``budgets[i]`` its bandwidth
+    budget.  Every lane runs the same state machine as
+    :func:`_mu_search_vector` — geometric bracket scan (×4 up / ×0.25 down
+    from the median of ``j``), then safeguarded Newton with the analytic
+    excess derivative — but each round evaluates *one candidate per lane*,
+    batched into a single ``(lanes, n_c)`` :func:`lambert_solve_rows` call.
+
+    Lane isolation is exact: the row kernel freezes each row on its own
+    stopping criterion and every bracket/Newton decision reads only that
+    lane's values, so perturbing one lane's inputs cannot move another
+    lane's iterates by even one ulp.  Bracket iterates may differ from the
+    per-drop search in round-off (the per-drop scan evaluates candidate
+    *chunks* per lane, this search evaluates candidate *lanes* per round),
+    but both stop at the same ``mu_tol`` bracket and hand the feasible side
+    to the entry-independent polish, which collapses either path onto the
+    same double — the batched-parity suite holds the final results to
+    bit-identity.
+
+    Returns ``(mu, x_rows, errors)``: polished multipliers (``0.0`` for
+    lanes whose budget is slack for the active set, with that lane's
+    ``x_rows`` row meaningless), and per-lane error strings (``None`` on
+    success) mirroring the per-drop search's :class:`ConvergenceError`
+    messages.
+    """
+    num_lanes, n_c = j_rows.shape
+    lead = rmin_rows * _LN2
+
+    def evaluate(
+        lanes: np.ndarray, mu_vals: np.ndarray, seeds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x = lambert_solve_rows(mu_vals[:, None] / j_rows[lanes], x0=seeds)
+        log_x = np.maximum(np.log(x), 1e-300)
+        excess = (lead[lanes] / log_x).sum(axis=1) - budgets[lanes]
+        slope = -(lead[lanes] / (j_rows[lanes] * x * log_x**3)).sum(axis=1)
+        return excess, slope, x
+
+    SCAN_UP, SCAN_DOWN, NEWTON, DONE, FAILED = range(5)
+    phase = np.full(num_lanes, DONE, dtype=np.int64)
+    mu_lo = np.zeros(num_lanes)
+    f_lo = np.zeros(num_lanes)
+    mu_hi = np.zeros(num_lanes)
+    f_hi = np.zeros(num_lanes)
+    cand = np.zeros(num_lanes)
+    mu_k = np.zeros(num_lanes)
+    counts = np.zeros(num_lanes, dtype=np.int64)
+    # NaN rows mean "no seed" (the row kernel ignores non-finite seeds
+    # element-wise), matching the per-drop search: unseeded bracket scan,
+    # previous iterates threaded through the Newton refinement.
+    x_seed = np.full((num_lanes, n_c), np.nan)
+    mu_out = np.zeros(num_lanes)
+    slack = np.zeros(num_lanes, dtype=bool)
+    errors: list[str | None] = [None] * num_lanes
+
+    def enter_newton(i: int) -> None:
+        if mu_hi[i] - mu_lo[i] <= mu_tol * mu_hi[i] or f_lo[i] == 0.0 or f_hi[i] == 0.0:
+            phase[i] = DONE
+            mu_out[i] = mu_hi[i]
+        else:
+            phase[i] = NEWTON
+            mu_k[i] = mu_hi[i]
+            counts[i] = 0
+            x_seed[i] = np.nan
+
+    mu_0 = np.median(j_rows, axis=1)
+    all_lanes = np.arange(num_lanes)
+    f_0, _, _ = evaluate(all_lanes, mu_0, x_seed)
+    for i in range(num_lanes):
+        if f_0[i] > 0.0:
+            phase[i] = SCAN_UP
+            mu_lo[i], f_lo[i] = mu_0[i], f_0[i]
+            cand[i] = mu_0[i] * 4.0
+        elif f_0[i] < 0.0:
+            phase[i] = SCAN_DOWN
+            mu_hi[i], f_hi[i] = mu_0[i], f_0[i]
+            cand[i] = mu_0[i] * 0.25
+        else:
+            mu_lo[i] = mu_hi[i] = mu_0[i]
+            f_lo[i] = f_hi[i] = 0.0
+            enter_newton(i)
+
+    while True:
+        running = np.flatnonzero(phase <= NEWTON)
+        if running.size == 0:
+            break
+        mu_vals = np.where(phase[running] == NEWTON, mu_k[running], cand[running])
+        excess, slope, x = evaluate(running, mu_vals, x_seed[running])
+        for k, lane in enumerate(running):
+            i = int(lane)
+            e = float(excess[k])
+            s = float(slope[k])
+            if phase[i] == SCAN_UP:
+                if e <= 0.0:
+                    mu_hi[i], f_hi[i] = cand[i], e
+                    enter_newton(i)
+                else:
+                    mu_lo[i], f_lo[i] = cand[i], e
+                    counts[i] += 1
+                    if counts[i] >= MU_BRACKET_MAX_EXPANSIONS:
+                        phase[i] = FAILED
+                        errors[i] = (
+                            "bandwidth multiplier could not be bracketed from "
+                            f"above in {MU_BRACKET_MAX_EXPANSIONS} expansions "
+                            f"(excess {f_lo[i]:.3g} at mu {mu_lo[i]:.3g})"
+                        )
+                    else:
+                        cand[i] = cand[i] * 4.0
+            elif phase[i] == SCAN_DOWN:
+                if e >= 0.0:
+                    mu_lo[i], f_lo[i] = cand[i], e
+                    if mu_lo[i] == 0.0:
+                        phase[i] = DONE
+                        slack[i] = True
+                    else:
+                        enter_newton(i)
+                else:
+                    mu_hi[i], f_hi[i] = cand[i], e
+                    counts[i] += 1
+                    if counts[i] >= MU_BRACKET_MAX_CONTRACTIONS:
+                        phase[i] = FAILED
+                        errors[i] = (
+                            "bandwidth multiplier could not be bracketed from "
+                            f"below in {MU_BRACKET_MAX_CONTRACTIONS} "
+                            f"contractions (excess {f_hi[i]:.3g} at mu "
+                            f"{mu_hi[i]:.3g})"
+                        )
+                    else:
+                        cand[i] = cand[i] * 0.25
+            else:
+                x_seed[i] = x[k]
+                if e > 0.0:
+                    mu_lo[i], f_lo[i] = mu_k[i], e
+                else:
+                    mu_hi[i], f_hi[i] = mu_k[i], e
+                if mu_hi[i] - mu_lo[i] <= mu_tol * mu_hi[i] or e == 0.0:
+                    phase[i] = DONE
+                    mu_out[i] = mu_hi[i]
+                    continue
+                counts[i] += 1
+                if counts[i] >= MU_SEARCH_MAX_ITERATIONS:
+                    phase[i] = FAILED
+                    errors[i] = (
+                        "bandwidth-multiplier search did not converge in "
+                        f"{MU_SEARCH_MAX_ITERATIONS} iterations: the bracket "
+                        f"[{mu_lo[i]:.6g}, {mu_hi[i]:.6g}] is still wider "
+                        f"than tol={mu_tol:.3g}"
+                    )
+                    continue
+                mu_next = mu_k[i] - e / s if s < 0.0 else 0.5 * (mu_lo[i] + mu_hi[i])
+                if not mu_lo[i] < mu_next < mu_hi[i]:
+                    mu_next = 0.5 * (mu_lo[i] + mu_hi[i])
+                mu_k[i] = mu_next
+
+    mu_final = np.zeros(num_lanes)
+    x_rows = np.ones((num_lanes, n_c))
+    to_polish = np.flatnonzero((phase == DONE) & ~slack)
+    if to_polish.size:
+        mu_p, x_p = _polish_mu_rows(
+            mu_out[to_polish],
+            j_rows[to_polish],
+            rmin_rows[to_polish],
+            budgets[to_polish],
+        )
+        mu_final[to_polish] = mu_p
+        x_rows[to_polish] = x_p
+    return mu_final, x_rows, errors
+
+
 _MU_SEARCHES = {"scalar": _mu_search_scalar, "vector": _mu_search_vector}
+
+
+def _sp2_prepare(
+    system: SystemModel,
+    nu: np.ndarray,
+    beta: np.ndarray,
+    min_rate_bps: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Clamp the SP2_v2 inputs and derive the multiplier-search coefficients.
+
+    Returns ``(nu, beta, rmin, j, constrained)`` with
+    ``j_n = nu_n d_n N0 / g_n`` and ``constrained`` the rate-constrained
+    device mask.  Shared head of the per-drop and batched solve paths.
+    """
+    nu = np.maximum(np.asarray(nu, dtype=float), 1e-300)
+    beta = np.maximum(np.asarray(beta, dtype=float), 0.0)
+    rmin = np.maximum(np.asarray(min_rate_bps, dtype=float), 0.0)
+    if np.any(~np.isfinite(rmin)):
+        raise InfeasibleProblemError("infinite rate requirement in SP2_v2")
+    j = nu * system.upload_bits * system.noise_psd_w_per_hz / system.gains
+    return nu, beta, rmin, j, rmin > 0.0
 
 
 def solve_sp2_v2(
@@ -504,15 +766,50 @@ def solve_sp2_v2(
     same relative tolerance, so they agree within ``mu_tol``-level
     round-off — the backend-parity tests enforce it.
 
-    ``mu_hint`` warm-starts the bandwidth-multiplier search from a nearby
-    problem's multiplier (the previous Algorithm-1 iteration, or the
-    neighbouring sweep point): the bracket expansion starts at the hint and
-    every Lambert evaluation inside the refinement reuses the previous
-    iterate as its Newton seed.  The multiplier still converges to the
-    same relative tolerance, so a hint changes the work done, not the
-    solution (beyond ``mu_tol``-level round-off).
+    ``mu_hint`` warm-starts the **scalar** bandwidth-multiplier search from
+    a nearby problem's multiplier (the previous Algorithm-1 iteration, or
+    the neighbouring sweep point): the bracket expansion starts at the hint
+    and every Lambert evaluation reuses the previous iterate as its Newton
+    seed, which collapses the probe-sequential scan to a couple of
+    evaluations.  On the vector backend the hint is a deliberate no-op: the
+    chunked bracket scan already amortises the probes a hint would skip, so
+    threading it bought nothing and cost measurable bookkeeping — ignoring
+    it makes warm and cold vector runs bit-identical (and keeps the warm
+    path's wall-clock at parity instead of slightly behind).
     """
     mu_search = _MU_SEARCHES[validate_backend(backend)]
+    if backend == "vector":
+        mu_hint = None
+    budget = system.total_bandwidth_hz
+    nu, beta, rmin, j, constrained = _sp2_prepare(system, nu, beta, min_rate_bps)
+
+    mu = 0.0
+    x_c: np.ndarray | None = None
+    if np.any(constrained):
+        mu, x_c = mu_search(
+            j[constrained], rmin[constrained], budget, mu_tol=mu_tol, mu_hint=mu_hint
+        )
+    return _sp2_finish(system, nu, beta, rmin, j, constrained, mu, x_c)
+
+
+def _sp2_finish(
+    system: SystemModel,
+    nu: np.ndarray,
+    beta: np.ndarray,
+    rmin: np.ndarray,
+    j: np.ndarray,
+    constrained: np.ndarray,
+    mu: float,
+    x_c: np.ndarray | None,
+) -> SP2Result:
+    """Assemble the SP2_v2 allocation from a solved bandwidth multiplier.
+
+    The tail of the closed-form path — rate-active bandwidths, the box LP
+    (A.6) for the slack devices, power repair, and the feasibility verdict —
+    shared verbatim between :func:`solve_sp2_v2` and the batched
+    :func:`solve_sp2_v2_rows` so the two are trivially bit-identical from
+    the multiplier onward.
+    """
     gains = system.gains
     bits = system.upload_bits
     noise = system.noise_psd_w_per_hz
@@ -521,24 +818,12 @@ def solve_sp2_v2(
     budget = system.total_bandwidth_hz
     n = system.num_devices
 
-    nu = np.maximum(np.asarray(nu, dtype=float), 1e-300)
-    beta = np.maximum(np.asarray(beta, dtype=float), 0.0)
-    rmin = np.maximum(np.asarray(min_rate_bps, dtype=float), 0.0)
-    if np.any(~np.isfinite(rmin)):
-        raise InfeasibleProblemError("infinite rate requirement in SP2_v2")
-
-    j = nu * bits * noise / gains  # j_n = nu_n d_n N0 / g_n
-    constrained = rmin > 0.0
-
     power = np.zeros(n)
     bandwidth = np.zeros(n)
     tau = np.zeros(n)
-    mu = 0.0
 
     if np.any(constrained):
         j_c = j[constrained]
-        rmin_c = rmin[constrained]
-        mu, x_c = mu_search(j_c, rmin_c, budget, mu_tol=mu_tol, mu_hint=mu_hint)
 
         if mu > 0.0:
             a_c = j_c * _LN2 * x_c  # a_n = nu_n beta_n + tau_n at stationarity
@@ -618,6 +903,84 @@ def solve_sp2_v2(
         feasible=feasible,
         method="kkt",
     )
+
+
+def solve_sp2_v2_rows(
+    systems: Sequence[SystemModel],
+    nus: Sequence[np.ndarray],
+    betas: Sequence[np.ndarray],
+    min_rates: Sequence[np.ndarray],
+    *,
+    mu_tol: float = 1e-13,
+) -> list[SP2Result | Exception]:
+    """Batched closed-form SP2_v2 across independent lanes (vector backend).
+
+    Lane ``i`` solves the same problem as
+    ``solve_sp2_v2(systems[i], nus[i], betas[i], min_rates[i])`` and the
+    returned :class:`SP2Result` is bit-identical to that per-drop call:
+    preparation and the allocation tail run the exact per-lane code
+    (:func:`_sp2_prepare` / :func:`_sp2_finish`), and the only genuinely
+    batched stage — the bandwidth-multiplier search — hands its bracket to
+    the entry-independent polish, which collapses every search path onto
+    the same double.  Lanes are grouped by constrained-device count so all
+    array passes run over rectangular stacks (ragged padding would change
+    NumPy's pairwise-summation trees and break bit parity).
+
+    Exceptions are returned in-place rather than raised so one diverged or
+    infeasible lane cannot abort its neighbours: each element is either a
+    result or the :class:`InfeasibleProblemError` /
+    :class:`~repro.exceptions.ConvergenceError` the per-drop call would
+    have raised, letting callers replicate their per-lane fallback logic.
+    """
+    num_lanes = len(systems)
+    results: list[SP2Result | Exception] = [
+        InfeasibleProblemError("lane not solved") for _ in range(num_lanes)
+    ]
+    prepared: dict[int, tuple] = {}
+    for i in range(num_lanes):
+        try:
+            prepared[i] = _sp2_prepare(systems[i], nus[i], betas[i], min_rates[i])
+        except InfeasibleProblemError as exc:
+            results[i] = exc
+
+    # (mu, x_c) per prepared lane; lanes with no rate-constrained device
+    # skip the search entirely, exactly like the per-drop path.
+    solved: dict[int, tuple[float, np.ndarray | None]] = {}
+    groups: dict[int, list[int]] = {}
+    for i, (_, _, rmin, _, constrained) in prepared.items():
+        if np.any(constrained):
+            groups.setdefault(int(np.sum(constrained)), []).append(i)
+        else:
+            solved[i] = (0.0, None)
+    for n_c, lanes in groups.items():
+        j_rows = np.empty((len(lanes), n_c))
+        rmin_rows = np.empty((len(lanes), n_c))
+        budgets = np.empty(len(lanes))
+        for k, i in enumerate(lanes):
+            _, _, rmin, j, constrained = prepared[i]
+            j_rows[k] = j[constrained]
+            rmin_rows[k] = rmin[constrained]
+            budgets[k] = systems[i].total_bandwidth_hz
+        mu_arr, x_rows, errors = _mu_search_vector_rows(
+            j_rows, rmin_rows, budgets, mu_tol=mu_tol
+        )
+        for k, i in enumerate(lanes):
+            if errors[k] is not None:
+                results[i] = ConvergenceError(errors[k])
+            elif mu_arr[k] > 0.0:
+                solved[i] = (float(mu_arr[k]), x_rows[k])
+            else:
+                solved[i] = (0.0, None)
+
+    for i, (mu, x_c) in solved.items():
+        nu, beta, rmin, j, constrained = prepared[i]
+        try:
+            results[i] = _sp2_finish(
+                systems[i], nu, beta, rmin, j, constrained, mu, x_c
+            )
+        except InfeasibleProblemError as exc:
+            results[i] = exc
+    return results
 
 
 def solve_sp2_v2_numeric(

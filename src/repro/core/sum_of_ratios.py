@@ -23,6 +23,7 @@ ratios and the current auxiliary values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -36,10 +37,17 @@ from .subproblem2 import (
     SP2Result,
     solve_sp2_v2,
     solve_sp2_v2_numeric,
+    solve_sp2_v2_rows,
+    sp2_objective,
     validate_backend,
 )
 
-__all__ = ["SumOfRatiosConfig", "SumOfRatiosResult", "SumOfRatiosSolver"]
+__all__ = [
+    "SumOfRatiosConfig",
+    "SumOfRatiosResult",
+    "SumOfRatiosSolver",
+    "solve_sum_of_ratios_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -316,3 +324,225 @@ class SumOfRatiosSolver:
             history=history,
             bandwidth_multiplier=last_multiplier,
         )
+
+
+class _BatchLane:
+    """Per-lane Algorithm-1 state of the lockstep batched solve.
+
+    Replicates :meth:`SumOfRatiosSolver.solve` float-for-float, split into
+    an initialisation (`__init__`), a fallback resolution for the batched
+    inner solve (:meth:`resolve_inner`) and a per-iteration bookkeeping
+    step (:meth:`step`), so :func:`solve_sum_of_ratios_rows` can drive many
+    lanes in lockstep while each lane's trajectory stays bit-identical to a
+    stand-alone ``solve`` call.  Keep the arithmetic in sync with ``solve``
+    — the batched-parity suite holds the two to exact equality.
+    """
+
+    def __init__(
+        self,
+        solver: SumOfRatiosSolver,
+        min_rate_bps: np.ndarray,
+        initial_power_w: np.ndarray,
+        initial_bandwidth_hz: np.ndarray,
+    ) -> None:
+        self.solver = solver
+        self.system = solver.system
+        self.config = solver.config
+        self.min_rate = np.maximum(np.asarray(min_rate_bps, dtype=float), 0.0)
+        self.power = np.asarray(initial_power_w, dtype=float).copy()
+        self.bandwidth = np.asarray(initial_bandwidth_hz, dtype=float).copy()
+        rates = solver._rates(self.power, self.bandwidth)
+        self.beta = self.power * self.system.upload_bits / rates
+        self.nu = solver._scale / rates
+        self.history = ConvergenceHistory()
+        self.converged = False
+        self.feasible = True
+        scale = float(
+            np.linalg.norm(
+                np.concatenate(
+                    [
+                        self.power * self.system.upload_bits,
+                        np.full_like(self.power, solver._scale),
+                    ]
+                )
+            )
+        )
+        self.residual_scale = max(scale, 1e-12)
+        self.last_multiplier = 0.0
+        self.iteration = 0
+
+    def resolve_inner(self, attempt: SP2Result | Exception) -> SP2Result:
+        """Apply :meth:`SumOfRatiosSolver._solve_inner`'s fallback ladder.
+
+        ``attempt`` is this lane's outcome of the batched closed-form solve:
+        either the :class:`SP2Result` or the exception the per-drop call
+        would have raised.  Infeasible-or-failed attempts fall back to the
+        numeric solver and, as a last resort, the incumbent point — the
+        same ladder, per lane.
+        """
+        if isinstance(attempt, SP2Result):
+            if attempt.feasible or not self.config.use_numeric_fallback:
+                return attempt
+        elif not self.config.use_numeric_fallback:
+            raise attempt
+        try:
+            return solve_sp2_v2_numeric(
+                self.system, self.nu, self.beta, self.min_rate
+            )
+        except (InfeasibleProblemError, SolverError):
+            return SP2Result(
+                power_w=self.power.copy(),
+                bandwidth_hz=self.bandwidth.copy(),
+                objective=sp2_objective(
+                    self.system, self.nu, self.beta, self.power, self.bandwidth
+                ),
+                bandwidth_multiplier=0.0,
+                rate_multipliers=np.zeros_like(self.power),
+                feasible=True,
+                method="incumbent",
+            )
+
+    def step(self, inner: SP2Result) -> bool:
+        """One Algorithm-1 iteration given the resolved inner solve.
+
+        Returns ``True`` while the lane should keep iterating; mirrors one
+        pass of the ``solve`` loop body, including the convergence tests
+        and the damped Newton update of ``(beta, nu)``.
+        """
+        system = self.system
+        config = self.config
+        solver = self.solver
+        self.iteration += 1
+        if inner.bandwidth_multiplier > 0.0:
+            self.last_multiplier = inner.bandwidth_multiplier
+        new_power, new_bandwidth = inner.power_w, inner.bandwidth_hz
+        self.feasible = inner.feasible
+        new_rates = solver._rates(new_power, new_bandwidth)
+
+        residual = solver._residual(self.beta, self.nu, new_power, new_rates)
+        residual_norm = float(np.linalg.norm(residual))
+        objective = solver.energy_weight * system.global_rounds * float(
+            np.sum(new_power * system.upload_bits / new_rates)
+        )
+        step_change = float(
+            np.linalg.norm(new_power - self.power)
+            / max(np.linalg.norm(self.power), 1e-30)
+            + np.linalg.norm(new_bandwidth - self.bandwidth)
+            / max(np.linalg.norm(self.bandwidth), 1e-30)
+        )
+        self.history.append(
+            objective,
+            residual=residual_norm,
+            step_change=step_change,
+            note=inner.method,
+        )
+
+        self.power, self.bandwidth = new_power, new_bandwidth
+        if residual_norm <= config.residual_tol * self.residual_scale:
+            self.converged = True
+            return False
+        if self.iteration > 1 and step_change <= config.step_tol:
+            self.converged = True
+            return False
+        if self.iteration >= config.max_iterations:
+            return False
+
+        alpha = np.concatenate([self.beta, self.nu])
+        target_beta = self.power * system.upload_bits / new_rates
+        target_nu = solver._scale / new_rates
+        direction = np.concatenate(
+            [target_beta - self.beta, target_nu - self.nu]
+        )
+        power = self.power
+
+        def residual_of_alpha(a: np.ndarray) -> np.ndarray:
+            half = a.shape[0] // 2
+            return solver._residual(a[:half], a[half:], power, new_rates)
+
+        update = damped_newton_step(
+            alpha,
+            residual_of_alpha,
+            direction,
+            xi=config.damping_xi,
+            eps=config.damping_eps,
+        )
+        half = update.alpha.shape[0] // 2
+        self.beta, self.nu = update.alpha[:half], update.alpha[half:]
+        return True
+
+    def result(self) -> SumOfRatiosResult:
+        return SumOfRatiosResult(
+            power_w=self.power,
+            bandwidth_hz=self.bandwidth,
+            nu=self.nu,
+            beta=self.beta,
+            communication_energy_j=self.solver.communication_energy(
+                self.power, self.bandwidth
+            ),
+            converged=self.converged,
+            iterations=self.iteration,
+            feasible=self.feasible,
+            history=self.history,
+            bandwidth_multiplier=self.last_multiplier,
+        )
+
+
+def solve_sum_of_ratios_rows(
+    solvers: Sequence[SumOfRatiosSolver],
+    min_rates: Sequence[np.ndarray],
+    initial_powers: Sequence[np.ndarray],
+    initial_bandwidths: Sequence[np.ndarray],
+) -> list[SumOfRatiosResult | Exception]:
+    """Lockstep batch of independent Algorithm-1 solves (vector backend).
+
+    Lane ``i`` runs ``solvers[i].solve(min_rates[i], initial_powers[i],
+    initial_bandwidths[i])`` in lockstep with its neighbours: each round,
+    every active lane's SP2_v2 closed form is solved in one batched
+    :func:`~repro.core.subproblem2.solve_sp2_v2_rows` call, then the
+    per-lane bookkeeping (fallback ladder, residuals, convergence tests,
+    damped Newton update) runs with the exact per-drop code.  Converged or
+    failed lanes drop out of subsequent rounds; stragglers keep iterating.
+
+    Results are bit-identical to the per-drop calls.  Exceptions a
+    per-drop ``solve`` would raise (e.g. infeasible iterates) are returned
+    in that lane's slot instead of raised, so one bad lane cannot abort
+    the batch.  Intended for the vector backend, where warm hints are a
+    no-op — lanes therefore need no hint threading.
+    """
+    num_lanes = len(solvers)
+    results: list[SumOfRatiosResult | Exception] = [
+        SolverError("lane not solved") for _ in range(num_lanes)
+    ]
+    lanes: dict[int, _BatchLane] = {}
+    for i in range(num_lanes):
+        try:
+            lanes[i] = _BatchLane(
+                solvers[i], min_rates[i], initial_powers[i], initial_bandwidths[i]
+            )
+        except InfeasibleProblemError as exc:
+            results[i] = exc
+    active = [i for i in lanes if lanes[i].config.max_iterations >= 1]
+    while active:
+        attempts = solve_sp2_v2_rows(
+            [lanes[i].system for i in active],
+            [lanes[i].nu for i in active],
+            [lanes[i].beta for i in active],
+            [lanes[i].min_rate for i in active],
+        )
+        still: list[int] = []
+        for k, i in enumerate(active):
+            lane = lanes[i]
+            try:
+                inner = lane.resolve_inner(attempts[k])
+                if lane.step(inner):
+                    still.append(i)
+            except (InfeasibleProblemError, ConvergenceError) as exc:
+                results[i] = exc
+                lanes.pop(i)
+        active = still
+    for i, lane in lanes.items():
+        try:
+            results[i] = lane.result()
+        except InfeasibleProblemError as exc:
+            results[i] = exc
+    return results

@@ -52,11 +52,13 @@ from ..baselines.registry import get_baseline
 from ..core.allocation import ResourceAllocation
 from ..core.allocator import ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
+from ..exceptions import ConfigurationError
 from ..perf.timers import StageTimings, collect_timings, stage, wall_clock
 from ..scenarios import SCENARIO_SCHEMA_VERSION, ScenarioSpec
 from ..system import SystemModel
 
 __all__ = [
+    "BatchConfig",
     "SweepTask",
     "TaskOutcome",
     "SweepStats",
@@ -386,6 +388,21 @@ class TaskOutcome:
         return self.metrics is not None
 
 
+@dataclass(frozen=True)
+class BatchConfig:
+    """How the runner groups tasks for the batched multi-solve path.
+
+    The batch size is a *scheduling knob only*: a batched lane's trajectory
+    is bit-identical to the per-drop solve (``ResourceAllocator.solve_batch``
+    guarantees it, the parity tests enforce it), so the size is deliberately
+    excluded from :meth:`SweepTask.payload` and cache keys are unchanged —
+    exactly like ``warm_key`` / ``warm_order``.
+    """
+
+    #: Maximum number of lanes solved in one lockstep Algorithm-2 pass.
+    size: int = 8
+
+
 @dataclass
 class SweepStats:
     """Bookkeeping of one :meth:`SweepRunner.run` call."""
@@ -397,6 +414,10 @@ class SweepStats:
     warm_started: int = 0
     elapsed_s: float = 0.0
     cache_io_s: float = 0.0
+    #: Lockstep multi-solve groups executed (0 unless ``batch_size`` is set).
+    batches: int = 0
+    #: Tasks that went through the batched path (the rest ran per drop).
+    batched_tasks: int = 0
 
 
 def default_cache_dir() -> Path:
@@ -481,6 +502,13 @@ class SweepRunner:
     progress:
         Optional ``fn(done, total, outcome)`` invoked in the parent process
         after every task completes (including cache hits).
+    batch_size:
+        When > 1, group eligible cold ``"proposed"`` tasks by problem shape
+        and solve each group in one lockstep multi-solve pass
+        (:meth:`ResourceAllocator.solve_batch`).  Results and cache keys are
+        bit-identical to the per-drop path; only the wall clock changes.
+        Mutually exclusive with ``jobs > 1`` (the batched pass is itself the
+        parallelism).
     """
 
     def __init__(
@@ -491,6 +519,7 @@ class SweepRunner:
         use_cache: bool = False,
         warm_start: bool = False,
         progress: ProgressFn | None = None,
+        batch_size: int | None = None,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -499,6 +528,16 @@ class SweepRunner:
         self.warm_start = warm_start
         self.cache = SweepCache(cache_dir)
         self.progress = progress
+        self.batch = (
+            BatchConfig(size=int(batch_size))
+            if batch_size is not None and batch_size > 1
+            else None
+        )
+        if self.batch is not None and self.jobs > 1:
+            raise ConfigurationError(
+                "batch mode runs inline: use batch_size with jobs=1 "
+                f"(got jobs={self.jobs}, batch_size={batch_size})"
+            )
         self.last_stats = SweepStats()
 
     # -- execution -----------------------------------------------------------
@@ -528,6 +567,26 @@ class SweepRunner:
             else:
                 pending.append(index)
 
+        def record(index: int, outcome: TaskOutcome) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            stats.executed += 1
+            stats.warm_started += outcome.warm
+            if outcome.error is not None:
+                stats.failed += 1
+            elif self.use_cache:
+                io_started = wall_clock()
+                self._cache_put(outcome)
+                stats.cache_io_s += wall_clock() - io_started
+            done += 1
+            self._report(done, stats.total, outcome)
+
+        if pending and self.batch is not None:
+            batched = [index for index in pending if self._batchable(tasks[index])]
+            pending = [index for index in pending if not self._batchable(tasks[index])]
+            for index, outcome in self._execute_batches(tasks, batched, stats):
+                record(index, outcome)
+
         if pending:
             chains = self._plan_chains(tasks, pending, outcomes)
             executor = (
@@ -537,17 +596,7 @@ class SweepRunner:
             )
             try:
                 for index, outcome in self._execute(tasks, chains, executor):
-                    outcomes[index] = outcome
-                    stats.executed += 1
-                    stats.warm_started += outcome.warm
-                    if outcome.error is not None:
-                        stats.failed += 1
-                    elif self.use_cache:
-                        io_started = wall_clock()
-                        self._cache_put(outcome)
-                        stats.cache_io_s += wall_clock() - io_started
-                    done += 1
-                    self._report(done, stats.total, outcome)
+                    record(index, outcome)
             finally:
                 if executor is not None:
                     executor.shutdown(wait=True, cancel_futures=True)
@@ -555,6 +604,115 @@ class SweepRunner:
         stats.elapsed_s = wall_clock() - started
         self.last_stats = stats
         return [outcome for outcome in outcomes if outcome is not None]
+
+    # -- batched multi-solve -------------------------------------------------
+    def _batchable(self, task: SweepTask) -> bool:
+        """Whether ``task`` can ride the lockstep multi-solve path.
+
+        Warm-chained tasks are excluded (a chain is sequential by
+        definition); the remaining escapes mirror the corners
+        ``ResourceAllocator.solve_batch`` routes to the per-drop solver —
+        filtering them here keeps batches densely packed with lanes that
+        genuinely run in lockstep.
+        """
+        if task.solver_kind != "proposed":
+            return False
+        if self.warm_start and task.warm_key is not None:
+            return False
+        params = task.solver_params
+        if params.get("deadline_s") is not None:
+            return False
+        return float(params.get("energy_weight", 0.0)) > 0.0
+
+    @staticmethod
+    def batch_group_key(task: SweepTask) -> str:
+        """The problem-shape key batched tasks are grouped by.
+
+        Derived from the same canonical-payload machinery as the cache key
+        (:func:`_jsonify` over the allocator configuration, the scenario
+        spec's device count): tasks in one group share ``num_devices`` and
+        the full solver configuration, so one :class:`ResourceAllocator`
+        serves the whole group.
+        """
+        key = {
+            "solver_kind": task.solver_kind,
+            "num_devices": task.scenario_spec().params.get("num_devices"),
+            "allocator": _jsonify(task.solver_params.get("allocator")),
+        }
+        return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+    def _execute_batches(
+        self, tasks: Sequence[SweepTask], pending: Sequence[int], stats: SweepStats
+    ) -> Iterator[tuple[int, TaskOutcome]]:
+        """Group, fill and run lockstep batches over the batchable tasks."""
+        assert self.batch is not None
+        groups: dict[str, list[int]] = {}
+        for index in pending:
+            groups.setdefault(self.batch_group_key(tasks[index]), []).append(index)
+        size = self.batch.size
+        for indices in groups.values():
+            for start in range(0, len(indices), size):
+                chunk = indices[start : start + size]
+                stats.batches += 1
+                stats.batched_tasks += len(chunk)
+                yield from self._execute_one_batch(tasks, chunk)
+
+    def _execute_one_batch(
+        self, tasks: Sequence[SweepTask], chunk: Sequence[int]
+    ) -> Iterator[tuple[int, TaskOutcome]]:
+        """Solve one batch, scattering results back to per-task outcomes.
+
+        Metrics and state snapshots are built exactly as ``_run_proposed``
+        builds them, so a batched outcome's cache entry is byte-identical to
+        the per-drop one.  Failures follow ``_execute_safely``'s contract:
+        a broken lane (scenario build or solve) becomes an error outcome
+        with the same ``"Type: message"`` string, never an exception.
+        """
+        lanes: list[tuple[int, JointProblem]] = []
+        for index in chunk:
+            task = tasks[index]
+            try:
+                system = task.scenario_spec().build()
+                weights = ProblemWeights.from_energy_weight(
+                    task.solver_params["energy_weight"]
+                )
+                problem = JointProblem(
+                    system, weights, deadline_s=task.solver_params.get("deadline_s")
+                )
+            except Exception as exc:  # repro-lint: disable=RL005 -- crash isolation: one bad drop must become an error row, not kill the sweep
+                yield index, TaskOutcome(
+                    task=task, metrics=None, error=f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            lanes.append((index, problem))
+        if not lanes:
+            return
+        # One allocator serves the batch: the group key pins the
+        # configuration, so every lane would build this same instance.
+        allocator = ResourceAllocator(
+            tasks[lanes[0][0]].solver_params.get("allocator")
+        )
+        results = allocator.solve_batch(
+            [problem for _, problem in lanes], return_exceptions=True
+        )
+        for (index, _problem), result in zip(lanes, results):
+            task = tasks[index]
+            if isinstance(result, Exception):
+                yield index, TaskOutcome(
+                    task=task,
+                    metrics=None,
+                    error=f"{type(result).__name__}: {result}",
+                )
+                continue
+            state = {
+                "power_w": result.allocation.power_w.tolist(),
+                "bandwidth_hz": result.allocation.bandwidth_hz.tolist(),
+                "frequency_hz": result.allocation.frequency_hz.tolist(),
+                "mu": result.warm_hints.get("mu", 0.0),
+            }
+            yield index, TaskOutcome(
+                task=task, metrics=dict(result.summary()), state=state
+            )
 
     def _plan_chains(
         self,

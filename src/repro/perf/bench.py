@@ -1,9 +1,10 @@
 """The benchmark suite and perf-trajectory tracking behind ``repro bench``.
 
-One invocation runs the Figure-2 sweep three times through the shared
+One invocation runs the Figure-2 sweep four times through the shared
 :class:`~repro.experiments.runner.SweepRunner` — cold (vector backend),
-warm-started, and cold on the scalar reference backend — on a fixed,
-seeded configuration (serial, cache off, so the timings are honest), and
+warm-started, cold on the scalar reference backend, and cold through the
+batched multi-solve path (``batch_size=8``) — on a fixed, seeded
+configuration (serial, cache off, so the timings are honest), and
 writes a ``BENCH_PR<k>.json`` report:
 
 * **per-stage wall-clock** summed over every task (``scenario_build``,
@@ -26,11 +27,19 @@ rounds, and two *exact* parities — fixed-seed round loops must be
 bit-identical across backends and warm/cold, so their parity gates are
 zero-tolerance (within the sweep parity epsilon).
 
+Since schema 4 the report also carries the **batched multi-solve** run:
+``batch_wall_s`` / ``batch_wall_speedup`` (cold wall over batched wall),
+``batch_fill`` (how densely the lockstep batches were packed) and
+``batch_parity_max_rel_dev`` — the batched path is *bit-identical* to the
+per-drop one by construction, so its parity gate is exactly zero.
+
 :func:`compare_reports` gates a report against a committed baseline: a
 tracked metric that regresses beyond the tolerance (default 20%), a floor
-that is no longer met (backend SP2 speedup >= 2x), or a parity breach
-(warm/cold above 1e-6, scalar/vector above 1e-8, FL round loops above the
-same bounds) fails the comparison — that is the CI perf gate.
+that is no longer met (backend SP2 speedup >= 2x, batched multi-solve
+wall speedup >= 2x, warm wall no slower than cold), or a parity breach
+(warm/cold above 1e-6, scalar/vector above 1e-8, batched/per-drop above
+0.0, FL round loops above the warm/backend bounds) fails the comparison —
+that is the CI perf gate.
 """
 
 from __future__ import annotations
@@ -61,7 +70,7 @@ __all__ = [
     "compare_reports",
 ]
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 #: Relative regression a tracked metric may show before the compare fails.
 DEFAULT_TOLERANCE = 0.20
 #: Maximum relative deviation allowed between warm and cold sweep metrics.
@@ -73,12 +82,31 @@ DEFAULT_PARITY_TOL = 1e-6
 DEFAULT_BACKEND_PARITY_TOL = 1e-8
 
 #: Absolute gates every report must keep meeting, whatever the baseline.
-#: The PR3-era ``warm_wall_speedup`` floor is retired: the probe-sequential
-#: work that warm hints used to skip has been vectorized away, so on the
-#: (default) vector backend a warm sweep is parity-identical but no longer
-#: meaningfully faster — the speedup gate moved to the backend itself.
+#: ``warm_wall_speedup`` is back (floor 1.0) now that warm hints are a
+#: strict no-op on the vector backend: a warm sweep runs the exact cold
+#: trajectory, so it must never be slower than cold beyond scheduler noise
+#: (the hint-threading overhead that used to drag it to ~0.98x is gone).
+#: ``batch_wall_speedup`` gates the batched multi-solve path against the
+#: per-drop cold sweep.
 _FLOORS: dict[str, float] = {
     "backend_sp2_speedup": 2.0,
+    "warm_wall_speedup": 1.0,
+    "batch_wall_speedup": 2.0,
+}
+
+#: Wall-clock speedup floors get a per-metric slack factor in the
+#: comparison: the ratio of two measured wall-clocks carries scheduler
+#: noise that the deterministic iteration-count gates do not, and a hard
+#: floor would flap on a busy CI box.  ``warm_wall_speedup`` compares two
+#: sweeps doing the *same* work (true ratio ~1.0), so its measurement is
+#: all noise (+-7% observed on contended hosts) and its floor only
+#: arrests gross breakage — small warm regressions are instead caught by
+#: the zero-tolerance parity and iteration-count gates, which are
+#: noise-free.  ``batch_wall_speedup`` has real headroom above its floor
+#: (~2.2x measured vs the 2.0 floor), so it keeps a tight slack.
+_WALL_SPEEDUP_FLOOR_SLACK: dict[str, float] = {
+    "warm_wall_speedup": 0.85,
+    "batch_wall_speedup": 0.95,
 }
 
 #: Metrics compared against the baseline, with their improvement direction.
@@ -160,7 +188,21 @@ def _flat_parity(left: Mapping[str, float], right: Mapping[str, float]) -> float
     return deviation
 
 
-def _run_mode(config: Fig2Config, warm: bool, backend: str | None = None):
+#: Timed repetitions per sweep mode.  The quick suite finishes in well
+#: under a second, where a single-shot wall ratio is dominated by
+#: scheduler noise — the suite therefore runs every mode once per round
+#: and gates on ratios of summed walls (see :func:`run_bench`).  Tables
+#: and iteration counts are deterministic (cache off, fixed seeds), so
+#: repeats change timing only.
+_BENCH_REPEATS = 5
+
+
+def _run_mode(
+    config: Fig2Config,
+    warm: bool,
+    backend: str | None = None,
+    batch_size: int | None = None,
+):
     from ..experiments.fig2 import run_fig2
 
     if backend is not None:
@@ -171,6 +213,7 @@ def _run_mode(config: Fig2Config, warm: bool, backend: str | None = None):
         use_cache=False,
         warm_start=warm,
         progress=lambda done, total, outcome: outcomes.append(outcome),
+        batch_size=batch_size,
     )
     table = run_fig2(config, runner=runner)
     return table, outcomes, runner.last_stats
@@ -210,14 +253,46 @@ def _parity(cold_table, warm_table) -> float:
     return deviation
 
 
-def run_bench(*, quick: bool = False, label: str = "PR5") -> dict[str, Any]:
+#: Batch size of the benchmark's batched multi-solve mode.  Divides both
+#: the quick (8) and standard (48) task counts, so every batch is full and
+#: ``batch_fill`` is 1.0 when the grouping works as designed.
+_BENCH_BATCH_SIZE = 8
+
+
+def run_bench(*, quick: bool = False, label: str = "PR7") -> dict[str, Any]:
     """Run the suite and return the report (see the module docstring)."""
     config = bench_config(quick)
-    cold_table, cold_outcomes, cold_stats = _run_mode(config, warm=False)
-    warm_table, warm_outcomes, warm_stats = _run_mode(config, warm=True)
-    scalar_table, scalar_outcomes, scalar_stats = _run_mode(
-        config, warm=False, backend="scalar"
-    )
+    modes: dict[str, dict[str, Any]] = {
+        "cold": {"warm": False},
+        "warm": {"warm": True},
+        "scalar": {"warm": False, "backend": "scalar"},
+        "batch": {"warm": False, "batch_size": _BENCH_BATCH_SIZE},
+    }
+    # Repeats are interleaved across modes rather than run per mode in a
+    # block, so a load shift on the host biases every mode of a round
+    # alike, and the mode order rotates each round so no mode always runs
+    # in the same slot.  The gated speedups are ratios of *summed* walls
+    # across rounds: a single ~tens-of-ms scheduler spike dilutes into
+    # the multi-second totals instead of poisoning one short sample.
+    # Per-mode wall seconds report the fastest round.
+    best: dict[str, Any] = {}
+    totals: dict[str, float] = {name: 0.0 for name in modes}
+    items = list(modes.items())
+    for index in range(_BENCH_REPEATS):
+        shift = index % len(items)
+        for name, kwargs in items[shift:] + items[:shift]:
+            run = _run_mode(config, **kwargs)
+            totals[name] += run[2].elapsed_s
+            if name not in best or run[2].elapsed_s < best[name][2].elapsed_s:
+                best[name] = run
+
+    def _summed_speedup(denominator: str) -> float:
+        return totals["cold"] / max(totals[denominator], 1e-12)
+
+    cold_table, cold_outcomes, cold_stats = best["cold"]
+    warm_table, warm_outcomes, warm_stats = best["warm"]
+    scalar_table, scalar_outcomes, scalar_stats = best["scalar"]
+    batch_table, _batch_outcomes, batch_stats = best["batch"]
 
     fl_config = fl_bench_config(quick)
     fl_cold, fl_cold_report, fl_cold_wall = _run_fl_mode(
@@ -237,11 +312,20 @@ def run_bench(*, quick: bool = False, label: str = "PR5") -> dict[str, Any]:
     warm_wall = warm_stats.elapsed_s
     scalar_sp2 = scalar_stages.get("sp2", 0.0)
     vector_sp2 = cold_stages.get("sp2", 0.0)
+    batch_wall = batch_stats.elapsed_s
+    batch_capacity = batch_stats.batches * _BENCH_BATCH_SIZE
     metrics: dict[str, float] = {
         "cold_wall_s": round(cold_stats.elapsed_s, 4),
         "warm_wall_s": round(warm_wall, 4),
         "scalar_wall_s": round(scalar_stats.elapsed_s, 4),
-        "warm_wall_speedup": round(cold_stats.elapsed_s / max(warm_wall, 1e-12), 4),
+        "batch_wall_s": round(batch_wall, 4),
+        "warm_wall_speedup": round(_summed_speedup("warm"), 4),
+        "batch_wall_speedup": round(_summed_speedup("batch"), 4),
+        "batch_fill": round(batch_stats.batched_tasks / batch_capacity, 4)
+        if batch_capacity
+        else 0.0,
+        "batched_tasks": float(batch_stats.batched_tasks),
+        "batch_parity_max_rel_dev": _parity(cold_table, batch_table),
         "backend_sp2_speedup": round(scalar_sp2 / max(vector_sp2, 1e-12), 4),
         "cold_outer_iterations": _sum_metric(cold_outcomes, "iterations"),
         "warm_outer_iterations": _sum_metric(warm_outcomes, "iterations"),
@@ -252,7 +336,10 @@ def run_bench(*, quick: bool = False, label: str = "PR5") -> dict[str, Any]:
         "tasks": float(cold_stats.total),
         "warm_started_tasks": float(warm_stats.warm_started),
         "failed_tasks": float(
-            cold_stats.failed + warm_stats.failed + scalar_stats.failed
+            cold_stats.failed
+            + warm_stats.failed
+            + scalar_stats.failed
+            + batch_stats.failed
         ),
         "dispatch_overhead_s": round(max(cold_stats.elapsed_s - cold_task_s, 0.0), 4),
         "cache_io_s": round(cold_stats.cache_io_s + warm_stats.cache_io_s, 6),
@@ -274,7 +361,8 @@ def run_bench(*, quick: bool = False, label: str = "PR5") -> dict[str, Any]:
         "label": label,
         "mode": "quick" if quick else "standard",
         "suite": "fig2 sweep: cold (vector) vs warm-started vs scalar backend "
-        "(jobs=1, cache off) + closed-loop FL round loop (cold/warm/scalar)",
+        "vs batched multi-solve (jobs=1, cache off) + closed-loop FL round "
+        "loop (cold/warm/scalar)",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -323,9 +411,10 @@ def compare_reports(
 
     for name, floor in {**_FLOORS, **baseline.get("floors", {})}.items():
         value = current_metrics.get(name)
+        limit = floor * _WALL_SPEEDUP_FLOOR_SLACK.get(name, 1.0)
         if value is None:
             problems.append(f"floor metric {name!r} missing from the current report")
-        elif value < floor:
+        elif value < limit:
             problems.append(f"{name} = {value:.4g} fell below its floor {floor:.4g}")
 
     parity_tol = float(baseline.get("parity_tol", DEFAULT_PARITY_TOL))
@@ -350,6 +439,17 @@ def compare_reports(
         problems.append(
             f"scalar/vector backend parity broke: max relative deviation "
             f"{backend_parity:.3e} exceeds {backend_tol:.1e}"
+        )
+
+    # Batched multi-solve parity (schema >= 4).  Zero tolerance: the batched
+    # path is bit-identical to the per-drop one by construction, so any
+    # deviation at all is a lane-isolation bug, not noise.  Guarded on
+    # presence so an older report can still be compared against.
+    batch_parity = current_metrics.get("batch_parity_max_rel_dev")
+    if batch_parity is not None and not batch_parity <= 0.0:  # catches NaN too
+        problems.append(
+            f"batched/per-drop parity broke: max relative deviation "
+            f"{batch_parity:.3e} exceeds the exact-equality gate (0.0)"
         )
 
     # Closed-loop FL parities (schema >= 3).  Guarded on presence so a

@@ -52,7 +52,13 @@ def _check_lambert_residual(
             f"{float(np.max(residual[stalled])):.3g}"
         )
 
-__all__ = ["lambert_w_principal", "solve_x_log_x", "lambert_solve_vector"]
+__all__ = [
+    "lambert_w_principal",
+    "solve_x_log_x",
+    "solve_x_log_x_rows",
+    "lambert_solve_vector",
+    "lambert_solve_rows",
+]
 
 
 def lambert_w_principal(z: np.ndarray | float) -> np.ndarray:
@@ -173,3 +179,131 @@ def lambert_solve_vector(
     else:
         _check_lambert_residual(x, c, max_iter, "lambert_solve_vector")
     return np.where(c == 0.0, 1.0, x)
+
+
+def _newton_rows(
+    x: np.ndarray, rhs: np.ndarray, tol: float, max_iter: int, name: str
+) -> np.ndarray:
+    """Shared per-row Newton loop of the ``*_rows`` kernels.
+
+    Each row iterates until *its own* step criterion holds over that row's
+    elements, then freezes; a frozen row's values are never touched again.
+    Because a 1-D call's global ``np.all`` stop *is* the row's stop, every
+    row of the result is bitwise equal to a stand-alone 1-D solve of that
+    row — which is what makes the batched multiplier search's masked-lane
+    isolation exact rather than approximate.
+    """
+    active = np.ones(x.shape[0], dtype=bool)
+    all_active = True  # rows converge at similar depths: skip the gather/
+    # scatter indexing while every row is still live (the common phase)
+    for _ in range(max_iter):  # repro-lint: disable=RL002 -- exhaustion raises via _check_lambert_residual
+        if all_active:
+            xa, ra = x, rhs
+        else:
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            xa, ra = x[idx], rhs[idx]
+        log_x = np.log(xa)
+        f = xa * log_x - xa + 1.0 - ra
+        df = np.maximum(log_x, 1e-12)
+        x_new = np.maximum(xa - f / df, 0.5 * (xa + 1.0))
+        done = np.all(
+            np.abs(x_new - xa) <= tol * np.maximum(1.0, np.abs(x_new)), axis=1
+        )
+        if all_active:
+            x = x_new
+            if done.any():
+                active = ~done
+                all_active = False
+        else:
+            x[idx] = x_new
+            active[idx[done]] = False
+        if not active.any():
+            break
+    if np.any(active):
+        _check_lambert_residual(x[active], rhs[active], max_iter, name)
+    return np.where(rhs == 0.0, 1.0, x)
+
+
+def solve_x_log_x_rows(
+    rhs: np.ndarray,
+    *,
+    tol: float = 1e-14,
+    max_iter: int = 100,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-row variant of :func:`solve_x_log_x` for a ``(lanes, n)`` batch.
+
+    Seeds and Newton updates are the same float-for-float expressions as the
+    1-D kernel; only the stopping rule changes, from one global ``np.all``
+    to an independent per-row test (see :func:`_newton_rows`).  Row ``i`` of
+    the result is therefore bitwise equal to ``solve_x_log_x(rhs[i])``, and
+    no row's iterates depend on any other row — the property the batched
+    root polish relies on for exact per-drop parity.
+
+    ``x0``, when given, must match ``rhs``'s shape; a row's seed is used
+    only if that whole row is finite and ``>= 1`` (the 1-D kernel's
+    all-or-nothing acceptance, applied per row).
+    """
+    rhs_arr = np.asarray(rhs, dtype=float)
+    if rhs_arr.ndim != 2:
+        raise ValueError("solve_x_log_x_rows expects a (lanes, n) array")
+    if np.any(rhs_arr < -1e-12):
+        raise ValueError("rhs must be non-negative")
+    rhs_arr = np.maximum(rhs_arr, 0.0)
+
+    small = 1.0 + np.sqrt(2.0 * rhs_arr)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        large = np.where(
+            rhs_arr > np.e, rhs_arr / np.maximum(np.log(rhs_arr), 1.0), small
+        )
+    x = np.where(rhs_arr > np.e, large, small)
+    if x0 is not None:
+        seed = np.asarray(x0, dtype=float)
+        if seed.shape == rhs_arr.shape:
+            usable = np.all(np.isfinite(seed) & (seed >= 1.0), axis=1)
+            x[usable] = seed[usable]
+    x = np.maximum(x, 1.0 + 1e-15)
+    return _newton_rows(x, rhs_arr, tol, max_iter, "solve_x_log_x_rows")
+
+
+def lambert_solve_rows(
+    rhs: np.ndarray,
+    *,
+    tol: float = 1e-14,
+    max_iter: int = 60,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-row variant of :func:`lambert_solve_vector` for ``(lanes, n)``.
+
+    Same third-order seeds and guarded Newton update as the any-shape
+    kernel, but each row stops on its own criterion (see
+    :func:`_newton_rows`): row ``i`` equals ``lambert_solve_vector(rhs[i])``
+    bitwise and is unaffected by its neighbours.  This is the evaluation
+    kernel of the batched multiplier search, where one lane per row probes
+    its own candidate against its own ``(n,)`` problem data.
+
+    ``x0`` is accepted element-wise within rows (matching the any-shape
+    kernel's per-element acceptance) — seeds only change iteration counts,
+    never the root.
+    """
+    c = np.asarray(rhs, dtype=float)
+    if c.ndim != 2:
+        raise ValueError("lambert_solve_rows expects a (lanes, n) array")
+    if np.any(c < -1e-12):
+        raise ValueError("rhs must be non-negative")
+    c = np.maximum(c, 0.0)
+
+    small = 1.0 + np.sqrt(2.0 * c) + c / 3.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.log(np.maximum(c, np.e))
+        large = c / t * (1.0 + np.log(t) / t)
+    x = np.where(c > np.e, np.maximum(large, 1.0 + 1e-12), small)
+    if x0 is not None:
+        seed = np.asarray(x0, dtype=float)
+        if seed.shape == c.shape:
+            usable = np.isfinite(seed) & (seed >= 1.0)
+            x = np.where(usable, seed, x)
+    x = np.maximum(x, 1.0 + 1e-15)
+    return _newton_rows(x, c, tol, max_iter, "lambert_solve_rows")

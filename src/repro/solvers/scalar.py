@@ -9,6 +9,11 @@ Two flavours are provided:
   convex functions simultaneously, each on its own interval, by evaluating a
   vectorised objective (used by the dual-decomposition fallback solver for
   SP2_v2, one sub-minimisation per device).
+* :func:`golden_section_rows` is the lockstep batch twin of
+  :func:`golden_section_scalar`: one independent minimisation per lane,
+  replicating the scalar variant's bracket updates float-for-float so each
+  lane's result is bitwise equal to a stand-alone scalar call (used by the
+  batched Subproblem-1 pass of the multi-solve allocator path).
 """
 
 from __future__ import annotations
@@ -19,7 +24,11 @@ import numpy as np
 
 from ..exceptions import ConvergenceError
 
-__all__ = ["golden_section_scalar", "golden_section_vector"]
+__all__ = [
+    "golden_section_scalar",
+    "golden_section_vector",
+    "golden_section_rows",
+]
 
 _INV_PHI = (np.sqrt(5.0) - 1.0) / 2.0  # 1 / golden ratio ~ 0.618
 _INV_PHI_SQ = (3.0 - np.sqrt(5.0)) / 2.0  # 1 / golden ratio squared ~ 0.382
@@ -127,3 +136,102 @@ def golden_section_vector(
     x = np.where(fc < fd, c, d)
     fx = np.where(fc < fd, fc, fd)
     return x, fx
+
+
+def golden_section_rows(
+    func: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lockstep batch of independent :func:`golden_section_scalar` solves.
+
+    ``func(lanes, x)`` evaluates lane ``lanes[k]``'s objective at the scalar
+    candidate ``x[k]`` and returns the values in the same order; each lane's
+    value may depend only on that lane's candidate.  ``lo``/``hi`` are 1-D
+    arrays of per-lane interval endpoints.  Returns per-lane arrays
+    ``(x_min, f(x_min))``.
+
+    Unlike :func:`golden_section_vector` (which re-evaluates both probe
+    points every iteration), this variant replicates the scalar algorithm's
+    bookkeeping exactly: per lane it keeps the reusable probe and evaluates
+    exactly one new candidate per iteration, applies the same top-of-loop
+    width test, and freezes converged lanes so a neighbour's extra
+    iterations cannot perturb them.  Lane ``k``'s result is bitwise equal to
+    ``golden_section_scalar(func_k, lo[k], hi[k])`` — the property the
+    batched allocator path's per-drop parity guarantee rests on.
+    """
+    a = np.array(lo, dtype=float, copy=True)
+    b = np.array(hi, dtype=float, copy=True)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("lo and hi must be 1-D arrays of the same shape")
+    swap = b < a
+    a[swap], b[swap] = b[swap], a[swap]
+
+    x_out = np.zeros_like(a)
+    f_out = np.zeros_like(a)
+    degenerate = b == a
+    if np.any(degenerate):
+        idx = np.flatnonzero(degenerate)
+        x_out[idx] = a[idx]
+        f_out[idx] = np.asarray(func(idx, a[idx]), dtype=float)
+
+    active = ~degenerate
+    h = b - a
+    c = a + _INV_PHI_SQ * h
+    d = a + _INV_PHI * h
+    fc = np.zeros_like(a)
+    fd = np.zeros_like(a)
+    idx = np.flatnonzero(active)
+    if idx.size:
+        fc[idx] = np.asarray(func(idx, c[idx]), dtype=float)
+        fd[idx] = np.asarray(func(idx, d[idx]), dtype=float)
+    for _ in range(max_iter):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        narrow = h[idx] <= tol * np.maximum(1.0, np.abs(a[idx]) + np.abs(b[idx]))
+        active[idx[narrow]] = False
+        idx = idx[~narrow]
+        if idx.size == 0:
+            continue
+        left = fc[idx] < fd[idx]
+        li = idx[left]
+        ri = idx[~left]
+        # Shrink left: the old c becomes the new d and keeps its value.
+        b[li] = d[li]
+        d[li] = c[li]
+        fd[li] = fc[li]
+        h[li] = b[li] - a[li]
+        c[li] = a[li] + _INV_PHI_SQ * h[li]
+        # Shrink right: the old d becomes the new c and keeps its value.
+        a[ri] = c[ri]
+        c[ri] = d[ri]
+        fc[ri] = fd[ri]
+        h[ri] = b[ri] - a[ri]
+        d[ri] = a[ri] + _INV_PHI * h[ri]
+        # Exactly one fresh evaluation per active lane, batched in one call.
+        candidates = np.zeros(idx.size)
+        candidates[left] = c[li]
+        candidates[~left] = d[ri]
+        values = np.asarray(func(idx, candidates), dtype=float)
+        fc[li] = values[left]
+        fd[ri] = values[~left]
+    idx = np.flatnonzero(active)
+    if idx.size:
+        # Same top-of-loop semantics as the scalar variant: re-test the
+        # final widths before declaring exhaustion a failure.
+        wide = h[idx] > tol * np.maximum(1.0, np.abs(a[idx]) + np.abs(b[idx]))
+        if np.any(wide):
+            raise ConvergenceError(
+                f"golden_section_rows did not converge in {max_iter} "
+                f"iterations for {int(np.sum(wide))} lane(s): max interval "
+                f"width {float(np.max(h[idx][wide])):.6g} > tol={tol:.3g}"
+            )
+    regular = ~degenerate
+    pick_c = fc < fd
+    x_out[regular] = np.where(pick_c[regular], c[regular], d[regular])
+    f_out[regular] = np.where(pick_c[regular], fc[regular], fd[regular])
+    return x_out, f_out

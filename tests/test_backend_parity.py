@@ -181,12 +181,15 @@ def test_sp2_differential_fuzz_with_kkt_certificates(
     # relative meaning once mu falls below round-off of the per-device
     # scale j = nu d N0 / g), although the bandwidths it controls are
     # negligible there.  The decision variables below are held tight; mu
-    # itself gets the conditioning allowance.
+    # itself gets the conditioning allowance, with the absolute term a
+    # decade above the 1e-12*j round-off boundary — right at it, the two
+    # backends can land a factor apart while every decision variable
+    # still agrees bitwise.
     j_scale = float(
         np.median(nu * system.upload_bits * system.noise_psd_w_per_hz / system.gains)
     )
     assert vector.bandwidth_multiplier == pytest.approx(
-        scalar.bandwidth_multiplier, rel=1e-4, abs=1e-12 * j_scale
+        scalar.bandwidth_multiplier, rel=1e-4, abs=1e-11 * j_scale
     )
     assert vector.objective == pytest.approx(scalar.objective, rel=1e-9, abs=1e-12)
     np.testing.assert_allclose(

@@ -1,0 +1,422 @@
+"""Differential tests: the batched multi-solve path against per-drop solves.
+
+The batched allocator core is only shippable because its contract is
+*exact*: a lane solved inside a ``(batch, num_devices)`` lockstep pass must
+be bit-identical to the stand-alone per-drop solve — no tolerance at all.
+Three levels enforce it:
+
+* **end-to-end** — ``ResourceAllocator.solve_batch`` on every registered
+  scenario family, every field (allocations, objective, iteration counts,
+  convergence history, warm hints) compared with ``==``, never ``approx``;
+* **runner-level** — ``SweepRunner(batch_size=...)`` outcomes, solution
+  states and cache entries against the serial runner, plus the scheduling
+  semantics (grouping, error-lane isolation, warm-chain exclusion);
+* **kernel-level (Hypothesis)** — masked-lane isolation of the row-stopping
+  Newton/golden-section kernels: lane ``k``'s iterates may never depend on
+  what its neighbour lanes are doing, which is the property the end-to-end
+  bit-parity rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JointProblem, ProblemWeights
+from repro.core.allocator import ResourceAllocator
+from repro.core.subproblem1 import solve_subproblem1, solve_subproblem1_rows
+from repro.core.subproblem2 import solve_sp2_v2, solve_sp2_v2_rows
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import SweepConfig
+from repro.experiments.fig2 import Fig2Config
+from repro.experiments.runner import SweepRunner, SweepTask, task_hash
+from repro.scenarios import ScenarioSpec, scenario_families
+from repro.solvers.lambert import (
+    lambert_solve_rows,
+    lambert_solve_vector,
+    solve_x_log_x,
+    solve_x_log_x_rows,
+)
+from repro.solvers.scalar import golden_section_rows, golden_section_scalar
+
+
+def _build(family: str, *, num_devices: int = 8, seed: int = 0):
+    return ScenarioSpec.from_mapping(
+        {"family": family, "num_devices": num_devices, "seed": seed}
+    ).build()
+
+
+def _assert_results_identical(batched, reference):
+    """Every field of an AllocationResult, compared exactly."""
+    assert not isinstance(batched, Exception), batched
+    assert np.array_equal(batched.allocation.power_w, reference.allocation.power_w)
+    assert np.array_equal(
+        batched.allocation.bandwidth_hz, reference.allocation.bandwidth_hz
+    )
+    assert np.array_equal(
+        batched.allocation.frequency_hz, reference.allocation.frequency_hz
+    )
+    assert batched.objective == reference.objective
+    assert batched.round_deadline_s == reference.round_deadline_s
+    assert batched.energy_j == reference.energy_j
+    assert batched.completion_time_s == reference.completion_time_s
+    assert batched.transmission_energy_j == reference.transmission_energy_j
+    assert batched.computation_energy_j == reference.computation_energy_j
+    assert batched.iterations == reference.iterations
+    assert batched.inner_iterations == reference.inner_iterations
+    assert batched.converged == reference.converged
+    assert batched.feasible == reference.feasible
+    assert batched.warm_hints == reference.warm_hints
+    assert len(batched.history) == len(reference.history)
+    for left, right in zip(batched.history, reference.history):
+        assert left.objective == right.objective
+        # NaN-safe exact equality (delay-only records carry no step change).
+        np.testing.assert_array_equal(left.step_change, right.step_change)
+
+
+# -- end-to-end: Algorithm 2 ---------------------------------------------------
+
+
+@pytest.mark.parametrize("family", scenario_families())
+def test_solve_batch_bit_identical_per_family(family):
+    system = _build(family, num_devices=8, seed=3)
+    problems = [
+        JointProblem(system, ProblemWeights(w1, 1.0 - w1))
+        for w1 in (0.9, 0.5, 0.1)
+    ]
+    allocator = ResourceAllocator()
+    batched = allocator.solve_batch(problems)
+    for problem, result in zip(problems, batched):
+        _assert_results_identical(result, allocator.solve(problem))
+
+
+def test_solve_batch_mixes_families_and_fleet_sizes():
+    problems = []
+    for i, family in enumerate(scenario_families()):
+        system = _build(family, num_devices=6 + 2 * (i % 2), seed=i)
+        problems.append(JointProblem(system, ProblemWeights(0.7, 0.3)))
+    allocator = ResourceAllocator()
+    batched = allocator.solve_batch(problems)
+    for problem, result in zip(problems, batched):
+        _assert_results_identical(result, allocator.solve(problem))
+
+
+def test_solve_batch_routes_escape_lanes_through_per_drop_solver():
+    system = _build("paper", num_devices=6, seed=0)
+    problems = [
+        JointProblem(system, ProblemWeights(0.5, 0.5)),
+        # w1 = 0: the closed-form delay-only regime.
+        JointProblem(system, ProblemWeights(0.0, 1.0)),
+        # Hard completion-time budget: the deadline regime.
+        JointProblem(system, ProblemWeights(0.5, 0.5), deadline_s=1e4),
+    ]
+    allocator = ResourceAllocator()
+    batched = allocator.solve_batch(problems)
+    for problem, result in zip(problems, batched):
+        _assert_results_identical(result, allocator.solve(problem))
+
+
+def test_solve_batch_exception_lanes_isolate():
+    good = JointProblem(_build("paper", num_devices=6, seed=1), ProblemWeights(0.5, 0.5))
+    # An impossible completion-time budget makes the initial point infeasible.
+    bad = JointProblem(
+        _build("paper", num_devices=6, seed=1),
+        ProblemWeights(0.5, 0.5),
+        deadline_s=1e-6,
+    )
+    allocator = ResourceAllocator()
+    results = allocator.solve_batch([good, bad, good], return_exceptions=True)
+    assert isinstance(results[1], Exception)
+    _assert_results_identical(results[0], allocator.solve(good))
+    _assert_results_identical(results[2], allocator.solve(good))
+    # Without the gather idiom the failure propagates.
+    with pytest.raises(Exception):
+        allocator.solve_batch([good, bad, good])
+
+
+# -- batched subproblem entry points ------------------------------------------
+
+
+@pytest.mark.parametrize("family", scenario_families())
+def test_solve_subproblem1_rows_bit_identical(family):
+    system = _build(family, num_devices=10, seed=2)
+    rng = np.random.default_rng(42)
+    lanes = [
+        (0.8, 0.2, rng.uniform(0.05, 0.4, size=10)),
+        (0.5, 0.5, rng.uniform(0.05, 0.4, size=10)),
+        (0.2, 0.8, rng.uniform(0.05, 0.4, size=10)),
+    ]
+    results = solve_subproblem1_rows(
+        [system] * len(lanes),
+        [w1 for w1, _, _ in lanes],
+        [w2 for _, w2, _ in lanes],
+        [upload for _, _, upload in lanes],
+    )
+    for (w1, w2, upload), result in zip(lanes, results):
+        reference = solve_subproblem1(system, w1, w2, upload)
+        assert not isinstance(result, Exception)
+        assert np.array_equal(result.frequency_hz, reference.frequency_hz)
+        assert result.round_deadline_s == reference.round_deadline_s
+        assert result.objective == reference.objective
+        assert result.method == reference.method
+
+
+@pytest.mark.parametrize("family", scenario_families())
+def test_solve_sp2_v2_rows_bit_identical(family):
+    system = _build(family, num_devices=10, seed=5)
+    rng = np.random.default_rng(7)
+    power = 0.5 * system.max_power_w
+    bandwidth = np.full(10, system.total_bandwidth_hz / 20.0)
+    rates = system.rates_bps(power, bandwidth)
+    lanes = []
+    for scale in (0.5, 0.7, 0.9):
+        nu = 0.5 * system.global_rounds / rates
+        beta = power * system.upload_bits / rates
+        min_rate = scale * rates * rng.uniform(0.9, 1.0, size=10)
+        lanes.append((nu, beta, min_rate))
+    results = solve_sp2_v2_rows(
+        [system] * len(lanes),
+        [nu for nu, _, _ in lanes],
+        [beta for _, beta, _ in lanes],
+        [r for _, _, r in lanes],
+    )
+    for (nu, beta, min_rate), result in zip(lanes, results):
+        reference = solve_sp2_v2(system, nu, beta, min_rate)
+        assert not isinstance(result, Exception)
+        assert np.array_equal(result.power_w, reference.power_w)
+        assert np.array_equal(result.bandwidth_hz, reference.bandwidth_hz)
+        assert result.objective == reference.objective
+        assert result.bandwidth_multiplier == reference.bandwidth_multiplier
+        assert np.array_equal(result.rate_multipliers, reference.rate_multipliers)
+
+
+# -- runner-level --------------------------------------------------------------
+
+
+def _fig2_tasks(**sweep_kwargs):
+    config = Fig2Config(
+        sweep=SweepConfig(num_devices=8, num_trials=1, **sweep_kwargs),
+        max_power_dbm_grid=(5.0, 9.0),
+        weight_pairs=((0.9, 0.1), (0.5, 0.5)),
+        include_benchmark=True,
+    )
+    return config.tasks()
+
+
+def test_runner_batch_outcomes_match_serial_exactly():
+    tasks = _fig2_tasks()
+    serial = SweepRunner().run(tasks)
+    runner = SweepRunner(batch_size=3)
+    batched = runner.run(tasks)
+    assert runner.last_stats.batches >= 1
+    assert runner.last_stats.batched_tasks > 0
+    assert len(serial) == len(batched)
+    for left, right in zip(serial, batched):
+        assert task_hash(left.task) == task_hash(right.task)
+        assert left.error == right.error
+        assert left.metrics == right.metrics
+        assert left.state == right.state
+
+
+def test_runner_batch_cache_keys_interoperate(tmp_path):
+    tasks = _fig2_tasks()
+    batched_runner = SweepRunner(batch_size=4, cache_dir=tmp_path, use_cache=True)
+    batched_runner.run(tasks)
+    serial_runner = SweepRunner(cache_dir=tmp_path, use_cache=True)
+    outcomes = serial_runner.run(tasks)
+    # Every batched entry is a hit for the serial run: identical cache keys
+    # *and* identical stored results.
+    assert serial_runner.last_stats.cache_hits == len(tasks)
+    reference = SweepRunner().run(tasks)
+    for cached, fresh in zip(outcomes, reference):
+        assert cached.metrics == fresh.metrics
+        assert cached.state == fresh.state
+
+
+def test_runner_batch_error_lane_isolation():
+    tasks = _fig2_tasks()
+    proposed = [t for t in tasks if t.solver_kind == "proposed"]
+    broken = SweepTask(
+        key=("broken",),
+        scenario=dict(proposed[0].scenario),
+        solver_kind="proposed",
+        solver_params={},  # no energy_weight -> KeyError inside the batch
+    )
+    mixed = [proposed[0], broken, proposed[1]]
+    outcomes = SweepRunner(batch_size=4).run(mixed)
+    reference = SweepRunner().run(mixed)
+    assert outcomes[1].error == reference[1].error  # same "Type: message" string
+    assert outcomes[1].metrics is None
+    for index in (0, 2):
+        assert outcomes[index].error is None
+        assert outcomes[index].metrics == reference[index].metrics
+
+
+def test_runner_batch_excludes_warm_chains_and_non_proposed():
+    tasks = _fig2_tasks()
+    runner = SweepRunner(batch_size=4, warm_start=True)
+    outcomes = runner.run(tasks)
+    # Warm-chained proposed tasks and baseline tasks both stay off the
+    # batched path; with fig2's warm keys set, nothing batches.
+    chained = [
+        t for t in tasks if t.solver_kind == "proposed" and t.warm_key is not None
+    ]
+    if chained:
+        assert runner.last_stats.batched_tasks <= len(tasks) - len(chained)
+    assert all(outcome.ok for outcome in outcomes)
+
+
+def test_runner_batch_rejects_process_pool():
+    with pytest.raises(ConfigurationError):
+        SweepRunner(jobs=4, batch_size=8)
+
+
+def test_runner_batch_size_one_disables_batching():
+    runner = SweepRunner(batch_size=1)
+    assert runner.batch is None
+    runner = SweepRunner(batch_size=None)
+    assert runner.batch is None
+
+
+def test_runner_batch_group_key_separates_shapes():
+    tasks = _fig2_tasks()
+    proposed = [t for t in tasks if t.solver_kind == "proposed"]
+    other = SweepTask(
+        key=proposed[0].key,
+        scenario={**dict(proposed[0].scenario), "num_devices": 4},
+        solver_kind="proposed",
+        solver_params=dict(proposed[0].solver_params),
+    )
+    assert SweepRunner.batch_group_key(proposed[0]) == SweepRunner.batch_group_key(
+        proposed[1]
+    )
+    assert SweepRunner.batch_group_key(proposed[0]) != SweepRunner.batch_group_key(
+        other
+    )
+
+
+# -- kernel-level masked-lane isolation (Hypothesis) ---------------------------
+
+
+@pytest.mark.hypothesis
+class TestMaskedLaneIsolation:
+    """A lane's iterates may never depend on its neighbour lanes.
+
+    The row kernels freeze converged rows and keep iterating the rest; the
+    property tested here is the strong form the bit-parity contract needs:
+    row ``k`` of a rows solve equals the stand-alone 1-D solve of row ``k``
+    *whatever* the other rows are — including rows that converge much
+    faster, much slower, or not at all in the same round count.
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_solve_x_log_x_rows_matches_per_row(self, data):
+        num_rows = data.draw(st.integers(min_value=1, max_value=5))
+        width = data.draw(st.integers(min_value=1, max_value=6))
+        rhs = np.array(
+            [
+                [
+                    data.draw(
+                        st.floats(
+                            min_value=0.0,
+                            max_value=1e6,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        )
+                    )
+                    for _ in range(width)
+                ]
+                for _ in range(num_rows)
+            ]
+        )
+        rows = solve_x_log_x_rows(rhs)
+        for k in range(num_rows):
+            alone = solve_x_log_x(rhs[k])
+            np.testing.assert_array_equal(rows[k], alone)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_lambert_solve_rows_matches_per_row(self, data):
+        num_rows = data.draw(st.integers(min_value=1, max_value=5))
+        width = data.draw(st.integers(min_value=1, max_value=6))
+        rhs = np.array(
+            [
+                [
+                    data.draw(
+                        st.floats(
+                            min_value=0.0,
+                            max_value=1e8,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        )
+                    )
+                    for _ in range(width)
+                ]
+                for _ in range(num_rows)
+            ]
+        )
+        rows = lambert_solve_rows(rhs)
+        for k in range(num_rows):
+            alone = lambert_solve_vector(rhs[k])
+            np.testing.assert_array_equal(rows[k], alone)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_neighbour_lane_cannot_perturb_a_row(self, data):
+        """Replacing every *other* lane leaves lane k's bits untouched."""
+        width = data.draw(st.integers(min_value=1, max_value=5))
+        row = np.array(
+            [
+                data.draw(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=1e6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                )
+                for _ in range(width)
+            ]
+        )
+        neighbour_a = np.full(width, 1e-9)  # converges immediately
+        neighbour_b = np.full(width, 9.9e5)  # needs many more rounds
+        with_a = solve_x_log_x_rows(np.stack([neighbour_a, row]))
+        with_b = solve_x_log_x_rows(np.stack([neighbour_b, row, neighbour_b]))
+        np.testing.assert_array_equal(with_a[1], with_b[1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_golden_section_rows_matches_scalar_per_lane(self, data):
+        num_lanes = data.draw(st.integers(min_value=1, max_value=5))
+        centers = [
+            data.draw(
+                st.floats(
+                    min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False
+                )
+            )
+            for _ in range(num_lanes)
+        ]
+        widths = [
+            data.draw(
+                st.floats(
+                    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+                )
+            )
+            for _ in range(num_lanes)
+        ]
+        lo = np.array([c - w for c, w in zip(centers, widths)])
+        hi = np.array([c + w for c, w in zip(centers, widths)])
+
+        def func(lanes, x):
+            return (x - np.asarray(centers)[lanes]) ** 2
+
+        xs, fs = golden_section_rows(func, lo, hi)
+        for k in range(num_lanes):
+            x_ref, f_ref = golden_section_scalar(
+                lambda x, c=centers[k]: (x - c) ** 2, float(lo[k]), float(hi[k])
+            )
+            assert xs[k] == x_ref
+            assert fs[k] == f_ref

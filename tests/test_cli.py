@@ -135,14 +135,18 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
     from repro.perf import bench as bench_module
 
     fake = {
-        "schema": 3,
+        "schema": 4,
         "label": "PRX",
         "mode": "quick",
         "metrics": {
             "cold_wall_s": 1.0,
             "warm_wall_s": 0.5,
             "scalar_wall_s": 2.5,
+            "batch_wall_s": 0.4,
             "warm_wall_speedup": 2.0,
+            "batch_wall_speedup": 2.5,
+            "batch_fill": 1.0,
+            "batch_parity_max_rel_dev": 0.0,
             "backend_sp2_speedup": 3.0,
             "cold_outer_iterations": 10.0,
             "warm_outer_iterations": 10.0,

@@ -130,15 +130,26 @@ def test_expansion_exhaustion_raises_convergence_error(
     reference = solve_sp2_v2(tiny_system, nu, beta, min_rate, backend=backend)
     assert reference.bandwidth_multiplier > 0.0
     monkeypatch.setattr(subproblem2, "MU_BRACKET_MAX_EXPANSIONS", 0)
-    with pytest.raises(ConvergenceError, match="bracketed from above"):
-        solve_sp2_v2(
-            tiny_system,
-            nu,
-            beta,
-            min_rate,
-            backend=backend,
-            mu_hint=reference.bandwidth_multiplier * 1e-8,
+    low_seed = reference.bandwidth_multiplier * 1e-8
+    if backend == "scalar":
+        with pytest.raises(ConvergenceError, match="bracketed from above"):
+            solve_sp2_v2(
+                tiny_system, nu, beta, min_rate, backend=backend, mu_hint=low_seed
+            )
+    else:
+        # solve_sp2_v2 deliberately drops hints on the vector backend, so
+        # seed the internal search directly to start it below the root.
+        _, _, rmin, j, constrained = subproblem2._sp2_prepare(
+            tiny_system, nu, beta, min_rate
         )
+        with pytest.raises(ConvergenceError, match="bracketed from above"):
+            subproblem2._mu_search_vector(
+                j[constrained],
+                rmin[constrained],
+                tiny_system.total_bandwidth_hz,
+                mu_tol=1e-13,
+                mu_hint=low_seed,
+            )
 
 
 @pytest.mark.parametrize("backend", ["scalar", "vector"])

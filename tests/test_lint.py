@@ -33,7 +33,7 @@ RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
 EXPECTED_FAIL_COUNTS = {
     "RL001": 4,  # unseeded default_rng, np.random.seed, np.random.rand, import random
     "RL002": 2,  # silent for/range(max_iter), silent while n < MAX_EXPANSIONS
-    "RL003": 2,  # extra_knob missing from payload(), RoundLoopConfig without _jsonify
+    "RL003": 3,  # extra_knob missing from payload(), RoundLoopConfig without _jsonify, BatchConfig.lane_tol unkeyed
     "RL004": 4,  # from-time import, 2x time.monotonic(), datetime.now()
     "RL005": 3,  # bare except, except Exception, swallowed ConvergenceError
     "RL006": 3,  # == 0.25, a / b == target, float(x) != scale

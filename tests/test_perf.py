@@ -182,7 +182,11 @@ def _report(**metric_overrides):
         "cold_wall_s": 2.0,
         "warm_wall_s": 1.0,
         "scalar_wall_s": 5.0,
+        "batch_wall_s": 0.8,
         "warm_wall_speedup": 2.0,
+        "batch_wall_speedup": 2.5,
+        "batch_fill": 1.0,
+        "batch_parity_max_rel_dev": 0.0,
         "backend_sp2_speedup": 3.0,
         "cold_outer_iterations": 100.0,
         "warm_outer_iterations": 100.0,
@@ -247,6 +251,47 @@ def test_compare_reports_enforces_backend_floor_and_parity():
     # ...and a NaN (structurally different tables) must fail, not pass.
     nan = _report(backend_parity_max_rel_dev=float("nan"))
     assert any("backend parity" in p for p in bench.compare_reports(nan, base))
+
+
+def test_compare_reports_enforces_batch_floor_and_exact_parity():
+    base = _report()
+    # The floor is 2.0 with the wall-speedup slack (0.95): 1.85 must fail...
+    slow = _report(batch_wall_speedup=1.85)
+    assert any(
+        "batch_wall_speedup" in p and "floor" in p
+        for p in bench.compare_reports(slow, base)
+    )
+    # ...while 1.95 sits inside the slack and passes.
+    within_slack = _report(batch_wall_speedup=1.95)
+    assert not any(
+        "batch_wall_speedup" in p for p in bench.compare_reports(within_slack, base)
+    )
+    # The batched path is bit-identical by construction: any deviation at
+    # all (or a NaN from structurally different tables) fails the gate.
+    broken = _report(batch_parity_max_rel_dev=1e-15)
+    assert any("batched" in p for p in bench.compare_reports(broken, base))
+    nan = _report(batch_parity_max_rel_dev=float("nan"))
+    assert any("batched" in p for p in bench.compare_reports(nan, base))
+
+
+def test_compare_reports_warm_floor_allows_scheduler_noise():
+    base = _report()
+    # Drop the fixture's stricter 1.3 override so the built-in 1.0 floor
+    # (warm hints are a vector-path no-op, warm == cold work) is exercised:
+    # with warm's wide noise slack, 0.90 passes and 0.80 fails.
+    base["floors"] = {}
+    # (also drop the fixture's tracked-ratio entry: this test is about the
+    # absolute floor, not the baseline-relative regression check)
+    base["tracked"] = {"cold_inner_iterations": "lower"}
+    noisy = _report(warm_wall_speedup=0.90)
+    assert not any(
+        "warm_wall_speedup" in p for p in bench.compare_reports(noisy, base)
+    )
+    slow = _report(warm_wall_speedup=0.80)
+    assert any(
+        "warm_wall_speedup" in p and "floor" in p
+        for p in bench.compare_reports(slow, base)
+    )
 
 
 def test_compare_reports_cross_mode_checks_floors_only():

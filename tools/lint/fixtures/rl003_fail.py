@@ -1,7 +1,9 @@
 """RL003 failing fixture: a semantic field missing from the cache key.
 
-``extra_knob`` never appears in ``payload()``, and ``RoundLoopConfig``
-has no ``asdict``-based ``_jsonify`` carrier in this (single-file) run.
+``extra_knob`` never appears in ``payload()``, ``RoundLoopConfig`` has no
+``asdict``-based ``_jsonify`` carrier in this (single-file) run, and
+``BatchConfig.lane_tol`` (not allowlisted, unlike ``size``) is named in no
+builder.
 """
 
 from dataclasses import dataclass
@@ -21,3 +23,12 @@ class SweepTask:
 @dataclass(frozen=True)
 class RoundLoopConfig:
     rounds: int
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    size: int
+    lane_tol: float
+
+    def payload(self):
+        return {"size_is_fine": self.size}

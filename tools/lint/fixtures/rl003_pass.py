@@ -31,6 +31,17 @@ class RoundLoopConfig:
     rounds: int
 
 
+@dataclass(frozen=True)
+class BatchConfig:
+    # ``size`` is allowlisted (scheduling-only, parity-tested); ``lane_tol``
+    # is semantic and must be named in a builder — here its own payload().
+    size: int
+    lane_tol: float
+
+    def payload(self):
+        return {"lane_tol": self.lane_tol}
+
+
 def _jsonify(value):
     if dataclasses.is_dataclass(value):
         return dataclasses.asdict(value)

@@ -77,6 +77,16 @@ WATCHED: dict[str, KeySpec] = {
     "AllocatorConfig": KeySpec(mode="asdict"),
     "SumOfRatiosConfig": KeySpec(mode="asdict"),
     "RoundLoopConfig": KeySpec(mode="asdict"),
+    # size is a scheduling knob like warm_key/warm_order: a batched lane's
+    # trajectory is bit-identical to the per-drop solve (parity-tested), so
+    # batch size deliberately stays out of the payload and cache keys are
+    # shared with serial runs.  Any *new* BatchConfig field must either be
+    # threaded into SweepTask.payload() or join this allowlist consciously.
+    "BatchConfig": KeySpec(
+        mode="explicit",
+        builders=("payload",),
+        allow=frozenset({"size"}),
+    ),
 }
 
 
