@@ -41,6 +41,8 @@ from .experiments.registry import EXPERIMENTS, get_experiment
 from .experiments.results import ResultTable
 from .experiments.runner import SweepRunner, TaskOutcome, use_runner
 from .scenarios import get_scenario_family, scenario_families
+from .store import BACKENDS as STORE_BACKENDS
+from .store import merge_stores, migrate_store, open_store
 
 __all__ = ["main", "build_parser"]
 
@@ -134,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         help="result-cache root (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    run.add_argument(
+        "--store",
+        choices=sorted(STORE_BACKENDS),
+        default=None,
+        help="result-store backend for the cache: 'json' (one file per task) "
+        "or 'columnar' (append log + packed segments); default: whatever "
+        "the cache directory already holds, else json",
+    )
+    run.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="run only the tasks whose hash lands in shard I of N (0-based); "
+        "N invocations partition the sweep exactly, and `repro store merge` "
+        "reassembles the shard caches into the serial store bit-for-bit",
     )
     run.add_argument("--output", help="write the result table to this JSON file")
     run.add_argument("--csv", help="write the result rows to this CSV file")
@@ -236,8 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--label",
-        default="PR7",
-        help="report label; also names the default output file (default: PR7)",
+        default="PR8",
+        help="report label; also names the default output file (default: PR8)",
     )
     bench.add_argument(
         "--output",
@@ -254,6 +272,71 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="relative regression tolerance for tracked metrics (default 0.20)",
+    )
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect and transform result stores (the sweep caches): "
+        "stat, query, compact, migrate, merge",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_stat = store_sub.add_parser(
+        "stat", help="summarise one store: backend, entries, files, bytes"
+    )
+    store_stat.add_argument("root", help="store root directory (a cache dir)")
+
+    store_query = store_sub.add_parser(
+        "query",
+        help="extract metric columns across every stored entry as CSV "
+        "(digest + one column per requested metric)",
+    )
+    store_query.add_argument("root", help="store root directory")
+    store_query.add_argument(
+        "--columns",
+        required=True,
+        metavar="A,B,...",
+        help="comma-separated metric names to extract",
+    )
+    store_query.add_argument(
+        "--output", help="write the CSV here instead of stdout"
+    )
+
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="fold a columnar store's append log into one packed segment "
+        "(a no-op for backends without a log)",
+    )
+    store_compact.add_argument("root", help="store root directory")
+
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="copy every entry of one store into a fresh store of another "
+        "backend (entries are preserved bit-identically)",
+    )
+    store_migrate.add_argument("source", help="source store root")
+    store_migrate.add_argument("dest", help="destination store root (created)")
+    store_migrate.add_argument(
+        "--backend",
+        choices=sorted(STORE_BACKENDS),
+        default="columnar",
+        help="destination backend (default: columnar)",
+    )
+
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="union N shard stores into one store; the result is "
+        "byte-identical whatever the shard order",
+    )
+    store_merge.add_argument("dest", help="destination store root (created)")
+    store_merge.add_argument(
+        "sources", nargs="+", metavar="source", help="shard store roots"
+    )
+    store_merge.add_argument(
+        "--backend",
+        choices=sorted(STORE_BACKENDS),
+        default="columnar",
+        help="destination backend (default: columnar)",
     )
 
     lint = subparsers.add_parser(
@@ -357,6 +440,8 @@ def _make_runner(name: str, args: argparse.Namespace) -> SweepRunner:
         warm_start=getattr(args, "warm_start", False),
         progress=_ProgressPrinter(name),
         batch_size=getattr(args, "batch_size", None),
+        store_backend=getattr(args, "store", None),
+        shard=getattr(args, "shard", None),
     )
 
 
@@ -391,10 +476,14 @@ def _run(
         stats = runner.last_stats
         if stats.total:
             warm = f", {stats.warm_started} warm-started" if stats.warm_started else ""
+            skipped = (
+                f", {stats.skipped} other-shard" if stats.skipped else ""
+            )
+            backend = f", store={stats.store_backend}" if stats.store_backend else ""
             print(
                 f"[{name}] {stats.total} tasks in {stats.elapsed_s:.1f}s "
-                f"({stats.cache_hits} cached, {stats.failed} failed{warm}, "
-                f"jobs={runner.jobs})",
+                f"({stats.cache_hits} cached, {stats.failed} failed{warm}"
+                f"{skipped}, jobs={runner.jobs}{backend})",
                 file=sys.stderr,
             )
     print(table.to_markdown())
@@ -498,6 +587,73 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_store(args: argparse.Namespace) -> int:
+    """Dispatch the ``repro store`` subcommands."""
+    import csv as _csv
+
+    if args.store_command == "stat":
+        stat = open_store(args.root).stat()
+        print(f"backend: {stat.backend}")
+        print(f"root: {stat.root}")
+        print(f"entries: {stat.entries}")
+        print(f"files: {stat.files}")
+        print(f"bytes: {stat.bytes}")
+        if stat.backend == "columnar":
+            print(f"segments: {stat.segments}")
+            print(f"log entries: {stat.log_entries}")
+        return 0
+    if args.store_command == "query":
+        columns = [c for c in args.columns.split(",") if c]
+        if not columns:
+            print("error: --columns needs at least one metric name", file=sys.stderr)
+            return 2
+        store = open_store(args.root)
+        rows = store.query(columns)
+        handle = open(args.output, "w", newline="") if args.output else sys.stdout
+        try:
+            writer = _csv.writer(handle)
+            writer.writerow(["digest", *columns])
+            for digest, values in rows:
+                writer.writerow(
+                    [digest, *["" if v is None else v for v in values]]
+                )
+        finally:
+            if args.output:
+                handle.close()
+        if args.output:
+            print(f"wrote {args.output} ({len(rows)} entries)", file=sys.stderr)
+        return 0
+    if args.store_command == "compact":
+        store = open_store(args.root)
+        compact = getattr(store, "compact", None)
+        if callable(compact):
+            packed = compact()
+            print(f"compacted {packed} entries under {store.root}")
+        else:
+            print(f"{store.backend} store has no log to compact; nothing to do")
+        return 0
+    if args.store_command == "migrate":
+        source = open_store(args.source)
+        dest = open_store(args.dest, args.backend)
+        count = migrate_store(source, dest)
+        print(
+            f"migrated {count} entries: {source.backend}:{source.root} -> "
+            f"{dest.backend}:{dest.root}"
+        )
+        return 0
+    if args.store_command == "merge":
+        sources = [open_store(root) for root in args.sources]
+        dest = open_store(args.dest, args.backend)
+        count = merge_stores(sources, dest)
+        print(
+            f"merged {count} entries from {len(sources)} stores into "
+            f"{dest.backend}:{dest.root}"
+        )
+        return 0
+    print(f"error: unknown store command {args.store_command!r}", file=sys.stderr)
+    return 2  # pragma: no cover
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Dispatch ``repro lint`` to :mod:`tools.lint`.
 
@@ -546,6 +702,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_bench(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "store":
+        try:
+            return _run_store(args)
+        except (ConfigurationError, ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "fl":
         try:
             return _run_fl(args)

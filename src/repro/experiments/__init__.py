@@ -45,6 +45,7 @@ from .runner import (
     SweepStats,
     SweepTask,
     TaskOutcome,
+    parse_shard,
     register_solver_kind,
     set_default_runner,
     task_hash,
@@ -64,6 +65,7 @@ __all__ = [
     "average_metrics",
     "baseline_tasks",
     "proposed_tasks",
+    "parse_shard",
     "register_solver_kind",
     "run_sweep",
     "set_default_runner",

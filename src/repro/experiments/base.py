@@ -278,13 +278,20 @@ DEFAULT_METRICS: Mapping[str, str] = {
 
 @dataclass(frozen=True)
 class GridPoint:
-    """The aggregate of every trial sharing one task key."""
+    """The aggregate of every trial sharing one task key.
+
+    ``skipped`` counts trials belonging to another shard of a sharded run —
+    they were never attempted, so they are neither successes nor failures
+    (a point whose every trial was skipped simply has ``metrics=None``
+    without error records).
+    """
 
     key: tuple
     metrics: dict[str, float] | None
     trials: int
     failures: int
     errors: tuple[str, ...]
+    skipped: int = 0
 
     @property
     def ok(self) -> bool:
@@ -301,7 +308,9 @@ def run_sweep(
     Trials are averaged in task order, so the aggregate is identical whether
     the runner executed serially or over a process pool.  Failed trials are
     excluded from the average; a grid point whose every trial failed gets
-    ``metrics=None`` and shows up as an error row in the tables.
+    ``metrics=None`` and shows up as an error row in the tables.  Trials a
+    sharded runner skipped (they belong to another shard) are excluded from
+    both the average and the failure count.
     """
     outcomes = get_active_runner(runner).run(tasks)
     grouped: dict[tuple, list[TaskOutcome]] = {}
@@ -311,12 +320,14 @@ def run_sweep(
     for key, group in grouped.items():
         successes = [dict(o.metrics) for o in group if o.ok]
         errors = tuple(o.error for o in group if o.error is not None)
+        skipped = sum(1 for o in group if o.skipped)
         points[key] = GridPoint(
             key=key,
             metrics=average_metrics(successes) if successes else None,
             trials=len(group),
-            failures=len(group) - len(successes),
+            failures=len(group) - len(successes) - skipped,
             errors=errors,
+            skipped=skipped,
         )
     return points
 

@@ -3,27 +3,51 @@
 A :class:`ResultTable` is a small, dependency-free tabular container with
 named columns, JSON/CSV serialisation and markdown rendering — enough to
 print the same series a figure plots and to archive benchmark outputs.
+
+Storage is **column-major**: the table keeps one value list per column
+(mirroring the packed layout of :mod:`repro.store`'s columnar backend), so
+``column()`` / ``series()`` — what every figure actually consumes — are
+single list copies instead of a per-row dict walk.  The row API is
+unchanged: ``rows`` materialises the same list-of-dicts view as before,
+``add_row`` validates against the schema, and JSON/CSV output is
+byte-identical to the row-major implementation it replaces.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = ["ResultTable"]
 
 
-@dataclass
 class ResultTable:
     """An ordered collection of homogeneous result rows."""
 
-    name: str
-    columns: list[str]
-    rows: list[dict[str, Any]] = field(default_factory=list)
-    metadata: dict[str, Any] = field(default_factory=dict)
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[str],
+        rows: Iterable[Mapping[str, Any]] | None = None,
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.metadata: dict[str, Any] = metadata if metadata is not None else {}
+        self._series: dict[str, list[Any]] = {c: [] for c in self.columns}
+        if len(self._series) != len(self.columns):
+            raise ValueError(f"duplicate column names in {self.columns}")
+        for row in rows or []:
+            self.add_row(**row)
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """The row-major view: one dict per row, keys in column order."""
+        return [
+            {c: self._series[c][i] for c in self.columns} for i in range(len(self))
+        ]
 
     def add_row(self, **values: Any) -> None:
         """Append one row; every table column must be provided."""
@@ -33,7 +57,8 @@ class ResultTable:
         extra = [c for c in values if c not in self.columns]
         if extra:
             raise ValueError(f"row has unknown columns {extra}")
-        self.rows.append({c: values[c] for c in self.columns})
+        for c in self.columns:
+            self._series[c].append(values[c])
 
     def add_error(self, key: Any, messages: Iterable[str]) -> None:
         """Record failed sweep trials for one grid point in the metadata.
@@ -53,27 +78,53 @@ class ResultTable:
         return list(self.metadata.get("errors", []))
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._series[self.columns[0]]) if self.columns else 0
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.rows)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultTable):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.columns == other.columns
+            and self._series == other._series
+            and self.metadata == other.metadata
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultTable(name={self.name!r}, columns={self.columns!r}, "
+            f"rows={len(self)}, metadata={self.metadata!r})"
+        )
+
     def column(self, name: str) -> list[Any]:
-        """All values of one column, in row order."""
-        if name not in self.columns:
+        """All values of one column, in row order (a single list copy)."""
+        if name not in self._series:
             raise KeyError(f"unknown column {name!r}")
-        return [row[name] for row in self.rows]
+        return list(self._series[name])
 
     def filter(self, **criteria: Any) -> "ResultTable":
         """Rows whose columns equal the given criteria, as a new table."""
-        selected = [
-            row
-            for row in self.rows
-            if all(row.get(k) == v for k, v in criteria.items())
+        for key in criteria:
+            if key not in self._series:
+                return ResultTable(
+                    name=self.name, columns=list(self.columns),
+                    metadata=dict(self.metadata),
+                )
+        keep = [
+            i
+            for i in range(len(self))
+            if all(self._series[k][i] == v for k, v in criteria.items())
         ]
-        return ResultTable(
-            name=self.name, columns=list(self.columns), rows=selected, metadata=dict(self.metadata)
+        table = ResultTable(
+            name=self.name, columns=list(self.columns), metadata=dict(self.metadata)
         )
+        for c in self.columns:
+            series = self._series[c]
+            table._series[c] = [series[i] for i in keep]
+        return table
 
     def series(self, x: str, y: str, **criteria: Any) -> tuple[list[Any], list[Any]]:
         """The ``(x, y)`` series of the rows matching ``criteria``."""
@@ -92,8 +143,8 @@ class ResultTable:
         header = "| " + " | ".join(self.columns) + " |"
         divider = "| " + " | ".join("---" for _ in self.columns) + " |"
         body = [
-            "| " + " | ".join(fmt(row[c]) for c in self.columns) + " |"
-            for row in self.rows
+            "| " + " | ".join(fmt(self._series[c][i]) for c in self.columns) + " |"
+            for i in range(len(self))
         ]
         return "\n".join([header, divider, *body])
 

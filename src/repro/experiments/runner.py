@@ -18,10 +18,16 @@ through a pluggable :class:`SweepRunner`:
   produce bit-identical tables), **crash isolation** (a failing task becomes
   an error outcome instead of killing the sweep) and optional **progress
   reporting**;
-* successful results are stored in an **on-disk JSON cache** keyed by a
+* successful results are stored in a pluggable **on-disk result store**
+  (:mod:`repro.store` — JSON-per-task or packed columnar) keyed by a
   SHA-256 hash of the task's canonical payload, so repeating a sweep with an
   unchanged configuration is instant and changing any knob invalidates
   exactly the affected tasks;
+* with ``shard="I/N"`` the runner executes only the tasks whose hash lands
+  in shard ``I`` of ``N``, returning the rest as ``skipped`` outcomes — N
+  independent invocations partition any task list exactly, and
+  ``repro store merge`` reassembles their shard stores into the serial
+  store bit-for-bit;
 * with ``warm_start=True`` the runner chains tasks that share a
   ``warm_key`` **along the sweep axis** (``warm_order``) and seeds each
   solve from its neighbour's solution: the iterative allocator then starts
@@ -55,6 +61,7 @@ from ..core.problem import JointProblem, ProblemWeights
 from ..exceptions import ConfigurationError
 from ..perf.timers import StageTimings, collect_timings, stage, wall_clock
 from ..scenarios import SCENARIO_SCHEMA_VERSION, ScenarioSpec
+from ..store import JsonResultStore, ResultStore, open_store, shard_for_digest
 from ..system import SystemModel
 
 __all__ = [
@@ -71,6 +78,7 @@ __all__ = [
     "execute_task",
     "execute_task_detailed",
     "task_hash",
+    "parse_shard",
     "default_cache_dir",
     "get_active_runner",
     "set_default_runner",
@@ -368,11 +376,14 @@ def _execute_safely(
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """What happened to one task: metrics, a cache hit, or an error.
+    """What happened to one task: metrics, a cache hit, an error, or a skip.
 
     ``state`` is the solver's solution snapshot (used to seed the next task
     of a warm chain), ``timings`` the per-stage wall-clock breakdown of the
     execution, and ``warm`` whether the solve was seeded from a neighbour.
+    ``skipped`` marks a task that belongs to a *different* shard of a
+    ``--shard I/N`` run: it was neither executed nor failed, and the
+    aggregation layer must not count it against the grid point.
     """
 
     task: SweepTask
@@ -382,6 +393,7 @@ class TaskOutcome:
     state: dict[str, Any] | None = None
     timings: dict[str, float] | None = None
     warm: bool = False
+    skipped: bool = False
 
     @property
     def ok(self) -> bool:
@@ -418,6 +430,10 @@ class SweepStats:
     batches: int = 0
     #: Tasks that went through the batched path (the rest ran per drop).
     batched_tasks: int = 0
+    #: Tasks belonging to another shard of a ``--shard I/N`` run.
+    skipped: int = 0
+    #: Result-store backend the run's cache lived on ("" when uncached).
+    store_backend: str = ""
 
 
 def default_cache_dir() -> Path:
@@ -425,40 +441,83 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
-class SweepCache:
-    """On-disk JSON store of per-task metrics, keyed by :func:`task_hash`.
+def parse_shard(spec: str | tuple[int, int] | None) -> tuple[int, int] | None:
+    """Normalise a ``--shard`` spec (``"I/N"`` or ``(I, N)``) to ``(I, N)``.
 
-    Layout: ``<root>/sweeps/<hash[:2]>/<hash>.json`` with the task payload
-    stored alongside the metrics so entries stay debuggable.  Only
-    successful results are stored — a failed task is always retried on the
-    next run.  Entries may additionally carry the solver's solution
+    ``I`` is the zero-based shard index, ``N`` the shard count; ``None``
+    (and the trivial ``(0, 1)`` spec, which selects every task) mean
+    unsharded.  Anything malformed raises :class:`ConfigurationError`.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        index_text, sep, count_text = spec.partition("/")
+        try:
+            if not sep:
+                raise ValueError("missing '/'")
+            parsed = (int(index_text), int(count_text))
+        except ValueError:
+            raise ConfigurationError(
+                f"shard spec must look like I/N (e.g. 0/4), got {spec!r}"
+            ) from None
+    else:
+        parsed = (int(spec[0]), int(spec[1]))
+    index, count = parsed
+    if count < 1 or not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index must satisfy 0 <= I < N, got {index}/{count}"
+        )
+    return None if count == 1 else (index, count)
+
+
+class SweepCache:
+    """The runner's view of its result store, keyed by :func:`task_hash`.
+
+    A thin facade over a :class:`repro.store.ResultStore` backend: the
+    default ``"json"`` backend keeps the original
+    ``<root>/sweeps/<hash[:2]>/<hash>.json`` layout (payload stored
+    alongside the metrics so entries stay debuggable), ``"columnar"``
+    switches to the packed append-log layout of
+    :class:`repro.store.ColumnarResultStore`.  With ``backend=None`` the
+    on-disk layout decides, so pre-existing cache directories keep working.
+
+    Only successful results are stored — a failed task is always retried
+    on the next run.  Entries may additionally carry the solver's solution
     ``state``, which lets a warm chain keep seeding across cache hits.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+    def __init__(
+        self, root: str | Path | None = None, backend: str | None = None
+    ) -> None:
+        self.store: ResultStore = open_store(
+            root if root is not None else default_cache_dir(), backend
+        )
+
+    @property
+    def root(self) -> Path:
+        return self.store.root
+
+    @property
+    def backend(self) -> str:
+        return self.store.backend
 
     def _path(self, digest: str) -> Path:
-        return self.root / "sweeps" / digest[:2] / f"{digest}.json"
+        """Entry path of ``digest`` (JSON backend only — columnar entries
+        live inside shared files and have no per-digest path)."""
+        if not isinstance(self.store, JsonResultStore):
+            raise AttributeError(
+                f"{self.store.backend!r} store entries have no per-digest path"
+            )
+        return self.store.entry_path(digest)
 
     def get(self, digest: str) -> dict[str, float] | None:
-        entry = self.get_entry(digest)
-        return entry[0] if entry is not None else None
+        return self.store.get(digest)
 
     def get_entry(
         self, digest: str
     ) -> tuple[dict[str, float], dict[str, Any] | None] | None:
         """Cached ``(metrics, state)`` for ``digest``, or ``None`` on a miss."""
-        path = self._path(digest)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        metrics = payload.get("metrics")
-        if not isinstance(metrics, dict):
-            return None
-        state = payload.get("state")
-        return dict(metrics), (dict(state) if isinstance(state, dict) else None)
+        return self.store.get_entry(digest)
 
     def put(
         self,
@@ -467,14 +526,10 @@ class SweepCache:
         metrics: Mapping[str, float],
         state: Mapping[str, Any] | None = None,
     ) -> None:
-        path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload: dict[str, Any] = {"task": task.payload(), "metrics": dict(metrics)}
-        if state is not None:
-            payload["state"] = dict(state)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, default=float))
-        os.replace(tmp, path)
+        self.store.put(digest, task.payload(), metrics, state)
+
+    def flush(self) -> None:
+        self.store.flush()
 
 
 ProgressFn = Callable[[int, int, TaskOutcome], None]
@@ -509,6 +564,18 @@ class SweepRunner:
         bit-identical to the per-drop path; only the wall clock changes.
         Mutually exclusive with ``jobs > 1`` (the batched pass is itself the
         parallelism).
+    store_backend:
+        Result-store backend for the cache (``"json"`` / ``"columnar"``);
+        ``None`` auto-detects from the cache directory's on-disk layout.
+        A scheduling/storage knob only — cache keys are unchanged.
+    shard:
+        ``"I/N"`` (or ``(I, N)``) hash-shards the task list: only tasks
+        whose :func:`task_hash` lands in shard ``I`` of ``N`` (by
+        :func:`repro.store.shard_for_digest`) execute; the rest come back
+        as ``skipped`` outcomes.  N invocations with the same task list
+        and different ``I`` partition it exactly, so independent hosts can
+        each fill a shard store and ``repro store merge`` reassembles the
+        serial result bit-for-bit.
     """
 
     def __init__(
@@ -520,13 +587,16 @@ class SweepRunner:
         warm_start: bool = False,
         progress: ProgressFn | None = None,
         batch_size: int | None = None,
+        store_backend: str | None = None,
+        shard: str | tuple[int, int] | None = None,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = int(jobs)
         self.use_cache = use_cache
         self.warm_start = warm_start
-        self.cache = SweepCache(cache_dir)
+        self.cache = SweepCache(cache_dir, store_backend)
+        self.shard = parse_shard(shard)
         self.progress = progress
         self.batch = (
             BatchConfig(size=int(batch_size))
@@ -545,11 +615,21 @@ class SweepRunner:
         """Run every task, returning outcomes in task order."""
         started = wall_clock()
         stats = SweepStats(total=len(tasks))
+        stats.store_backend = self.cache.backend if self.use_cache else ""
         outcomes: list[TaskOutcome | None] = [None] * len(tasks)
         done = 0
 
         pending: list[int] = []
         for index, task in enumerate(tasks):
+            if self.shard is not None:
+                shard_index, shard_count = self.shard
+                if shard_for_digest(task_hash(task), shard_count) != shard_index:
+                    outcome = TaskOutcome(task=task, metrics=None, skipped=True)
+                    outcomes[index] = outcome
+                    stats.skipped += 1
+                    done += 1
+                    self._report(done, stats.total, outcome)
+                    continue
             entry = None
             if self.use_cache:
                 io_started = wall_clock()
@@ -601,6 +681,10 @@ class SweepRunner:
                 if executor is not None:
                     executor.shutdown(wait=True, cancel_futures=True)
 
+        if self.use_cache:
+            io_started = wall_clock()
+            self.cache.flush()
+            stats.cache_io_s += wall_clock() - io_started
         stats.elapsed_s = wall_clock() - started
         self.last_stats = stats
         return [outcome for outcome in outcomes if outcome is not None]

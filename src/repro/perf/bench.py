@@ -33,13 +33,25 @@ Since schema 4 the report also carries the **batched multi-solve** run:
 ``batch_parity_max_rel_dev`` — the batched path is *bit-identical* to the
 per-drop one by construction, so its parity gate is exactly zero.
 
+Since schema 5 the report also carries a **result-store suite**: the cold
+sweep's real outcomes are written to and read back from both
+:mod:`repro.store` backends (``store_write_{json,columnar}_s``,
+``store_read_{json,columnar}_s``), where a read pass is one fresh store
+instance serving every digest — the cache-hit pattern of a repeated sweep.
+``store_read_speedup`` (JSON wall over columnar wall) carries a floor: the
+columnar backend's whole reason to exist is that one segment load beats
+O(tasks) file opens.  ``store_parity_max_rel_dev`` is the zero-tolerance
+gate that both backends return bit-identical entries (metrics *and* warm
+state).
+
 :func:`compare_reports` gates a report against a committed baseline: a
 tracked metric that regresses beyond the tolerance (default 20%), a floor
 that is no longer met (backend SP2 speedup >= 2x, batched multi-solve
-wall speedup >= 2x, warm wall no slower than cold), or a parity breach
-(warm/cold above 1e-6, scalar/vector above 1e-8, batched/per-drop above
-0.0, FL round loops above the warm/backend bounds) fails the comparison —
-that is the CI perf gate.
+wall speedup >= 2x, warm wall no slower than cold, columnar store reads
+beating JSON), or a parity breach (warm/cold above 1e-6, scalar/vector
+above 1e-8, batched/per-drop above 0.0, store backends above 0.0, FL
+round loops above the warm/backend bounds) fails the comparison — that is
+the CI perf gate.
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -54,8 +67,9 @@ from typing import Any, Mapping
 
 from ..experiments.base import SweepConfig
 from ..experiments.fig2 import Fig2Config
-from ..experiments.runner import SweepRunner, TaskOutcome
+from ..experiments.runner import SweepRunner, TaskOutcome, task_hash
 from ..fl.roundloop import FLRoundLoop, RoundLoopConfig
+from ..store import open_store
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -70,7 +84,7 @@ __all__ = [
     "compare_reports",
 ]
 
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 #: Relative regression a tracked metric may show before the compare fails.
 DEFAULT_TOLERANCE = 0.20
 #: Maximum relative deviation allowed between warm and cold sweep metrics.
@@ -87,11 +101,16 @@ DEFAULT_BACKEND_PARITY_TOL = 1e-8
 #: trajectory, so it must never be slower than cold beyond scheduler noise
 #: (the hint-threading overhead that used to drag it to ~0.98x is gone).
 #: ``batch_wall_speedup`` gates the batched multi-solve path against the
-#: per-drop cold sweep.
+#: per-drop cold sweep.  ``store_read_speedup`` gates the columnar result
+#: store against the JSON oracle on cache-hit reads: one segment load must
+#: beat O(tasks) file opens even at the quick suite's 8 entries (~2.7x
+#: measured there, ~8.8x at standard scale — the floor is deliberately far
+#: below both).
 _FLOORS: dict[str, float] = {
     "backend_sp2_speedup": 2.0,
     "warm_wall_speedup": 1.0,
     "batch_wall_speedup": 2.0,
+    "store_read_speedup": 1.2,
 }
 
 #: Wall-clock speedup floors get a per-metric slack factor in the
@@ -104,9 +123,13 @@ _FLOORS: dict[str, float] = {
 #: the zero-tolerance parity and iteration-count gates, which are
 #: noise-free.  ``batch_wall_speedup`` has real headroom above its floor
 #: (~2.2x measured vs the 2.0 floor), so it keeps a tight slack.
+#: ``store_read_speedup`` is measured on sub-millisecond walls at quick
+#: scale, so it gets the same generous slack as the warm ratio; the
+#: measured headroom (2x+ above the floor) does the real guarding.
 _WALL_SPEEDUP_FLOOR_SLACK: dict[str, float] = {
     "warm_wall_speedup": 0.85,
     "batch_wall_speedup": 0.95,
+    "store_read_speedup": 0.85,
 }
 
 #: Metrics compared against the baseline, with their improvement direction.
@@ -258,8 +281,83 @@ def _parity(cold_table, warm_table) -> float:
 #: ``batch_fill`` is 1.0 when the grouping works as designed.
 _BENCH_BATCH_SIZE = 8
 
+#: Timed read passes per store backend (best-of is reported): one pass is
+#: a fresh store instance serving every digest once — the cache-hit
+#: pattern of a repeated sweep.
+_STORE_READ_REPEATS = 5
 
-def run_bench(*, quick: bool = False, label: str = "PR7") -> dict[str, Any]:
+
+def _bench_store(outcomes: list[TaskOutcome]) -> dict[str, float]:
+    """Time both result-store backends on the cold sweep's real outcomes.
+
+    Write = put every entry, flush and (for columnar) compact.  Read =
+    best-of-``_STORE_READ_REPEATS`` passes, each on a *fresh* store
+    instance so the JSON backend pays its per-entry file opens and the
+    columnar backend its one segment load — the honest cache-hit model.
+    The parity deviation is exact-equality strict: entries that float-match
+    but differ structurally (an int came back a float, a warm state
+    changed) read as ``inf``.
+    """
+    entries = [
+        (task_hash(o.task), o.task.payload(), o.metrics, o.state)
+        for o in outcomes
+        if o.ok
+    ]
+    timings: dict[str, float] = {}
+    read_back: dict[str, dict[str, Any]] = {}
+    for backend in ("json", "columnar"):
+        with tempfile.TemporaryDirectory(prefix=f"repro-bench-store-{backend}-") as root:
+            started = time.perf_counter()
+            store = open_store(root, backend)
+            for digest, task, metrics, state in entries:
+                store.put(digest, task, metrics, state)
+            store.flush()
+            compact = getattr(store, "compact", None)
+            if callable(compact):
+                compact()
+            timings[f"store_write_{backend}_s"] = time.perf_counter() - started
+            best_read = float("inf")
+            for _ in range(_STORE_READ_REPEATS):
+                reader = open_store(root, backend)
+                started = time.perf_counter()
+                for digest, _task, _metrics, _state in entries:
+                    reader.get_entry(digest)
+                best_read = min(best_read, time.perf_counter() - started)
+            timings[f"store_read_{backend}_s"] = best_read
+            reader = open_store(root, backend)
+            read_back[backend] = {
+                digest: reader.get_entry(digest)
+                for digest, _task, _metrics, _state in entries
+            }
+    deviation = 0.0
+    for digest, _task, metrics, state in entries:
+        json_entry = read_back["json"].get(digest)
+        columnar_entry = read_back["columnar"].get(digest)
+        if json_entry is None or columnar_entry is None:
+            deviation = float("inf")
+            break
+        parity = _flat_parity(json_entry[0], columnar_entry[0])
+        if parity == 0.0 and json_entry != columnar_entry:
+            # Float-identical but structurally different (int/float type
+            # drift or a warm-state mismatch): still a parity breach.
+            parity = float("inf")
+        deviation = max(deviation, parity)
+    return {
+        "store_entries": float(len(entries)),
+        "store_write_json_s": round(timings["store_write_json_s"], 6),
+        "store_write_columnar_s": round(timings["store_write_columnar_s"], 6),
+        "store_read_json_s": round(timings["store_read_json_s"], 6),
+        "store_read_columnar_s": round(timings["store_read_columnar_s"], 6),
+        "store_read_speedup": round(
+            timings["store_read_json_s"]
+            / max(timings["store_read_columnar_s"], 1e-12),
+            4,
+        ),
+        "store_parity_max_rel_dev": deviation,
+    }
+
+
+def run_bench(*, quick: bool = False, label: str = "PR8") -> dict[str, Any]:
     """Run the suite and return the report (see the module docstring)."""
     config = bench_config(quick)
     modes: dict[str, dict[str, Any]] = {
@@ -356,13 +454,14 @@ def run_bench(*, quick: bool = False, label: str = "PR7") -> dict[str, Any]:
         "fl_warm_parity_max_rel_dev": _flat_parity(fl_cold, fl_warm),
         "fl_backend_parity_max_rel_dev": _flat_parity(fl_cold, fl_scalar),
     }
+    metrics.update(_bench_store(cold_outcomes))
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "label": label,
         "mode": "quick" if quick else "standard",
         "suite": "fig2 sweep: cold (vector) vs warm-started vs scalar backend "
         "vs batched multi-solve (jobs=1, cache off) + closed-loop FL round "
-        "loop (cold/warm/scalar)",
+        "loop (cold/warm/scalar) + result-store read/write (json vs columnar)",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -450,6 +549,17 @@ def compare_reports(
         problems.append(
             f"batched/per-drop parity broke: max relative deviation "
             f"{batch_parity:.3e} exceeds the exact-equality gate (0.0)"
+        )
+
+    # Result-store parity (schema >= 5).  Zero tolerance: both backends
+    # serve the same entries through lossless round-trips, so any deviation
+    # (including an int coming back a float, or a warm state drifting) is a
+    # packing bug, not noise.  Guarded on presence like the batch gate.
+    store_parity = current_metrics.get("store_parity_max_rel_dev")
+    if store_parity is not None and not store_parity <= 0.0:  # catches NaN too
+        problems.append(
+            f"result-store parity broke: max relative deviation "
+            f"{store_parity:.3e} exceeds the exact-equality gate (0.0)"
         )
 
     # Closed-loop FL parities (schema >= 3).  Guarded on presence so a

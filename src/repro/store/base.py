@@ -1,0 +1,167 @@
+"""The :class:`ResultStore` interface every result-store backend implements.
+
+A result store is a keyed archive of per-task sweep results: the key is the
+task's SHA-256 digest (:func:`repro.experiments.runner.task_hash`), the
+value is the triple ``(task payload, metrics, state)`` the runner produced.
+The store is **addressing only** — cache *keys* are computed by the sweep
+engine from the task's canonical payload and never change with the backend,
+so JSON and columnar stores holding the same sweep are interchangeable (the
+parity gates enforce it bit-for-bit).
+
+Two invariants every backend must keep:
+
+* **digest-only addressing** — where an entry lives on disk may depend on
+  its digest and nothing else (not the payload, not the metrics); the
+  RL007 lint rule cross-checks this statically for the path-building
+  functions (:meth:`ResultStore.entry_path`, :func:`shard_for_digest`);
+* **crash-safe writes** — a put interrupted at any point must leave the
+  store readable, with the half-written entry reading as a miss (never as
+  garbage that raises).
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["StoreEntry", "StoreStat", "ResultStore", "shard_for_digest"]
+
+#: Length of a hex-encoded SHA-256 task digest.
+DIGEST_LENGTH = 64
+
+
+def shard_for_digest(digest: str, count: int) -> int:
+    """The shard (``0 .. count-1``) a task digest belongs to.
+
+    Sharding is deterministic in the digest alone, so N independent
+    ``repro run --shard I/N`` invocations partition any task list exactly
+    (every task lands in precisely one shard, whatever the host or
+    execution order).  The leading 64 bits of the digest are uniform, so
+    shards are balanced for any realistic ``count``.
+    """
+    if count <= 0:
+        raise ValueError(f"shard count must be positive, got {count}")
+    return int(digest[:16], 16) % count
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored result: the task payload, its metrics and optional state."""
+
+    digest: str
+    task: dict[str, Any]
+    metrics: dict[str, float]
+    state: dict[str, Any] | None = None
+
+    def canonical_blob(self) -> str:
+        """A canonical JSON serialisation (used for deterministic merges)."""
+        return json.dumps(
+            {"task": self.task, "metrics": self.metrics, "state": self.state},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=float,
+        )
+
+
+@dataclass(frozen=True)
+class StoreStat:
+    """What ``repro store stat`` reports for one store."""
+
+    backend: str
+    root: str
+    entries: int
+    files: int
+    bytes: int
+    #: Columnar only: packed segments and not-yet-compacted log records.
+    segments: int = 0
+    log_entries: int = 0
+
+
+class ResultStore(ABC):
+    """Keyed archive of sweep results; see the module docstring.
+
+    Subclasses implement the entry-returning paths (:meth:`get_entry`,
+    :meth:`put`, :meth:`entries`); the metrics-only :meth:`get` is a thin
+    wrapper defined once here, so there is exactly one read path per
+    backend.
+    """
+
+    #: Registry name of the backend (``"json"`` / ``"columnar"``).
+    backend: str = ""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- the one read path ---------------------------------------------------
+    @abstractmethod
+    def get_entry(
+        self, digest: str
+    ) -> tuple[dict[str, float], dict[str, Any] | None] | None:
+        """Stored ``(metrics, state)`` for ``digest``, or ``None`` on a miss.
+
+        Unreadable, truncated or otherwise corrupt entries are misses, not
+        errors — a crashed writer must never poison later runs.
+        """
+
+    def get(self, digest: str) -> dict[str, float] | None:
+        """Metrics only — a thin wrapper over :meth:`get_entry`."""
+        entry = self.get_entry(digest)
+        return entry[0] if entry is not None else None
+
+    # -- writes --------------------------------------------------------------
+    @abstractmethod
+    def put(
+        self,
+        digest: str,
+        task: Mapping[str, Any],
+        metrics: Mapping[str, float],
+        state: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Store one successful result (crash-safe; overwrites silently)."""
+
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for write-through backends)."""
+
+    # -- enumeration ---------------------------------------------------------
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Every stored digest (order unspecified)."""
+
+    @abstractmethod
+    def entries(self) -> Iterator[StoreEntry]:
+        """Every stored entry including the task payload (for migrate/merge)."""
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get_entry(digest) is not None
+
+    # -- inspection ----------------------------------------------------------
+    @abstractmethod
+    def stat(self) -> StoreStat:
+        """Size and layout summary for ``repro store stat``."""
+
+    def metric_columns(self) -> list[str]:
+        """Sorted union of metric names across every stored entry."""
+        names: set[str] = set()
+        for entry in self.entries():
+            names.update(entry.metrics)
+        return sorted(names)
+
+    def query(self, columns: list[str]) -> list[tuple[str, list[float | None]]]:
+        """Cross-experiment column extraction: ``(digest, values)`` rows.
+
+        ``values`` follows ``columns``; a metric an entry does not carry is
+        ``None``.  Backends with a packed layout override this with a
+        vectorised scan; the base implementation walks :meth:`entries`.
+        """
+        rows = [
+            (entry.digest, [entry.metrics.get(name) for name in columns])
+            for entry in self.entries()
+        ]
+        rows.sort(key=lambda pair: pair[0])
+        return rows

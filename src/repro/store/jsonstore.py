@@ -1,0 +1,116 @@
+"""The JSON-file-per-task result store (the original cache layout).
+
+Layout — unchanged since PR 1, so pre-existing cache directories keep
+working and this backend doubles as the compatibility oracle the columnar
+backend is parity-gated against::
+
+    <root>/sweeps/<digest[:2]>/<digest>.json
+        {"task": <canonical payload>, "metrics": {...}, "state": {...}}
+
+Writes are crash-safe: the entry is written to a uniquely named temp file
+in the same directory and atomically renamed into place, so a reader can
+never observe a half-written entry; a truncated or garbage file (e.g. from
+a pre-rename crash of an older writer, or disk corruption) reads as a miss
+and is silently overwritten by the next put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .base import DIGEST_LENGTH, ResultStore, StoreEntry, StoreStat
+
+__all__ = ["JsonResultStore"]
+
+
+class JsonResultStore(ResultStore):
+    """One JSON file per task digest; see the module docstring."""
+
+    backend = "json"
+
+    def entry_path(self, digest: str) -> Path:
+        """Where ``digest``'s entry lives — a function of the digest alone."""
+        return self.root / "sweeps" / digest[:2] / f"{digest}.json"
+
+    def get_entry(
+        self, digest: str
+    ) -> tuple[dict[str, float], dict[str, Any] | None] | None:
+        payload = self._load(self.entry_path(digest))
+        if payload is None:
+            return None
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            return None
+        state = payload.get("state")
+        return dict(metrics), (dict(state) if isinstance(state, dict) else None)
+
+    @staticmethod
+    def _load(path: Path) -> dict[str, Any] | None:
+        """Parse one entry file; any unreadable/garbage content is a miss."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(
+        self,
+        digest: str,
+        task: Mapping[str, Any],
+        metrics: Mapping[str, float],
+        state: Mapping[str, Any] | None = None,
+    ) -> None:
+        path = self.entry_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: dict[str, Any] = {"task": dict(task), "metrics": dict(metrics)}
+        if state is not None:
+            payload["state"] = dict(state)
+        # Unique temp name (digest + pid) so concurrent writers of the same
+        # entry never clobber each other's half-written temp file; the
+        # rename is atomic, so readers see the old entry or the new one,
+        # never a truncation.
+        tmp = path.with_name(f".{digest}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, default=float))
+        os.replace(tmp, path)
+
+    def keys(self) -> Iterator[str]:
+        sweeps = self.root / "sweeps"
+        if not sweeps.is_dir():
+            return
+        for path in sorted(sweeps.glob("??/*.json")):
+            if len(path.stem) == DIGEST_LENGTH:
+                yield path.stem
+
+    def entries(self) -> Iterator[StoreEntry]:
+        for digest in self.keys():
+            payload = self._load(self.entry_path(digest))
+            if payload is None or not isinstance(payload.get("metrics"), dict):
+                continue
+            state = payload.get("state")
+            yield StoreEntry(
+                digest=digest,
+                task=dict(payload.get("task") or {}),
+                metrics=dict(payload["metrics"]),
+                state=dict(state) if isinstance(state, dict) else None,
+            )
+
+    def stat(self) -> StoreStat:
+        entries = 0
+        files = 0
+        size = 0
+        sweeps = self.root / "sweeps"
+        if sweeps.is_dir():
+            for path in sweeps.glob("??/*.json"):
+                files += 1
+                entries += len(path.stem) == DIGEST_LENGTH
+                size += path.stat().st_size
+        return StoreStat(
+            backend=self.backend,
+            root=str(self.root),
+            entries=entries,
+            files=files,
+            bytes=size,
+        )

@@ -1,0 +1,61 @@
+"""Whole-store operations: migrate between backends, merge shard stores.
+
+Both operations are **entry-preserving**: they move :class:`StoreEntry`
+triples between stores without recomputing digests or touching payloads,
+so a migrated or merged store is bit-identical (entry-wise) to its
+sources — the round-trip and merge-determinism tests gate exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ResultStore, StoreEntry
+
+__all__ = ["migrate_store", "merge_stores"]
+
+
+def migrate_store(source: ResultStore, dest: ResultStore) -> int:
+    """Copy every entry from ``source`` into ``dest``; returns the count.
+
+    Entries are copied in sorted-digest order and the destination is
+    compacted (when the backend supports it), so migrating the same source
+    twice produces byte-identical output trees.
+    """
+    count = 0
+    for entry in sorted(source.entries(), key=lambda item: item.digest):
+        dest.put(entry.digest, entry.task, entry.metrics, entry.state)
+        count += 1
+    dest.flush()
+    compact = getattr(dest, "compact", None)
+    if callable(compact):
+        compact()
+    return count
+
+
+def merge_stores(sources: Sequence[ResultStore], dest: ResultStore) -> int:
+    """Union ``sources`` into ``dest``; returns the number of merged entries.
+
+    The result is independent of shard arrival order: entries are keyed by
+    digest, a duplicate digest keeps the entry with the smallest canonical
+    serialisation (they are identical in practice — shards executing the
+    same task produce the same result — but ties must break
+    deterministically, not by argument order), and the union is written in
+    sorted-digest order then compacted.  Merging the same shard set in any
+    order therefore produces byte-identical stores, which is what lets CI
+    ``cmp`` a merged store's CSV against the serial run's.
+    """
+    merged: dict[str, StoreEntry] = {}
+    for source in sources:
+        for entry in source.entries():
+            incumbent = merged.get(entry.digest)
+            if incumbent is None or entry.canonical_blob() < incumbent.canonical_blob():
+                merged[entry.digest] = entry
+    for digest in sorted(merged):
+        entry = merged[digest]
+        dest.put(entry.digest, entry.task, entry.metrics, entry.state)
+    dest.flush()
+    compact = getattr(dest, "compact", None)
+    if callable(compact):
+        compact()
+    return len(merged)

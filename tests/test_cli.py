@@ -135,10 +135,12 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
     from repro.perf import bench as bench_module
 
     fake = {
-        "schema": 4,
+        "schema": 5,
         "label": "PRX",
         "mode": "quick",
         "metrics": {
+            "store_read_speedup": 2.5,
+            "store_parity_max_rel_dev": 0.0,
             "cold_wall_s": 1.0,
             "warm_wall_s": 0.5,
             "scalar_wall_s": 2.5,
@@ -241,3 +243,127 @@ def test_fl_command_selection_and_backend_flags(capsys):
     )
     out = capsys.readouterr().out
     assert "| 2 |" in out
+
+
+# -- repro store / --shard ---------------------------------------------------
+
+
+def _seed_store(root, backend, indices=range(3)):
+    from repro.store import open_store
+
+    store = open_store(root, backend)
+    for i in indices:
+        store.put(
+            f"{i:02x}" * 32,
+            {"scenario": {"seed": i}},
+            {"objective": 1.5 * i, "iterations": 3 + i},
+            {"mu": 0.5 * i},
+        )
+    store.flush()
+    return store
+
+
+def test_run_parser_accepts_store_and_shard_flags():
+    args = build_parser().parse_args(
+        ["run", "fig2", "--store", "columnar", "--shard", "1/4"]
+    )
+    assert args.store == "columnar"
+    assert args.shard == "1/4"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig2", "--store", "parquet"])
+
+
+def test_shard_and_store_flags_configure_the_runner(monkeypatch):
+    from repro import cli as cli_module
+
+    captured = {}
+
+    class FakeRunner:
+        def __init__(self, jobs=1, **kwargs):
+            captured.update(kwargs, jobs=jobs)
+            self.jobs = jobs
+            from repro.experiments.runner import SweepStats
+
+            self.last_stats = SweepStats()
+
+    monkeypatch.setattr(cli_module, "SweepRunner", FakeRunner)
+    args = build_parser().parse_args(
+        ["run", "samples", "--store", "columnar", "--shard", "1/4"]
+    )
+    cli_module._make_runner("samples", args)
+    assert captured["store_backend"] == "columnar"
+    assert captured["shard"] == "1/4"
+
+
+def test_run_rejects_malformed_shard_spec(capsys):
+    assert main(["run", "samples", "--no-cache", "--shard", "4/4"]) == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_store_stat_reports_backend_and_entries(tmp_path, capsys):
+    _seed_store(tmp_path, "columnar")
+    assert main(["store", "stat", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "backend: columnar" in out
+    assert "entries: 3" in out
+    assert "log entries: 3" in out
+
+
+def test_store_query_writes_csv(tmp_path, capsys):
+    _seed_store(tmp_path / "cache", "json")
+    target = tmp_path / "cols.csv"
+    assert main(
+        [
+            "store", "query", str(tmp_path / "cache"),
+            "--columns", "objective,missing",
+            "--output", str(target),
+        ]
+    ) == 0
+    lines = target.read_text().splitlines()
+    assert lines[0] == "digest,objective,missing"
+    assert len(lines) == 4
+    assert lines[1].startswith("00" * 32)
+    assert lines[1].endswith(",0.0,")  # absent column reads as empty
+
+
+def test_store_compact_folds_the_log(tmp_path, capsys):
+    from repro.store import open_store
+
+    _seed_store(tmp_path, "columnar")
+    assert main(["store", "compact", str(tmp_path)]) == 0
+    assert "compacted 3 entries" in capsys.readouterr().out
+    assert open_store(tmp_path).stat().log_entries == 0
+
+    # The JSON backend has nothing to compact and says so.
+    _seed_store(tmp_path / "json", "json")
+    assert main(["store", "compact", str(tmp_path / "json")]) == 0
+    assert "nothing to do" in capsys.readouterr().out
+
+
+def test_store_migrate_and_merge_round_trip(tmp_path, capsys):
+    from repro.store import open_store
+
+    _seed_store(tmp_path / "a", "json", indices=[0, 1])
+    _seed_store(tmp_path / "b", "json", indices=[2])
+
+    assert main(
+        ["store", "migrate", str(tmp_path / "a"), str(tmp_path / "a-col")]
+    ) == 0
+    assert "migrated 2 entries" in capsys.readouterr().out
+    assert open_store(tmp_path / "a-col").backend == "columnar"
+
+    assert main(
+        [
+            "store", "merge", str(tmp_path / "merged"),
+            str(tmp_path / "a"), str(tmp_path / "b"),
+        ]
+    ) == 0
+    assert "merged 3 entries" in capsys.readouterr().out
+    merged = open_store(tmp_path / "merged")
+    assert len(merged) == 3
+    assert merged.get_entry("00" * 32) == open_store(tmp_path / "a").get_entry("00" * 32)
+
+
+def test_store_stat_on_missing_root_fails_cleanly(tmp_path, capsys):
+    assert main(["store", "stat", str(tmp_path / "nowhere")]) == 0  # empty store
+    assert "entries: 0" in capsys.readouterr().out

@@ -27,7 +27,7 @@ from tools.lint import PARSE_ERROR_ID, all_rules, lint_paths
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tools" / "lint" / "fixtures"
 
-RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
 
 #: Findings each fail fixture must produce (keep in sync with the corpus).
 EXPECTED_FAIL_COUNTS = {
@@ -37,6 +37,7 @@ EXPECTED_FAIL_COUNTS = {
     "RL004": 4,  # from-time import, 2x time.monotonic(), datetime.now()
     "RL005": 3,  # bare except, except Exception, swallowed ConvergenceError
     "RL006": 3,  # == 0.25, a / b == target, float(x) != scale
+    "RL007": 3,  # entry_path(task, "scenario"), shard_for_digest(metrics)
 }
 
 
@@ -62,6 +63,8 @@ def fixture_dest(rule_id, kind):
     """Where a fixture must live for its rule to be in scope."""
     if rule_id == "RL004" and kind == "pass":
         return "src/repro/perf"  # the one tree where the clock is allowed
+    if rule_id == "RL007":
+        return "src/repro/store"  # the store package is RL007's whole scope
     return "src/repro/core"
 
 
@@ -187,6 +190,29 @@ def test_rl003_allowlisted_field_is_quiet(tmp_path):
     source = (FIXTURES / "rl003_pass.py").read_text()
     assert '"key"' not in source.split("def payload")[1].split("@dataclass")[0]
     findings = lint_fixture(tmp_path, "rl003_pass", select=["RL003"])
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 specifics
+# ---------------------------------------------------------------------------
+
+
+def test_rl007_detects_renamed_addressing_functions(tmp_path):
+    """A store module with every watched function renamed away is reported."""
+    target = tmp_path / "src" / "repro" / "store" / "jsonstore.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def path_of(digest):\n    return digest[:2]\n")
+    findings = lint_paths([target], root=tmp_path, select=["RL007"])
+    assert len(findings) == 1
+    assert "rename" in findings[0].message
+
+
+def test_rl007_out_of_scope_outside_store(tmp_path):
+    """The same code is not RL007's business outside src/repro/store/."""
+    findings = lint_fixture(
+        tmp_path, "rl007_fail", dest="src/repro/experiments", select=["RL007"]
+    )
     assert findings == []
 
 

@@ -194,6 +194,8 @@ def _report(**metric_overrides):
         "warm_inner_iterations": 700.0,
         "parity_max_rel_dev": 1e-9,
         "backend_parity_max_rel_dev": 1e-12,
+        "store_read_speedup": 2.5,
+        "store_parity_max_rel_dev": 0.0,
     }
     metrics.update(metric_overrides)
     return {
@@ -272,6 +274,36 @@ def test_compare_reports_enforces_batch_floor_and_exact_parity():
     assert any("batched" in p for p in bench.compare_reports(broken, base))
     nan = _report(batch_parity_max_rel_dev=float("nan"))
     assert any("batched" in p for p in bench.compare_reports(nan, base))
+
+
+def test_compare_reports_enforces_store_floor_and_exact_parity():
+    base = _report()
+    # The floor is 1.2 with the wall-speedup slack (0.85): 1.0 must fail...
+    slow = _report(store_read_speedup=1.0)
+    assert any(
+        "store_read_speedup" in p and "floor" in p
+        for p in bench.compare_reports(slow, base)
+    )
+    # ...while 1.1 sits inside the slack and passes.
+    within_slack = _report(store_read_speedup=1.1)
+    assert not any(
+        "store_read_speedup" in p
+        for p in bench.compare_reports(within_slack, base)
+    )
+    # Both backends round-trip losslessly, so the parity gate is exact:
+    # any deviation at all (or a NaN from a structural mismatch) fails.
+    broken = _report(store_parity_max_rel_dev=1e-15)
+    assert any("result-store" in p for p in bench.compare_reports(broken, base))
+    nan = _report(store_parity_max_rel_dev=float("nan"))
+    assert any("result-store" in p for p in bench.compare_reports(nan, base))
+    # A schema-4 baseline (no store metrics) can still be compared against,
+    # but the current report must carry the floor metric.
+    missing = _report()
+    del missing["metrics"]["store_read_speedup"]
+    assert any(
+        "store_read_speedup" in p and "missing" in p
+        for p in bench.compare_reports(missing, base)
+    )
 
 
 def test_compare_reports_warm_floor_allows_scheduler_noise():

@@ -1,0 +1,22 @@
+"""RL007 fail fixture: store addressing derived from semantic task content.
+
+Three findings: ``entry_path`` takes the task itself and folders entries
+by its scenario (``task`` + ``"scenario"``), and ``shard_for_digest``
+lets the measured metrics steer shard assignment (``metrics``).
+"""
+
+
+class BadStore:
+    def __init__(self, root):
+        self.root = root
+
+    def entry_path(self, digest, task):
+        # Folders entries by scenario family: two stores holding the same
+        # digests now disagree on layout.
+        return self.root / str(task["scenario"]) / f"{digest}.json"
+
+
+def shard_for_digest(digest, count, metrics=None):
+    if metrics is not None:
+        return int(metrics["energy_j"]) % count
+    return int(digest[:16], 16) % count

@@ -1,0 +1,16 @@
+"""RL007 pass fixture: addressing is a pure function of the digest."""
+
+
+class GoodStore:
+    def __init__(self, root):
+        self.root = root
+
+    def entry_path(self, digest):
+        return self.root / "sweeps" / digest[:2] / f"{digest}.json"
+
+    def _segment_path(self, name):
+        return self.root / "columnar" / "segments" / name
+
+
+def shard_for_digest(digest, count):
+    return int(digest[:16], 16) % count

@@ -9,4 +9,5 @@ from . import (  # noqa: F401  (import for side effects: rule registration)
     rl004_wall_clock,
     rl005_exception_hygiene,
     rl006_float_equality,
+    rl007_store_addressing,
 )
