@@ -274,6 +274,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative regression tolerance for tracked metrics (default 0.20)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the long-lived allocation service: POST /solve answers "
+        "allocation requests (cache hits from the result store, cold "
+        "misses coalesced into lockstep batch solves), GET /metrics and "
+        "GET /healthz export observability",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8100,
+        help="TCP port (default 8100; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result-store root the service answers cache hits from and "
+        "writes solves into (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    serve.add_argument(
+        "--store",
+        choices=sorted(STORE_BACKENDS),
+        default=None,
+        help="result-store backend (default: whatever the store directory "
+        "already holds, else json)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="default SP2 inner-solve backend for requests that do not "
+        "override it (enters the cache key, exactly like `repro run "
+        "--backend`)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="maximum concurrent requests coalesced into one lockstep "
+        "multi-solve pass (default 8)",
+    )
+    serve.add_argument(
+        "--gather-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long the coalescer waits after the first queued request "
+        "before solving, so a concurrent burst lands in one batch "
+        "(default 5 ms)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-request solve timeout in seconds (default 300)",
+    )
+
     store = subparsers.add_parser(
         "store",
         help="inspect and transform result stores (the sweep caches): "
@@ -587,6 +649,44 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the allocation service until SIGINT, then shut down gracefully."""
+    from .serve import AllocationServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store_root=args.cache_dir,
+        store_backend=args.store,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        gather_window_s=args.gather_window_ms / 1000.0,
+        request_timeout_s=args.request_timeout,
+    )
+    server = AllocationServer(config)
+    store = server.service.store
+    store_info = f"{store.backend}:{store.root}" if store is not None else "off"
+    print(
+        f"[serve] listening on {server.url} (store={store_info}, "
+        f"batch_size={config.batch_size}, "
+        f"gather_window={config.gather_window_s * 1000:.0f}ms) — "
+        "POST /solve, GET /metrics, GET /healthz; Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print(
+            "[serve] interrupt: draining the coalescing queue and flushing "
+            "the store...",
+            file=sys.stderr,
+        )
+    finally:
+        server.close()
+    print("[serve] stopped", file=sys.stderr)
+    return 0
+
+
 def _run_store(args: argparse.Namespace) -> int:
     """Dispatch the ``repro store`` subcommands."""
     import csv as _csv
@@ -702,6 +802,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_bench(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "serve":
+        try:
+            return _run_serve(args)
+        except (ConfigurationError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "store":
         try:
             return _run_store(args)

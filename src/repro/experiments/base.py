@@ -344,10 +344,18 @@ def add_grid_row(
     (e.g. ``{"time_s": "completion_time_s"}``).  If every trial of the grid
     point failed, the metric columns are filled with NaN and the error
     messages are recorded in the table metadata — the sweep keeps its full
-    shape instead of dying on one bad drop.
+    shape instead of dying on one bad drop.  A point whose trials were all
+    *skipped* (they belong to another shard of a ``--shard I/N`` run) is
+    not a failure: its metric columns are ``None`` (empty cells in CSV and
+    markdown, where a crash renders NaN) and the skip is recorded via
+    :meth:`ResultTable.add_skip`.  Unsharded runs never skip, so their
+    tables are byte-identical to before.
     """
     if point.ok:
         values = {column: point.metrics[source] for column, source in metric_columns.items()}
+    elif point.skipped and not point.failures:
+        values = {column: None for column in metric_columns}
+        table.add_skip(point.key)
     else:
         values = {column: float("nan") for column in metric_columns}
     if point.failures:

@@ -77,6 +77,25 @@ class ResultTable:
         """Failure records appended by :meth:`add_error` (empty if none)."""
         return list(self.metadata.get("errors", []))
 
+    def add_skip(self, key: Any) -> None:
+        """Record a grid point whose every trial was skipped (sharded runs).
+
+        A skipped point was never attempted — its trials belong to another
+        shard of a ``--shard I/N`` run — so it must stay distinguishable
+        from a crashed point: its row carries ``None`` metrics (rendered as
+        empty cells, where a crash renders NaN) and this entry records the
+        skip instead of an error.  Unsharded runs never skip, so tables
+        without skips serialise byte-identically to before.
+        """
+        self.metadata.setdefault("skipped", []).append(
+            list(key) if isinstance(key, (list, tuple)) else key
+        )
+
+    @property
+    def skips(self) -> list[Any]:
+        """Skipped-point keys recorded by :meth:`add_skip` (empty if none)."""
+        return list(self.metadata.get("skipped", []))
+
     def __len__(self) -> int:
         return len(self._series[self.columns[0]]) if self.columns else 0
 
@@ -136,6 +155,10 @@ class ResultTable:
         """Render as a GitHub-flavoured markdown table."""
 
         def fmt(value: Any) -> str:
+            if value is None:
+                # Skipped-trial cells (sharded runs): empty, never "nan" —
+                # a NaN cell means a *crash*, an empty one "not attempted".
+                return ""
             if isinstance(value, float):
                 return float_format.format(value)
             return str(value)

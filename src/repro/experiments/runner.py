@@ -75,6 +75,8 @@ __all__ = [
     "solver_kinds",
     "warm_solver_kinds",
     "allocation_from_state",
+    "batchable_task",
+    "execute_batch",
     "execute_task",
     "execute_task_detailed",
     "task_hash",
@@ -374,6 +376,80 @@ def _execute_safely(
         return None, None, None, f"{type(exc).__name__}: {exc}"
 
 
+def batchable_task(task: SweepTask) -> bool:
+    """Whether ``task`` can ride the lockstep multi-solve path.
+
+    This is the *shape* check shared by every batched execution surface
+    (the runner's batch mode and the ``repro serve`` coalescer): the
+    corners it rejects mirror the lanes
+    :meth:`ResourceAllocator.solve_batch` would route through the per-drop
+    solver anyway (baseline kinds, a hard deadline, ``energy_weight <= 0``),
+    so callers keep their batches densely packed with lanes that genuinely
+    run in lockstep.  Scheduling-level exclusions (e.g. warm chains, which
+    are sequential by definition) are the caller's business.
+    """
+    if task.solver_kind != "proposed":
+        return False
+    params = task.solver_params
+    if params.get("deadline_s") is not None:
+        return False
+    return float(params.get("energy_weight", 0.0)) > 0.0
+
+
+def execute_batch(
+    tasks: Sequence[SweepTask],
+) -> list[tuple[dict[str, float] | None, dict[str, Any] | None, str | None]]:
+    """Solve one group of batchable tasks in a single lockstep pass.
+
+    ``tasks`` must share a :meth:`SweepRunner.batch_group_key` (same solver
+    configuration and device count), so one :class:`ResourceAllocator`
+    serves the whole group.  Returns one ``(metrics, state, error)`` triple
+    per task, in task order; metrics and state snapshots are built exactly
+    as ``_run_proposed`` builds them, so a batched result's cache entry is
+    byte-identical to the per-drop one.  Failures follow
+    :func:`_execute_safely`'s contract: a broken lane (scenario build or
+    solve) becomes an error triple with the same ``"Type: message"``
+    string, never an exception.
+    """
+    results: list[tuple[dict[str, float] | None, dict[str, Any] | None, str | None]] = [
+        (None, None, None)
+    ] * len(tasks)
+    lanes: list[tuple[int, JointProblem]] = []
+    for position, task in enumerate(tasks):
+        try:
+            system = task.scenario_spec().build()
+            weights = ProblemWeights.from_energy_weight(
+                task.solver_params["energy_weight"]
+            )
+            problem = JointProblem(
+                system, weights, deadline_s=task.solver_params.get("deadline_s")
+            )
+        except Exception as exc:  # repro-lint: disable=RL005 -- crash isolation: one bad drop must become an error row, not kill the batch
+            results[position] = (None, None, f"{type(exc).__name__}: {exc}")
+            continue
+        lanes.append((position, problem))
+    if not lanes:
+        return results
+    # One allocator serves the batch: the group key pins the configuration,
+    # so every lane would build this same instance.
+    allocator = ResourceAllocator(tasks[lanes[0][0]].solver_params.get("allocator"))
+    solved = allocator.solve_batch(
+        [problem for _, problem in lanes], return_exceptions=True
+    )
+    for (position, _problem), result in zip(lanes, solved):
+        if isinstance(result, Exception):
+            results[position] = (None, None, f"{type(result).__name__}: {result}")
+            continue
+        state = {
+            "power_w": result.allocation.power_w.tolist(),
+            "bandwidth_hz": result.allocation.bandwidth_hz.tolist(),
+            "frequency_hz": result.allocation.frequency_hz.tolist(),
+            "mu": result.warm_hints.get("mu", 0.0),
+        }
+        results[position] = (dict(result.summary()), state, None)
+    return results
+
+
 @dataclass(frozen=True)
 class TaskOutcome:
     """What happened to one task: metrics, a cache hit, an error, or a skip.
@@ -661,25 +737,38 @@ class SweepRunner:
             done += 1
             self._report(done, stats.total, outcome)
 
-        if pending and self.batch is not None:
-            batched = [index for index in pending if self._batchable(tasks[index])]
-            pending = [index for index in pending if not self._batchable(tasks[index])]
-            for index, outcome in self._execute_batches(tasks, batched, stats):
-                record(index, outcome)
-
-        if pending:
-            chains = self._plan_chains(tasks, pending, outcomes)
-            executor = (
-                ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
-                if self.jobs > 1
-                else None
-            )
-            try:
-                for index, outcome in self._execute(tasks, chains, executor):
+        try:
+            if pending and self.batch is not None:
+                batched = [index for index in pending if self._batchable(tasks[index])]
+                pending = [index for index in pending if not self._batchable(tasks[index])]
+                for index, outcome in self._execute_batches(tasks, batched, stats):
                     record(index, outcome)
-            finally:
-                if executor is not None:
-                    executor.shutdown(wait=True, cancel_futures=True)
+
+            if pending:
+                chains = self._plan_chains(tasks, pending, outcomes)
+                executor = (
+                    ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+                    if self.jobs > 1
+                    else None
+                )
+                try:
+                    for index, outcome in self._execute(tasks, chains, executor):
+                        record(index, outcome)
+                finally:
+                    if executor is not None:
+                        executor.shutdown(wait=True, cancel_futures=True)
+        except KeyboardInterrupt:
+            # Graceful interrupt: the executor shutdown above already
+            # cancelled the not-yet-started futures; flush whatever results
+            # made it into the store (a columnar backend may hold pending
+            # appends) and record the partial stats before re-raising, so
+            # Ctrl-C mid-sweep strands neither workers nor tmp files and
+            # the finished work survives for the next (cached) run.
+            if self.use_cache:
+                self.cache.flush()
+            stats.elapsed_s = wall_clock() - started
+            self.last_stats = stats
+            raise
 
         if self.use_cache:
             io_started = wall_clock()
@@ -694,19 +783,11 @@ class SweepRunner:
         """Whether ``task`` can ride the lockstep multi-solve path.
 
         Warm-chained tasks are excluded (a chain is sequential by
-        definition); the remaining escapes mirror the corners
-        ``ResourceAllocator.solve_batch`` routes to the per-drop solver —
-        filtering them here keeps batches densely packed with lanes that
-        genuinely run in lockstep.
+        definition) on top of the shared :func:`batchable_task` shape check.
         """
-        if task.solver_kind != "proposed":
-            return False
         if self.warm_start and task.warm_key is not None:
             return False
-        params = task.solver_params
-        if params.get("deadline_s") is not None:
-            return False
-        return float(params.get("energy_weight", 0.0)) > 0.0
+        return batchable_task(task)
 
     @staticmethod
     def batch_group_key(task: SweepTask) -> str:
@@ -746,56 +827,14 @@ class SweepRunner:
     ) -> Iterator[tuple[int, TaskOutcome]]:
         """Solve one batch, scattering results back to per-task outcomes.
 
-        Metrics and state snapshots are built exactly as ``_run_proposed``
-        builds them, so a batched outcome's cache entry is byte-identical to
-        the per-drop one.  Failures follow ``_execute_safely``'s contract:
-        a broken lane (scenario build or solve) becomes an error outcome
-        with the same ``"Type: message"`` string, never an exception.
+        The lockstep execution (and its crash-isolation contract) lives in
+        the module-level :func:`execute_batch`, shared with the ``repro
+        serve`` coalescer.
         """
-        lanes: list[tuple[int, JointProblem]] = []
-        for index in chunk:
-            task = tasks[index]
-            try:
-                system = task.scenario_spec().build()
-                weights = ProblemWeights.from_energy_weight(
-                    task.solver_params["energy_weight"]
-                )
-                problem = JointProblem(
-                    system, weights, deadline_s=task.solver_params.get("deadline_s")
-                )
-            except Exception as exc:  # repro-lint: disable=RL005 -- crash isolation: one bad drop must become an error row, not kill the sweep
-                yield index, TaskOutcome(
-                    task=task, metrics=None, error=f"{type(exc).__name__}: {exc}"
-                )
-                continue
-            lanes.append((index, problem))
-        if not lanes:
-            return
-        # One allocator serves the batch: the group key pins the
-        # configuration, so every lane would build this same instance.
-        allocator = ResourceAllocator(
-            tasks[lanes[0][0]].solver_params.get("allocator")
-        )
-        results = allocator.solve_batch(
-            [problem for _, problem in lanes], return_exceptions=True
-        )
-        for (index, _problem), result in zip(lanes, results):
-            task = tasks[index]
-            if isinstance(result, Exception):
-                yield index, TaskOutcome(
-                    task=task,
-                    metrics=None,
-                    error=f"{type(result).__name__}: {result}",
-                )
-                continue
-            state = {
-                "power_w": result.allocation.power_w.tolist(),
-                "bandwidth_hz": result.allocation.bandwidth_hz.tolist(),
-                "frequency_hz": result.allocation.frequency_hz.tolist(),
-                "mu": result.warm_hints.get("mu", 0.0),
-            }
+        triples = execute_batch([tasks[index] for index in chunk])
+        for index, (metrics, state, error) in zip(chunk, triples):
             yield index, TaskOutcome(
-                task=task, metrics=dict(result.summary()), state=state
+                task=tasks[index], metrics=metrics, error=error, state=state
             )
 
     def _plan_chains(

@@ -1,0 +1,293 @@
+"""The request-coalescing queue behind the allocation service.
+
+HTTP request threads :meth:`~RequestCoalescer.submit` cold tasks and block
+on a future; a single worker thread drains the queue every few
+milliseconds and turns whatever arrived in that window into as few solves
+as possible:
+
+* requests for the **same digest** collapse onto one in-flight future
+  (submitted while an identical request is already queued or solving,
+  a request never recomputes — it joins the existing lane);
+* distinct batchable tasks **group by**
+  :meth:`~repro.experiments.runner.SweepRunner.batch_group_key` and each
+  group runs through one lockstep
+  :meth:`~repro.core.allocator.ResourceAllocator.solve_batch` pass via the
+  sweep engine's :func:`~repro.experiments.runner.execute_batch` — the
+  same code the ``--batch-size`` sweep path uses, so a coalesced response
+  is bit-identical to a per-drop ``solve()``;
+* everything else (baselines, deadline-constrained problems) runs through
+  the exact per-drop execution path, one task at a time.
+
+Failures follow the sweep engine's crash-isolation contract: a broken
+lane resolves its futures with an error string, never an exception, and
+one bad request cannot take the worker (or a neighbouring lane) down.
+:meth:`~RequestCoalescer.close` drains every queued request before the
+worker exits, which is what makes the service's SIGINT shutdown graceful.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import warnings
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..experiments.runner import (
+    SweepRunner,
+    SweepTask,
+    _execute_safely,
+    batchable_task,
+    execute_batch,
+)
+from ..perf.timers import StageTimings, stage
+
+__all__ = ["SolveOutcome", "RequestCoalescer"]
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """What one coalesced solve produced for one digest.
+
+    ``batch_size`` is the number of *distinct* tasks solved in the same
+    lockstep pass (1 for the per-drop path) — the observability hook the
+    coalescing tests assert on.
+    """
+
+    digest: str
+    task: SweepTask
+    metrics: dict[str, float] | None
+    state: dict[str, Any] | None
+    error: str | None
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+
+@dataclass
+class _Lane:
+    """One in-flight digest: the task plus every future waiting on it."""
+
+    task: SweepTask
+    futures: list[Future] = field(default_factory=list)
+
+
+class RequestCoalescer:
+    """Single-worker coalescing queue; see the module docstring.
+
+    Parameters
+    ----------
+    batch_size:
+        Maximum lanes per lockstep :func:`execute_batch` pass.
+    gather_window_s:
+        How long the worker waits after the first queued request before
+        draining, so a concurrent burst lands in one drain (and therefore
+        one batch).  A few milliseconds suffices for same-moment bursts;
+        tests raise it to make coalescing deterministic.
+    on_outcome:
+        Optional callback invoked in the worker thread with each
+        :class:`SolveOutcome` *before* its futures resolve — the service
+        uses it to write the result store and bump counters, so a client
+        that re-asks immediately after its response hits the cache.
+    """
+
+    def __init__(
+        self,
+        *,
+        batch_size: int = 8,
+        gather_window_s: float = 0.005,
+        on_outcome: Callable[[SolveOutcome], None] | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.gather_window_s = float(gather_window_s)
+        self.on_outcome = on_outcome
+        self.timings = StageTimings()
+        self._queue: queue.Queue[str] = queue.Queue()
+        self._lanes: dict[str, _Lane] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._stats = {
+            "submitted": 0,
+            "joined": 0,
+            "solved": 0,
+            "errors": 0,
+            "batches": 0,
+            "batched_tasks": 0,
+            "solo_tasks": 0,
+            "max_batch_size": 0,
+            "last_batch_size": 0,
+        }
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-coalescer", daemon=True
+        )
+        self._worker.start()
+
+    # -- the request-thread side ---------------------------------------------
+    def submit(self, task: SweepTask, digest: str) -> Future:
+        """Enqueue ``task`` and return the future its solve will resolve.
+
+        A digest already queued (or currently solving) is *joined*: the
+        caller gets the existing lane's future machinery and no duplicate
+        work is enqueued.  The future resolves with a :class:`SolveOutcome`.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._stop.is_set():
+                raise RuntimeError("coalescer is shut down")
+            lane = self._lanes.get(digest)
+            if lane is not None:
+                lane.futures.append(future)
+                self._stats["joined"] += 1
+                return future
+            self._lanes[digest] = _Lane(task=task, futures=[future])
+            self._stats["submitted"] += 1
+        self._queue.put(digest)
+        return future
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent copy of the coalescing counters (plus queue depth)."""
+        with self._lock:
+            counters = dict(self._stats)
+        counters["queue_depth"] = self._queue.qsize()
+        return counters
+
+    def close(self) -> None:
+        """Drain every queued request, then stop the worker (idempotent).
+
+        New submissions are refused immediately; everything already queued
+        is still solved — their futures resolve before this returns — so a
+        SIGINT shutdown never strands a waiting client.
+        """
+        with self._lock:
+            self._stop.set()
+        self._worker.join()
+
+    # -- the worker side -----------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            # Let a concurrent burst land before draining, so same-moment
+            # requests coalesce into one lockstep batch.  The stop event
+            # doubles as the sleep: shutdown skips the wait and drains.
+            self._stop.wait(self.gather_window_s)
+            digests = [first]
+            while True:
+                try:
+                    digests.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            try:
+                self._drain(digests)
+            except Exception as exc:  # repro-lint: disable=RL005 -- a worker bug must fail the drained lanes loudly, not hang their clients
+                error = f"{type(exc).__name__}: {exc}"
+                for digest in digests:
+                    with self._lock:
+                        lane = self._lanes.pop(digest, None)
+                        self._stats["solved"] += 1
+                        self._stats["errors"] += 1
+                    if lane is not None:
+                        for future in lane.futures:
+                            future.set_result(
+                                SolveOutcome(
+                                    digest=digest,
+                                    task=lane.task,
+                                    metrics=None,
+                                    state=None,
+                                    error=error,
+                                )
+                            )
+
+    def _drain(self, digests: list[str]) -> None:
+        """Solve one drained window: group, batch, resolve."""
+        with self._lock:
+            lanes = [(digest, self._lanes[digest].task) for digest in digests]
+
+        groups: dict[str, list[tuple[str, SweepTask]]] = {}
+        solo: list[tuple[str, SweepTask]] = []
+        for digest, task in lanes:
+            if batchable_task(task):
+                groups.setdefault(SweepRunner.batch_group_key(task), []).append(
+                    (digest, task)
+                )
+            else:
+                solo.append((digest, task))
+
+        collector = StageTimings()
+        outcomes: list[SolveOutcome] = []
+        for members in groups.values():
+            for start in range(0, len(members), self.batch_size):
+                chunk = members[start : start + self.batch_size]
+                with stage("serve_batch", collector):
+                    triples = execute_batch([task for _, task in chunk])
+                for (digest, task), (metrics, state, error) in zip(chunk, triples):
+                    outcomes.append(
+                        SolveOutcome(
+                            digest=digest,
+                            task=task,
+                            metrics=metrics,
+                            state=state,
+                            error=error,
+                            batch_size=len(chunk),
+                        )
+                    )
+                self._record_batch(len(chunk))
+        for digest, task in solo:
+            metrics, state, timings, error = _execute_safely(task)
+            if timings:
+                collector.merge(timings)
+            outcomes.append(
+                SolveOutcome(
+                    digest=digest,
+                    task=task,
+                    metrics=metrics,
+                    state=state,
+                    error=error,
+                    batch_size=1,
+                )
+            )
+            self._record_batch(1, solo=True)
+
+        for outcome in outcomes:
+            self._resolve(outcome)
+        with self._lock:
+            self.timings.merge(collector)
+
+    def _record_batch(self, size: int, *, solo: bool = False) -> None:
+        with self._lock:
+            if solo:
+                self._stats["solo_tasks"] += 1
+            else:
+                self._stats["batches"] += 1
+                self._stats["batched_tasks"] += size
+            self._stats["last_batch_size"] = size
+            self._stats["max_batch_size"] = max(self._stats["max_batch_size"], size)
+
+    def _resolve(self, outcome: SolveOutcome) -> None:
+        """Publish one outcome: store callback first, then the futures."""
+        if self.on_outcome is not None:
+            try:
+                self.on_outcome(outcome)
+            except Exception as exc:  # repro-lint: disable=RL005 -- a store/metrics callback failure must not strand the waiting clients
+                warnings.warn(
+                    f"serve: result callback failed for {outcome.digest[:12]}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        with self._lock:
+            lane = self._lanes.pop(outcome.digest, None)
+            self._stats["solved"] += 1
+            if outcome.error is not None:
+                self._stats["errors"] += 1
+        if lane is not None:
+            for future in lane.futures:
+                future.set_result(outcome)

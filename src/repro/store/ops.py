@@ -4,15 +4,49 @@ Both operations are **entry-preserving**: they move :class:`StoreEntry`
 triples between stores without recomputing digests or touching payloads,
 so a migrated or merged store is bit-identical (entry-wise) to its
 sources — the round-trip and merge-determinism tests gate exactly that.
+
+Both also refuse to write **in place**: a destination that is (or
+contains, or lives inside) one of the sources would interleave ``put`` /
+``compact`` with reads of lazily-materialised source entries — a columnar
+source yields entries straight out of its on-disk segments while the
+destination rewrites them — and can corrupt the store.  The overlap is a
+:class:`~repro.exceptions.ConfigurationError`, raised before anything is
+written.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Sequence
 
+from ..exceptions import ConfigurationError
 from .base import ResultStore, StoreEntry
 
 __all__ = ["migrate_store", "merge_stores"]
+
+
+def _stores_overlap(a: ResultStore, b: ResultStore) -> bool:
+    """Whether two stores' roots coincide or nest (an in-place hazard)."""
+    root_a = Path(os.path.abspath(a.root))
+    root_b = Path(os.path.abspath(b.root))
+    return (
+        root_a == root_b
+        or root_a.is_relative_to(root_b)
+        or root_b.is_relative_to(root_a)
+    )
+
+
+def _reject_in_place(sources: Sequence[ResultStore], dest: ResultStore, op: str) -> None:
+    """Raise when ``dest`` overlaps any source (see the module docstring)."""
+    for source in sources:
+        if _stores_overlap(source, dest):
+            raise ConfigurationError(
+                f"cannot {op} a store onto itself: destination "
+                f"{os.path.abspath(dest.root)} overlaps source "
+                f"{os.path.abspath(source.root)}; {op} into a fresh "
+                "directory instead"
+            )
 
 
 def migrate_store(source: ResultStore, dest: ResultStore) -> int:
@@ -20,8 +54,10 @@ def migrate_store(source: ResultStore, dest: ResultStore) -> int:
 
     Entries are copied in sorted-digest order and the destination is
     compacted (when the backend supports it), so migrating the same source
-    twice produces byte-identical output trees.
+    twice produces byte-identical output trees.  ``dest`` must not overlap
+    ``source`` on disk (in-place migration corrupts the store).
     """
+    _reject_in_place([source], dest, "migrate")
     count = 0
     for entry in sorted(source.entries(), key=lambda item: item.digest):
         dest.put(entry.digest, entry.task, entry.metrics, entry.state)
@@ -43,8 +79,10 @@ def merge_stores(sources: Sequence[ResultStore], dest: ResultStore) -> int:
     deterministically, not by argument order), and the union is written in
     sorted-digest order then compacted.  Merging the same shard set in any
     order therefore produces byte-identical stores, which is what lets CI
-    ``cmp`` a merged store's CSV against the serial run's.
+    ``cmp`` a merged store's CSV against the serial run's.  ``dest`` must
+    not overlap any source on disk (in-place merging corrupts the store).
     """
+    _reject_in_place(sources, dest, "merge")
     merged: dict[str, StoreEntry] = {}
     for source in sources:
         for entry in source.entries():

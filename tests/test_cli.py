@@ -367,3 +367,86 @@ def test_store_migrate_and_merge_round_trip(tmp_path, capsys):
 def test_store_stat_on_missing_root_fails_cleanly(tmp_path, capsys):
     assert main(["store", "stat", str(tmp_path / "nowhere")]) == 0  # empty store
     assert "entries: 0" in capsys.readouterr().out
+
+
+def test_store_merge_refuses_destination_among_sources(tmp_path, capsys):
+    # An in-place merge would read and rewrite the same files; the CLI must
+    # refuse it before touching anything, with a clear error and exit 2.
+    _seed_store(tmp_path / "a", "json", indices=[0])
+    _seed_store(tmp_path / "b", "json", indices=[1])
+    code = main(
+        ["store", "merge", str(tmp_path / "a"), str(tmp_path / "a"), str(tmp_path / "b")]
+    )
+    assert code == 2
+    assert "onto itself" in capsys.readouterr().err
+    from repro.store import open_store
+
+    assert sorted(open_store(tmp_path / "a", "json").keys()) == ["00" * 32]
+
+
+def test_store_migrate_refuses_in_place(tmp_path, capsys):
+    _seed_store(tmp_path / "a", "json", indices=[0])
+    assert main(["store", "migrate", str(tmp_path / "a"), str(tmp_path / "a")]) == 2
+    assert "onto itself" in capsys.readouterr().err
+    assert main(
+        ["store", "migrate", str(tmp_path / "a"), str(tmp_path / "a" / "sub")]
+    ) == 2
+    assert "overlaps" in capsys.readouterr().err
+
+
+# -- repro serve --------------------------------------------------------------
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.host == "127.0.0.1"
+    assert args.port == 8100
+    assert args.store is None
+    assert args.backend is None
+    assert args.batch_size == 8
+    assert args.gather_window_ms == 5.0
+    assert args.request_timeout == 300.0
+
+
+def test_serve_parser_accepts_overrides():
+    args = build_parser().parse_args(
+        [
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--store", "columnar", "--backend", "scalar",
+            "--batch-size", "4", "--gather-window-ms", "20",
+            "--request-timeout", "10",
+        ]
+    )
+    assert (args.host, args.port) == ("0.0.0.0", 0)
+    assert (args.store, args.backend) == ("columnar", "scalar")
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--store", "parquet"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--backend", "quantum"])
+
+
+def test_serve_rejects_invalid_config(tmp_path, capsys):
+    code = main(
+        ["serve", "--port", "0", "--cache-dir", str(tmp_path), "--batch-size", "0"]
+    )
+    assert code == 2
+    assert "batch_size" in capsys.readouterr().err
+
+
+def test_serve_runs_until_interrupt_then_stops_cleanly(tmp_path, capsys, monkeypatch):
+    # Drive the CLI path without a real socket loop: the first poll of
+    # serve_forever raises KeyboardInterrupt, which must fall through the
+    # graceful-shutdown path (drain message, close, exit 0).
+    from repro.serve import AllocationServer
+
+    monkeypatch.setattr(
+        AllocationServer,
+        "serve_forever",
+        lambda self: (_ for _ in ()).throw(KeyboardInterrupt()),
+    )
+    code = main(["serve", "--port", "0", "--cache-dir", str(tmp_path / "store")])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "[serve] listening on http://127.0.0.1:" in err
+    assert "draining the coalescing queue" in err
+    assert "[serve] stopped" in err

@@ -71,3 +71,108 @@ def test_from_rows_infers_columns():
 
 def test_iteration_over_rows():
     assert [row["x"] for row in _table()] == [1, 2, 1]
+
+
+# -- skipped vs crashed rendering (satellite: sharded-run rows) ---------------
+
+
+def _mixed_table():
+    """One good row, one crashed (NaN) row, one skipped (None) row."""
+    table = ResultTable(name="mix", columns=["x", "y"])
+    table.add_row(x=1, y=10.0)
+    table.add_row(x=2, y=float("nan"))
+    table.add_row(x=3, y=None)
+    return table
+
+
+def test_skipped_and_crashed_rows_render_distinctly():
+    # A crashed grid point renders "nan" (something ran and broke); a
+    # skipped one renders an empty cell (nothing was attempted).  Readers
+    # of a sharded export must be able to tell the two apart.
+    lines = _mixed_table().to_markdown().splitlines()
+    assert lines[3] == "| 2 | nan |"
+    assert lines[4] == "| 3 |  |"
+
+
+def test_skipped_and_crashed_csv_cells_differ(tmp_path):
+    path = _mixed_table().to_csv(tmp_path / "mix.csv")
+    rows = path.read_text().strip().splitlines()
+    assert rows[2] == "2,nan"
+    assert rows[3] == "3,"
+
+
+def test_add_skip_records_keys_and_survives_json(tmp_path):
+    table = _mixed_table()
+    table.add_skip(("p", 3))
+    assert table.skips == [["p", 3]]  # tuple keys are listified for JSON
+    loaded = ResultTable.from_json(table.to_json(tmp_path / "mix.json"))
+    assert loaded.skips == [["p", 3]]
+    assert loaded.rows[2]["y"] is None  # skipped cell stays null, not NaN
+
+
+def test_tables_without_skips_serialise_as_before(tmp_path):
+    # The unsharded path must be byte-stable: no "skipped" metadata key, no
+    # rendering change.
+    table = _table()
+    assert table.skips == []
+    assert "skipped" not in table.metadata
+    content = (table.to_csv(tmp_path / "t.csv")).read_text()
+    assert content.strip().splitlines()[1] == "1,a,10.0"
+
+
+def test_add_grid_row_distinguishes_skip_crash_and_success():
+    from repro.experiments.base import GridPoint, add_grid_row
+
+    table = ResultTable(name="grid", columns=["x", "y"])
+    add_grid_row(
+        table,
+        GridPoint(key=("k", 1), metrics={"m": 5.0}, trials=2, failures=0, errors=()),
+        {"y": "m"},
+        x=1,
+    )
+    add_grid_row(
+        table,
+        GridPoint(
+            key=("k", 2), metrics=None, trials=2, failures=2, errors=("boom", "boom")
+        ),
+        {"y": "m"},
+        x=2,
+    )
+    add_grid_row(
+        table,
+        GridPoint(key=("k", 3), metrics=None, trials=2, failures=0, errors=(), skipped=2),
+        {"y": "m"},
+        x=3,
+    )
+    rows = table.rows
+    assert rows[0]["y"] == 5.0
+    assert rows[1]["y"] != rows[1]["y"]  # NaN: crashed
+    assert rows[2]["y"] is None  # skipped: not attempted
+    assert table.skips == [["k", 3]]
+    assert ("k", 2) in dict(table.errors) or table.metadata.get("errors")
+
+
+def test_sharded_sweep_export_marks_other_shard_points_as_skipped(tmp_path):
+    # End to end: a sharded run's table has empty cells (not NaN) for the
+    # grid points whose trials all live in another shard.
+    from repro.core.allocator import AllocatorConfig
+    from repro.experiments import SweepConfig, SweepRunner
+    from repro.experiments.base import add_grid_row, proposed_tasks, run_sweep
+
+    sweep = SweepConfig(
+        num_devices=4, num_trials=2, allocator=AllocatorConfig(max_iterations=4)
+    )
+    tasks = proposed_tasks(("p",), sweep, 0.5)
+    count = 8  # small task set + many shards: some shard skips everything
+    for index in range(count):
+        runner = SweepRunner(jobs=1, use_cache=False, shard=(index, count))
+        points = run_sweep(tasks, runner=runner)
+        if all(p.skipped == p.trials for p in points.values()):
+            break
+    else:
+        pytest.fail("no shard skipped every trial")
+    table = ResultTable(name="shard", columns=["x", "objective"])
+    add_grid_row(table, points[("p",)], {"objective": "objective"}, x=1)
+    assert table.rows[0]["objective"] is None
+    assert table.skips == [["p"]]
+    assert table.to_csv(tmp_path / "s.csv").read_text().strip().splitlines()[1] == "1,"

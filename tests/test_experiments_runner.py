@@ -195,6 +195,76 @@ def test_progress_callback_sees_every_task():
     assert seen == [(1, 2), (2, 2)]
 
 
+def test_keyboard_interrupt_flushes_store_and_reraises(tmp_path):
+    # satellite: graceful interrupt.  Ctrl-C mid-sweep (injected through the
+    # progress callback after the first executed task) must re-raise, but
+    # only after flushing the store — the finished work has to survive for
+    # the next run — and after recording the partial stats.
+    tasks = proposed_tasks(("p",), TINY_SWEEP, 0.5)
+    assert len(tasks) >= 2
+
+    def interrupt_after_first(done, total, outcome):
+        if done == 1:
+            raise KeyboardInterrupt
+
+    runner = SweepRunner(
+        jobs=1,
+        cache_dir=tmp_path,
+        use_cache=True,
+        store_backend="columnar",
+        progress=interrupt_after_first,
+    )
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(tasks)
+
+    assert runner.last_stats is not None
+    assert runner.last_stats.executed == 1
+    assert runner.last_stats.elapsed_s > 0
+
+    # The flushed entry is durable: a *fresh* store handle serves it, and a
+    # rerun gets it as a cache hit instead of recomputing.
+    from repro.store import open_store
+
+    assert len(open_store(tmp_path, "columnar")) == 1
+    rerun = SweepRunner(
+        jobs=1, cache_dir=tmp_path, use_cache=True, store_backend="columnar"
+    )
+    outcomes = rerun.run(tasks)
+    assert rerun.last_stats.cache_hits == 1
+    assert rerun.last_stats.executed == len(tasks) - 1
+    assert len(outcomes) == len(tasks)
+
+
+def test_keyboard_interrupt_in_parallel_run_cancels_pending(tmp_path):
+    # The same injection with a process pool: the executor shutdown cancels
+    # the queued futures and the exception still propagates promptly.
+    tasks = proposed_tasks(
+        ("p",),
+        SweepConfig(
+            num_devices=4, num_trials=4, allocator=AllocatorConfig(max_iterations=4)
+        ),
+        0.5,
+    )
+
+    def interrupt_after_first(done, total, outcome):
+        if done == 1:
+            raise KeyboardInterrupt
+
+    runner = SweepRunner(
+        jobs=2,
+        cache_dir=tmp_path,
+        use_cache=True,
+        progress=interrupt_after_first,
+    )
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(tasks)
+    assert runner.last_stats.executed >= 1
+    # What did finish before the interrupt is durable.
+    from repro.store import open_store
+
+    assert len(open_store(tmp_path)) == runner.last_stats.executed - runner.last_stats.failed
+
+
 def test_use_runner_installs_and_restores_default():
     configured = SweepRunner(jobs=2)
     assert get_active_runner() is not configured

@@ -1,0 +1,399 @@
+"""Tests for the allocation service (``repro serve``).
+
+The contract under test: a served allocation response is **bit-identical**
+to a direct per-drop ``execute_task`` run of the same request (zero
+tolerance on every metric), repeats answer from the result store as cache
+hits, a concurrent burst of compatible requests actually coalesces into
+one lockstep batch (observable through ``/metrics``), malformed requests
+come back as 400s, and shutdown drains the coalescing queue instead of
+stranding waiting clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.allocator import AllocatorConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import SweepConfig, proposed_tasks
+from repro.experiments.runner import SweepRunner, execute_task, task_hash
+from repro.serve import (
+    AllocationServer,
+    AllocationService,
+    RequestCoalescer,
+    ServeConfig,
+    parse_request,
+)
+from repro.store import open_store
+
+#: Tiny but real allocator setting shared by every request in this module.
+TINY_ALLOCATOR = {"max_iterations": 4}
+
+
+def _request_body(seed: int = 0, **overrides):
+    body = {
+        "scenario": {"family": "paper", "num_devices": 4, "seed": seed},
+        "energy_weight": 0.5,
+        "allocator": dict(TINY_ALLOCATOR),
+    }
+    body.update(overrides)
+    return body
+
+
+# -- request schema ----------------------------------------------------------
+
+
+def test_parse_request_builds_the_sweep_engine_task():
+    task = parse_request(_request_body(seed=3))
+    assert task.solver_kind == "proposed"
+    assert task.scenario["seed"] == 3
+    assert task.solver_params["energy_weight"] == 0.5
+    assert task.solver_params["allocator"] == AllocatorConfig(max_iterations=4)
+
+
+def test_parse_request_hashes_like_a_cli_sweep_task():
+    # A served request must be cache-compatible with the same task built by
+    # the sweep engine: identical payload, identical digest.
+    sweep = SweepConfig(
+        num_devices=4,
+        num_trials=1,
+        base_seed=7,
+        allocator=AllocatorConfig(max_iterations=4),
+    )
+    (sweep_task,) = proposed_tasks(("p",), sweep, 0.5)
+    body = {
+        "scenario": dict(sweep_task.scenario),
+        "energy_weight": 0.5,
+        "allocator": dict(TINY_ALLOCATOR),
+    }
+    served_task = parse_request(body)
+    assert served_task.payload() == sweep_task.payload()
+    assert task_hash(served_task) == task_hash(sweep_task)
+
+
+def test_parse_request_applies_the_service_default_allocator():
+    default = AllocatorConfig(max_iterations=9)
+    task = parse_request(
+        {"scenario": {"family": "paper"}, "energy_weight": 0.3},
+        default_allocator=default,
+    )
+    assert task.solver_params["allocator"] == default
+
+
+def test_parse_request_backend_override_enters_the_allocator():
+    task = parse_request(_request_body(backend="scalar"))
+    assert task.solver_params["allocator"].sum_of_ratios.backend == "scalar"
+
+
+def test_parse_request_builds_baseline_tasks():
+    task = parse_request(
+        {
+            "scenario": {"family": "paper", "num_devices": 4, "seed": 0},
+            "solver_kind": "baseline",
+            "baseline": "communication_only",
+            "deadline_s": 120.0,
+        }
+    )
+    assert task.solver_kind == "baseline"
+    assert task.solver_params["name"] == "communication_only"
+    assert task.solver_params["deadline_s"] == 120.0
+    assert task.solver_params["kwargs"] == {}
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "not an object",
+        {"energy_weight": 0.5},  # no scenario
+        {"scenario": "paper", "energy_weight": 0.5},  # scenario not an object
+        {"scenario": {"family": "no-such-family"}, "energy_weight": 0.5},
+        {"scenario": {"family": "paper"}},  # proposed needs energy_weight
+        {"scenario": {"family": "paper"}, "energy_weight": 1.5},
+        {"scenario": {"family": "paper"}, "energy_weight": "half"},
+        {"scenario": {"family": "paper"}, "energy_weight": 0.5, "deadline_s": -1},
+        {"scenario": {"family": "paper"}, "energy_weight": 0.5, "typo_field": 1},
+        {"scenario": {"family": "paper"}, "energy_weight": 0.5, "allocator": {"nope": 1}},
+        {"scenario": {"family": "paper"}, "energy_weight": 0.5, "backend": "quantum"},
+        {"scenario": {"family": "paper"}, "energy_weight": 0.5, "baseline": "benchmark"},
+        {"scenario": {"family": "paper"}, "solver_kind": "baseline"},  # no name
+        {"scenario": {"family": "paper"}, "solver_kind": "baseline", "baseline": "nope"},
+        {"scenario": {"family": "paper"}, "solver_kind": "magic"},
+    ],
+)
+def test_parse_request_rejects_malformed_bodies(body):
+    with pytest.raises(ConfigurationError):
+        parse_request(body)
+
+
+# -- HTTP round trips --------------------------------------------------------
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A live server on an ephemeral port with a fresh store."""
+    instance = AllocationServer(
+        ServeConfig(
+            port=0,
+            store_root=tmp_path / "store",
+            store_backend="json",
+            gather_window_s=0.05,
+        )
+    ).start()
+    try:
+        yield instance
+    finally:
+        instance.close()
+
+
+def _post(server: AllocationServer, body, path: str = "/solve"):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(server: AllocationServer, path: str):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_served_response_is_bit_identical_to_direct_solve(server):
+    body = _request_body(seed=11)
+    status, payload = _post(server, body)
+    assert status == 200
+    assert payload["cached"] is False
+    # Zero tolerance: the served metrics must equal the direct per-drop
+    # execution of the same task, key for key, bit for bit.
+    assert payload["metrics"] == execute_task(parse_request(body))
+    assert payload["digest"] == task_hash(parse_request(body))
+
+
+def test_served_baseline_and_deadline_requests_match_direct_solve(server):
+    # The rng kwarg pins the benchmark's random draw, exactly as the
+    # fig2/fig3 sweeps do via seed_rng_kwarg — without it the baseline is
+    # legitimately non-deterministic and no parity claim holds.
+    baseline = {
+        "scenario": {"family": "paper", "num_devices": 4, "seed": 2},
+        "solver_kind": "baseline",
+        "baseline": "benchmark",
+        "baseline_kwargs": {"rng": 2},
+    }
+    status, payload = _post(server, baseline)
+    assert status == 200
+    assert payload["metrics"] == execute_task(parse_request(baseline))
+    # A hard deadline routes through the per-drop path (non-batchable) but
+    # must still be exact.
+    deadline = _request_body(seed=2, deadline_s=60.0)
+    status, payload = _post(server, deadline)
+    assert status == 200
+    assert payload["batch_size"] == 1
+    assert payload["metrics"] == execute_task(parse_request(deadline))
+
+
+def test_repeat_request_is_a_cache_hit(server):
+    body = _request_body(seed=5)
+    status, first = _post(server, body)
+    assert status == 200 and first["cached"] is False
+    status, second = _post(server, body)
+    assert status == 200 and second["cached"] is True
+    assert second["metrics"] == first["metrics"]
+    _status, metrics = _get(server, "/metrics")
+    assert metrics["requests"]["cache_hits"] == 1
+    assert metrics["requests"]["solved"] == 1
+
+
+def test_sweep_cache_pre_warms_the_service(tmp_path):
+    # A store filled by a plain SweepRunner answers the service's very
+    # first request as a cache hit: one cache, two surfaces.
+    sweep = SweepConfig(
+        num_devices=4,
+        num_trials=1,
+        base_seed=21,
+        allocator=AllocatorConfig(max_iterations=4),
+    )
+    (task,) = proposed_tasks(("p",), sweep, 0.5)
+    runner = SweepRunner(jobs=1, cache_dir=tmp_path / "store", use_cache=True)
+    (outcome,) = runner.run([task])
+    server = AllocationServer(
+        ServeConfig(port=0, store_root=tmp_path / "store")
+    ).start()
+    try:
+        body = {
+            "scenario": dict(task.scenario),
+            "energy_weight": 0.5,
+            "allocator": dict(TINY_ALLOCATOR),
+        }
+        status, payload = _post(server, body)
+        assert status == 200
+        assert payload["cached"] is True
+        assert payload["metrics"] == outcome.metrics
+    finally:
+        server.close()
+
+
+def test_concurrent_burst_coalesces_into_one_batch(server):
+    # Six compatible requests fired together must solve as one lockstep
+    # batch (they share a batch_group_key and land within the gather
+    # window), observable in both the responses and /metrics.
+    results: list[tuple[int, dict]] = []
+    barrier = threading.Barrier(6)
+
+    def fire(seed: int) -> None:
+        barrier.wait()
+        results.append(_post(server, _request_body(seed=seed)))
+
+    threads = [threading.Thread(target=fire, args=(seed,)) for seed in range(30, 36)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(status == 200 for status, _ in results)
+    assert max(payload["batch_size"] for _, payload in results) > 1
+    _status, metrics = _get(server, "/metrics")
+    assert metrics["coalescing"]["max_batch_size"] > 1
+    assert metrics["coalescing"]["batches"] < 6
+    # Coalesced or not, every response stays bit-identical to a direct solve.
+    for _, payload in results:
+        seed = next(
+            seed
+            for seed in range(30, 36)
+            if task_hash(parse_request(_request_body(seed=seed))) == payload["digest"]
+        )
+        assert payload["metrics"] == execute_task(parse_request(_request_body(seed=seed)))
+
+
+def test_identical_concurrent_requests_join_one_lane(server):
+    body = _request_body(seed=40)
+    results: list[tuple[int, dict]] = []
+    barrier = threading.Barrier(4)
+
+    def fire() -> None:
+        barrier.wait()
+        results.append(_post(server, body))
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(status == 200 for status, _ in results)
+    reference = results[0][1]["metrics"]
+    assert all(payload["metrics"] == reference for _, payload in results)
+    _status, metrics = _get(server, "/metrics")
+    # Four requests, but at most one actual solve: the rest joined the
+    # in-flight lane or hit the cache.
+    assert metrics["coalescing"]["solved"] == 1
+    joined_or_hit = (
+        metrics["coalescing"]["joined"] + metrics["requests"]["cache_hits"]
+    )
+    assert joined_or_hit == 3
+
+
+def test_solved_results_land_in_the_store(server, tmp_path):
+    body = _request_body(seed=50)
+    _status, payload = _post(server, body)
+    store = open_store(tmp_path / "store", "json")
+    entry = store.get_entry(payload["digest"])
+    assert entry is not None
+    assert entry[0] == payload["metrics"]
+
+
+def test_malformed_requests_are_400s(server):
+    status, payload = _post(server, {"bogus": 1})
+    assert status == 400 and "bogus" in payload["error"]
+    status, payload = _post(server, {"scenario": {"family": "no-such"}, "energy_weight": 0.5})
+    assert status == 400 and "no-such" in payload["error"]
+    # Invalid JSON body.
+    request = urllib.request.Request(server.url + "/solve", data=b"{not json")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 400
+    _status, metrics = _get(server, "/metrics")
+    assert metrics["requests"]["invalid"] == 3
+
+
+def test_unknown_paths_are_404s(server):
+    status, _ = _post(server, {}, path="/nope")
+    assert status == 404
+    status, _ = _get(server, "/nope")
+    assert status == 404
+
+
+def test_solver_failures_are_500s_with_the_error_string(server):
+    # A scenario the family builder rejects fails in the worker; the
+    # response carries the crash-isolation error string, not a hung socket.
+    status, payload = _post(server, _request_body(seed=0, scenario={"family": "paper", "num_devices": 0, "seed": 0}))
+    assert status == 500
+    assert payload["error"]
+    _status, metrics = _get(server, "/metrics")
+    assert metrics["requests"]["errors"] == 1
+
+
+def test_healthz_and_metrics_endpoints(server):
+    status, payload = _get(server, "/healthz")
+    assert status == 200 and payload["status"] == "ok"
+    status, metrics = _get(server, "/metrics")
+    assert status == 200
+    assert metrics["store"]["backend"] == "json"
+    assert set(metrics["requests"]) == {
+        "total",
+        "solve",
+        "cache_hits",
+        "solved",
+        "errors",
+        "invalid",
+    }
+
+
+# -- shutdown ----------------------------------------------------------------
+
+
+def test_close_drains_queued_requests():
+    # A coalescer with an hour-long gather window never solves on its own
+    # within the test; close() must drain (solve) the queue, not drop it.
+    coalescer = RequestCoalescer(gather_window_s=3600.0)
+    try:
+        tasks = [parse_request(_request_body(seed=seed)) for seed in (60, 61)]
+        futures = [coalescer.submit(task, task_hash(task)) for task in tasks]
+    finally:
+        coalescer.close()
+    outcomes = [future.result(timeout=0) for future in futures]
+    assert all(outcome.ok for outcome in outcomes)
+    for task, outcome in zip(tasks, outcomes):
+        assert outcome.metrics == execute_task(task)
+    with pytest.raises(RuntimeError):
+        coalescer.submit(tasks[0], "resubmitted-after-close")
+
+
+def test_service_close_flushes_the_store(tmp_path):
+    service = AllocationService(
+        ServeConfig(
+            port=0,
+            store_root=tmp_path / "store",
+            store_backend="columnar",
+            gather_window_s=0.0,
+        )
+    )
+    try:
+        status, payload = service.solve(_request_body(seed=70))
+        assert status == 200
+    finally:
+        service.close()
+    # A fresh instance (no shared in-memory state) reads the entry back.
+    store = open_store(tmp_path / "store", "columnar")
+    assert store.get_entry(payload["digest"]) is not None
+    service.close()  # idempotent

@@ -14,6 +14,7 @@ import json
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.store import (
     BACKENDS,
     ColumnarResultStore,
@@ -338,6 +339,52 @@ def test_merge_across_backends(tmp_path):
     dest = open_store(tmp_path / "m", "columnar")
     assert merge_stores([shard_json, shard_col], dest) == 3
     assert sorted(dest.keys()) == sorted(DIGESTS[:3])
+
+
+# -- in-place guard (satellite: merge/migrate must refuse dest == source) ----
+
+
+def test_migrate_refuses_its_own_source(tmp_path):
+    source = _fill(open_store(tmp_path / "s", "json"))
+    same = open_store(tmp_path / "s", "json")
+    with pytest.raises(ConfigurationError, match="onto itself"):
+        migrate_store(source, same)
+    # The refused operation must not have touched the source.
+    assert sorted(open_store(tmp_path / "s", "json").keys()) == sorted(DIGESTS[:3])
+
+
+def test_merge_refuses_destination_among_sources(tmp_path):
+    shard_a = _fill(open_store(tmp_path / "a", "columnar"), indices=[0])
+    shard_b = _fill(open_store(tmp_path / "b", "columnar"), indices=[1])
+    dest = open_store(tmp_path / "a", "columnar")
+    with pytest.raises(ConfigurationError, match="onto itself"):
+        merge_stores([shard_a, shard_b], dest)
+    with pytest.raises(ConfigurationError, match="onto itself"):
+        merge_stores([shard_b, dest], open_store(tmp_path / "b", "columnar"))
+
+
+def test_merge_refuses_nested_destination_either_way(tmp_path):
+    # dest inside a source root, and a source inside the dest root: both
+    # directions share files, both must be refused before any write.
+    source = _fill(open_store(tmp_path / "s", "json"), indices=[0])
+    with pytest.raises(ConfigurationError, match="overlaps"):
+        merge_stores([source], open_store(tmp_path / "s" / "nested", "json"))
+    outer = open_store(tmp_path / "out", "json")
+    inner = _fill(open_store(tmp_path / "out" / "inner", "json"), indices=[1])
+    with pytest.raises(ConfigurationError, match="overlaps"):
+        merge_stores([inner], outer)
+    with pytest.raises(ConfigurationError, match="overlaps"):
+        migrate_store(inner, outer)
+
+
+def test_merge_relative_and_absolute_roots_still_collide(tmp_path, monkeypatch):
+    # The guard compares resolved absolute paths, so spelling the same
+    # directory two ways does not slip past it.
+    monkeypatch.chdir(tmp_path)
+    source = _fill(open_store("store", "json"), indices=[0])
+    dest = open_store(tmp_path / "store", "json")
+    with pytest.raises(ConfigurationError, match="onto itself"):
+        migrate_store(source, dest)
 
 
 # -- shard partitioning ------------------------------------------------------
