@@ -233,6 +233,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="local SGD iterations per round (default: the scenario's R_l)",
     )
+    fl.add_argument(
+        "--churn",
+        metavar="SPEC",
+        default=None,
+        help="dynamic-fleet churn schedule: a JSON spec (see repro.fl.churn) "
+        "or the shorthand 'poisson:arrive=0.3,depart=0.2,absent=0.25' — "
+        "devices then join/leave mid-training and the allocator re-solves "
+        "over the changed fleet",
+    )
+    fl.add_argument(
+        "--battery",
+        type=float,
+        default=None,
+        metavar="JOULES",
+        help="per-device battery capacity in joules; each round's allocated "
+        "energy drains it and drained devices are retired (re-solved around)",
+    )
+    fl.add_argument(
+        "--battery-policy",
+        choices=["graceful", "loud"],
+        default="graceful",
+        help="what an over-budget draw does: 'graceful' retires the device, "
+        "'loud' raises BatteryDrainedError (default: graceful)",
+    )
+    fl.add_argument(
+        "--estimate-profiles",
+        action="store_true",
+        help="solve each round's allocation on device profiles fitted from "
+        "observed round timings (recursive least squares) instead of the "
+        "oracle parameters",
+    )
     fl.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     fl.add_argument(
         "--quick",
@@ -254,8 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--label",
-        default="PR8",
-        help="report label; also names the default output file (default: PR8)",
+        default="PR10",
+        help="report label; also names the default output file (default: PR10)",
     )
     bench.add_argument(
         "--output",
@@ -459,6 +490,43 @@ def _parse_scenario_params(pairs: Sequence[str]) -> dict[str, Any]:
     return params
 
 
+#: Shorthand keys of the ``--churn poisson:...`` spec and the churn-spec
+#: fields they expand to.
+_CHURN_SHORTHAND_KEYS = {
+    "arrive": "arrive_rate",
+    "depart": "depart_rate",
+    "absent": "initial_absent_fraction",
+}
+
+
+def _parse_churn_spec(text: str) -> dict[str, Any]:
+    """Parse ``--churn``: raw JSON, or ``poisson:arrive=0.3,depart=0.2``."""
+    text = text.strip()
+    if text.startswith(("{", "[")):
+        spec = json.loads(text)
+        if not isinstance(spec, dict):
+            raise ConfigurationError("--churn JSON must be an object")
+        return spec
+    mode, _, rest = text.partition(":")
+    if mode != "poisson":
+        raise ConfigurationError(
+            f"--churn shorthand must start with 'poisson', got {mode!r} "
+            "(use a JSON spec for explicit event schedules)"
+        )
+    spec: dict[str, Any] = {"mode": "poisson"}
+    if rest:
+        for pair in rest.split(","):
+            key, sep, raw = pair.partition("=")
+            if not sep or key not in _CHURN_SHORTHAND_KEYS:
+                known = ", ".join(sorted(_CHURN_SHORTHAND_KEYS))
+                raise ConfigurationError(
+                    f"--churn poisson shorthand expects KEY=VALUE with KEY in "
+                    f"{{{known}}}, got {pair!r}"
+                )
+            spec[_CHURN_SHORTHAND_KEYS[key]] = float(raw)
+    return spec
+
+
 def _apply_scenario(config, family: str | None, params: dict[str, Any]):
     """Point ``config.sweep`` at another scenario family / extra params."""
     if family is not None:
@@ -574,6 +642,12 @@ def _run_fl(args: argparse.Namespace) -> int:
         **_parse_scenario_params(args.scenario_param),
     }
     selection_params = {} if args.select_k is None else {"k": args.select_k}
+    churn = _parse_churn_spec(args.churn) if args.churn else None
+    battery = (
+        None
+        if args.battery is None
+        else {"capacity_j": args.battery, "policy": args.battery_policy}
+    )
     config = RoundLoopConfig(
         scenario=scenario,
         rounds=rounds,
@@ -586,6 +660,9 @@ def _run_fl(args: argparse.Namespace) -> int:
         selection_params=selection_params,
         fading=None if args.fading in ("none", "") else args.fading,
         seed=args.seed,
+        churn=churn,
+        battery=battery,
+        estimate_profiles=args.estimate_profiles,
     )
     report = FLRoundLoop(config).run()
     table = report.to_table()
@@ -629,7 +706,13 @@ def _run_bench(args: argparse.Namespace) -> int:
         f"{metrics['backend_parity_max_rel_dev']:.2e}); fl loop "
         f"{metrics['fl_rounds_per_s']:.1f} rounds/s "
         f"(warm parity {metrics['fl_warm_parity_max_rel_dev']:.2e}, "
-        f"backend parity {metrics['fl_backend_parity_max_rel_dev']:.2e})",
+        f"backend parity {metrics['fl_backend_parity_max_rel_dev']:.2e}); "
+        f"dynamic fleet churn resolve {metrics['fl_churn_resolve_s']:.2f}s, "
+        f"{metrics['fl_dynamic_punctures']:.0f} punctures "
+        f"(warm parity {metrics['fl_dynamic_warm_parity_max_rel_dev']:.2e}, "
+        f"backend parity {metrics['fl_dynamic_backend_parity_max_rel_dev']:.2e}, "
+        f"estimated-vs-oracle accuracy gap "
+        f"{metrics['fl_estimated_vs_oracle_accuracy_gap']:.3f})",
         file=sys.stderr,
     )
     print(f"wrote {output}")

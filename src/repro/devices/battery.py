@@ -8,7 +8,7 @@ rounds, and fail loudly when a device would die mid-training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import ReproError
 
@@ -21,10 +21,15 @@ class BatteryDrainedError(ReproError):
 
 @dataclass
 class Battery:
-    """Energy reservoir with draw tracking."""
+    """Energy reservoir with draw tracking.
+
+    ``charge_j`` is an optional pre-init sentinel: ``None`` (the default)
+    means "full", and ``__post_init__`` resolves it to ``capacity_j`` — so
+    after construction the attribute is always a plain ``float``.
+    """
 
     capacity_j: float
-    charge_j: float = field(default=None)  # type: ignore[assignment]
+    charge_j: float | None = None
     drawn_j: float = 0.0
 
     def __post_init__(self) -> None:

@@ -15,6 +15,12 @@ Each (family, scheme, trial) run is one :class:`SweepTask` of solver kind
 ``"fl_roundloop"``, so the sweep engine's parallelism, caching and crash
 isolation apply: trajectories are flattened to scalar metrics
 (``r012_accuracy`` …) for the cache and unfolded back into rows here.
+
+A ``profiles`` axis compares the oracle allocator (true device profiles)
+against the estimated one (:mod:`repro.fl.estimation` fits compute and
+channel parameters from observed round timings), surfacing the
+oracle-versus-estimated accuracy gap the paper's idealised system model
+hides.
 """
 
 from __future__ import annotations
@@ -62,6 +68,15 @@ class FLCurveConfig:
     energy_weight: float = 0.5
     warm_start: bool = True
     local_iterations: int = 8
+    #: Device-profile modes the allocator runs on: ``"oracle"`` (the true
+    #: profiles) and/or ``"estimated"`` (profiles fitted online from
+    #: observed round timings).  The gap between the two curves is the
+    #: price of not knowing the fleet.
+    profile_modes: tuple[str, ...] = ("oracle",)
+    #: Optional churn schedule / battery spec applied to every run (see
+    #: :class:`repro.fl.roundloop.RoundLoopConfig`).
+    churn: Mapping[str, Any] | None = None
+    battery: Mapping[str, Any] | None = None
 
     @classmethod
     def paper(cls) -> "FLCurveConfig":
@@ -70,9 +85,21 @@ class FLCurveConfig:
             sweep=SweepConfig(num_devices=20, num_trials=3),
             rounds=30,
             families=("paper", "hotspot", "cell-edge", "hetero-fleet"),
+            profile_modes=("oracle", "estimated"),
         )
 
-    def roundloop_config(self, scheme: str, seed: int) -> RoundLoopConfig:
+    def __post_init__(self) -> None:
+        for mode in self.profile_modes:
+            if mode not in ("oracle", "estimated"):
+                raise ValueError(
+                    f"unknown profile mode {mode!r}; known: oracle, estimated"
+                )
+        if not self.profile_modes:
+            raise ValueError("profile_modes must name at least one mode")
+
+    def roundloop_config(
+        self, scheme: str, seed: int, profiles: str = "oracle"
+    ) -> RoundLoopConfig:
         """The per-task round-loop config (scenario comes from the task)."""
         return RoundLoopConfig(
             rounds=self.rounds,
@@ -86,25 +113,31 @@ class FLCurveConfig:
             fading=self.fading,
             seed=seed,
             allocator=self.sweep.allocator,
+            churn=dict(self.churn) if self.churn is not None else None,
+            battery=dict(self.battery) if self.battery is not None else None,
+            estimate_profiles=profiles == "estimated",
         )
 
     def tasks(self) -> list[SweepTask]:
-        """One task per (family × scheme × trial)."""
+        """One task per (family × scheme × profile mode × trial)."""
         tasks: list[SweepTask] = []
         for family in self.families:
             sweep = self.sweep.with_scenario(family)
             for scheme in self.schemes:
-                for seed in sweep.trial_seeds():
-                    tasks.append(
-                        SweepTask(
-                            key=("fl", family, scheme),
-                            scenario=sweep.scenario_params(seed=seed),
-                            solver_kind="fl_roundloop",
-                            solver_params={
-                                "roundloop": self.roundloop_config(scheme, seed)
-                            },
+                for profiles in self.profile_modes:
+                    for seed in sweep.trial_seeds():
+                        tasks.append(
+                            SweepTask(
+                                key=("fl", family, scheme, profiles),
+                                scenario=sweep.scenario_params(seed=seed),
+                                solver_kind="fl_roundloop",
+                                solver_params={
+                                    "roundloop": self.roundloop_config(
+                                        scheme, seed, profiles
+                                    )
+                                },
+                            )
                         )
-                    )
         return tasks
 
 
@@ -119,6 +152,7 @@ def run_flcurve(
         columns=[
             "family",
             "scheme",
+            "profiles",
             "round",
             "elapsed_s",
             "energy_j",
@@ -131,36 +165,40 @@ def run_flcurve(
             "x_axis": "elapsed_s",
             "rounds": config.rounds,
             "selection": config.selection,
+            "profile_modes": list(config.profile_modes),
         },
     )
     for family in config.families:
         for scheme in config.schemes:
-            point = points[("fl", family, scheme)]
-            if not point.ok:
-                table.add_error(point.key, point.errors)
+            for profiles in config.profile_modes:
+                point = points[("fl", family, scheme, profiles)]
+                if not point.ok:
+                    table.add_error(point.key, point.errors)
+                    for round_index in range(1, config.rounds + 1):
+                        table.add_row(
+                            family=family,
+                            scheme=scheme,
+                            profiles=profiles,
+                            round=round_index,
+                            elapsed_s=float("nan"),
+                            energy_j=float("nan"),
+                            accuracy=float("nan"),
+                            test_loss=float("nan"),
+                            selected=float("nan"),
+                        )
+                    continue
+                metrics = point.metrics
                 for round_index in range(1, config.rounds + 1):
+                    prefix = f"r{round_index:03d}"
                     table.add_row(
                         family=family,
                         scheme=scheme,
+                        profiles=profiles,
                         round=round_index,
-                        elapsed_s=float("nan"),
-                        energy_j=float("nan"),
-                        accuracy=float("nan"),
-                        test_loss=float("nan"),
-                        selected=float("nan"),
+                        elapsed_s=metrics[f"{prefix}_elapsed_s"],
+                        energy_j=metrics[f"{prefix}_energy_j"],
+                        accuracy=metrics[f"{prefix}_accuracy"],
+                        test_loss=metrics[f"{prefix}_test_loss"],
+                        selected=metrics[f"{prefix}_selected"],
                     )
-                continue
-            metrics = point.metrics
-            for round_index in range(1, config.rounds + 1):
-                prefix = f"r{round_index:03d}"
-                table.add_row(
-                    family=family,
-                    scheme=scheme,
-                    round=round_index,
-                    elapsed_s=metrics[f"{prefix}_elapsed_s"],
-                    energy_j=metrics[f"{prefix}_energy_j"],
-                    accuracy=metrics[f"{prefix}_accuracy"],
-                    test_loss=metrics[f"{prefix}_test_loss"],
-                    selected=metrics[f"{prefix}_selected"],
-                )
     return table

@@ -95,7 +95,11 @@ __all__ = [
 #: 4: the SP2 backend knob joined the allocator configuration (and the
 #: multiplier search gained its exact-root polish), so pre-backend entries
 #: were solved to a different tolerance profile and are stale.
-CACHE_VERSION = 4
+#: 5: RoundLoopConfig grew the dynamic-fleet layer (churn / battery /
+#: estimated-profile knobs ride into the payload through the asdict
+#: carrier) and fl_roundloop metrics gained the per-round dynamic keys, so
+#: pre-dynamic FL entries carry an incomplete schema.
+CACHE_VERSION = 5
 
 SolverFn = Callable[[SystemModel, Mapping[str, Any]], Mapping[str, float]]
 

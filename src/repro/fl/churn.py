@@ -1,0 +1,303 @@
+"""Device churn schedules for the dynamic-fleet round loop.
+
+The paper's allocator serves fleets of *mobile* devices, yet the closed
+loop of :mod:`repro.fl.roundloop` historically re-solved every round
+against a frozen fleet.  This module makes the fleet shape itself a
+first-class, declarative, seed-deterministic input: a
+:class:`ChurnSchedule` says which devices of the drop's *universe* (the
+``num_devices`` the scenario was built with) are present at round 1 and
+which arrive or depart before each later round.  The round loop re-solves
+the allocation over the present subset, so the fleet genuinely grows and
+shrinks mid-training.
+
+Two spec modes, both plain JSON-able mappings (they ride inside
+:class:`~repro.fl.roundloop.RoundLoopConfig` and therefore into the sweep
+cache key):
+
+* ``{"mode": "events", ...}`` — fully explicit: ``initial_absent`` lists
+  the universe devices that are not present at round 1, and ``events``
+  maps round indices (as ints or strings, since JSON keys are strings) to
+  ``{"arrive": [...], "depart": [...]}`` index lists.
+* ``{"mode": "poisson", ...}`` — generated: each round, each present
+  device departs with probability ``depart_rate`` and each absent device
+  (re-)arrives with probability ``arrive_rate`` (a discretised Poisson
+  process).  ``initial_absent_fraction`` holds back that share of the
+  universe at round 1 so there is room to grow.  Generation draws from a
+  dedicated ``(seed, stream)`` RNG, so the same seed always yields the
+  same event stream and the loop's fading/selection streams never shift.
+
+Resolution (:func:`resolve_churn`) validates the spec against the
+universe size and round count and returns a :class:`ResolvedChurn` whose
+invariants the property suite locks down: a device departs only while
+present, arrives only while absent, and the present set is never empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ChurnSchedule", "ResolvedChurn", "resolve_churn", "CHURN_STREAM"]
+
+#: Seed-stream tag of the churn generator: offset far from the round
+#: loop's per-round streams (``_ROUND_STREAM + round``) so adding churn
+#: can never perturb the fading/selection draws of a fixed seed.
+CHURN_STREAM = 500_000
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A validated churn spec, still in declarative (pre-resolution) form."""
+
+    mode: str
+    #: Explicit mode: devices absent at round 1 and per-round event lists.
+    initial_absent: tuple[int, ...] = ()
+    events: Mapping[int, Mapping[str, tuple[int, ...]]] = field(default_factory=dict)
+    #: Poisson mode: per-round arrival/departure probabilities.
+    arrive_rate: float = 0.0
+    depart_rate: float = 0.0
+    initial_absent_fraction: float = 0.0
+
+    @classmethod
+    def from_mapping(cls, spec: Mapping[str, Any]) -> "ChurnSchedule":
+        """Parse and validate a JSON-able churn spec (see the module doc)."""
+        if not isinstance(spec, Mapping):
+            raise ConfigurationError("churn spec must be a mapping")
+        mode = spec.get("mode", "events")
+        known = {"mode", "initial_absent", "events", "arrive_rate",
+                 "depart_rate", "initial_absent_fraction"}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown churn spec key(s) {', '.join(map(repr, unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        if mode == "events":
+            initial_absent = tuple(int(i) for i in spec.get("initial_absent", ()))
+            events: dict[int, dict[str, tuple[int, ...]]] = {}
+            for round_key, event in dict(spec.get("events", {})).items():
+                round_index = int(round_key)
+                if round_index < 2:
+                    raise ConfigurationError(
+                        "churn events start at round 2 (round 1 presence is "
+                        "set by initial_absent)"
+                    )
+                if not isinstance(event, Mapping):
+                    raise ConfigurationError("each churn event must be a mapping")
+                bad = sorted(set(event) - {"arrive", "depart"})
+                if bad:
+                    raise ConfigurationError(
+                        f"churn event keys must be 'arrive'/'depart', got "
+                        f"{', '.join(map(repr, bad))}"
+                    )
+                events[round_index] = {
+                    "arrive": tuple(int(i) for i in event.get("arrive", ())),
+                    "depart": tuple(int(i) for i in event.get("depart", ())),
+                }
+            return cls(mode="events", initial_absent=initial_absent, events=events)
+        if mode == "poisson":
+            arrive = float(spec.get("arrive_rate", 0.0))
+            depart = float(spec.get("depart_rate", 0.0))
+            absent = float(spec.get("initial_absent_fraction", 0.0))
+            if not 0.0 <= arrive <= 1.0 or not 0.0 <= depart <= 1.0:
+                raise ConfigurationError(
+                    "arrive_rate/depart_rate must lie in [0, 1]"
+                )
+            if not 0.0 <= absent < 1.0:
+                raise ConfigurationError(
+                    "initial_absent_fraction must lie in [0, 1)"
+                )
+            return cls(
+                mode="poisson",
+                arrive_rate=arrive,
+                depart_rate=depart,
+                initial_absent_fraction=absent,
+            )
+        raise ConfigurationError(
+            f"unknown churn mode {mode!r}; known: events, poisson"
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedChurn:
+    """A churn schedule bound to a universe size, seed and round count.
+
+    ``initial_present`` is the sorted round-1 fleet; ``arrivals[r]`` /
+    ``departures[r]`` are the (possibly empty) sorted event lists applied
+    *before* round ``r`` is solved.  Every event is consistent by
+    construction: arrivals were absent, departures were present, and the
+    present set is non-empty at every round.
+    """
+
+    num_devices: int
+    rounds: int
+    initial_present: tuple[int, ...]
+    arrivals: Mapping[int, tuple[int, ...]]
+    departures: Mapping[int, tuple[int, ...]]
+
+    def events_for_round(self, round_index: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The ``(arrivals, departures)`` applied before ``round_index``."""
+        return (
+            self.arrivals.get(round_index, ()),
+            self.departures.get(round_index, ()),
+        )
+
+    def present_through(self) -> list[tuple[int, ...]]:
+        """The sorted present set at every round (index 0 = round 1)."""
+        present = set(self.initial_present)
+        trace = [tuple(sorted(present))]
+        for round_index in range(2, self.rounds + 1):
+            arrive, depart = self.events_for_round(round_index)
+            present |= set(arrive)
+            present -= set(depart)
+            trace.append(tuple(sorted(present)))
+        return trace
+
+
+def _check_index(index: int, num_devices: int) -> int:
+    if not 0 <= index < num_devices:
+        raise ConfigurationError(
+            f"churn device index {index} outside the universe "
+            f"[0, {num_devices})"
+        )
+    return index
+
+
+def _resolve_events(
+    schedule: ChurnSchedule, *, num_devices: int, rounds: int
+) -> ResolvedChurn:
+    """Validate an explicit event schedule round by round."""
+    absent = {_check_index(i, num_devices) for i in schedule.initial_absent}
+    present = set(range(num_devices)) - absent
+    if not present:
+        raise ConfigurationError("initial_absent leaves the round-1 fleet empty")
+    arrivals: dict[int, tuple[int, ...]] = {}
+    departures: dict[int, tuple[int, ...]] = {}
+    for round_index in sorted(schedule.events):
+        if round_index > rounds:
+            continue  # events past the horizon never fire
+        event = schedule.events[round_index]
+        arrive = tuple(sorted(_check_index(i, num_devices) for i in event["arrive"]))
+        depart = tuple(sorted(_check_index(i, num_devices) for i in event["depart"]))
+        if len(set(arrive)) != len(arrive) or len(set(depart)) != len(depart):
+            raise ConfigurationError(
+                f"churn event at round {round_index} lists a device twice"
+            )
+        overlap = set(arrive) & set(depart)
+        if overlap:
+            raise ConfigurationError(
+                f"churn event at round {round_index} both arrives and departs "
+                f"device(s) {sorted(overlap)}"
+            )
+        bad_arrive = [i for i in arrive if i in present]
+        if bad_arrive:
+            raise ConfigurationError(
+                f"churn event at round {round_index} arrives device(s) "
+                f"{bad_arrive} that are already present"
+            )
+        bad_depart = [i for i in depart if i not in present]
+        if bad_depart:
+            raise ConfigurationError(
+                f"churn event at round {round_index} departs device(s) "
+                f"{bad_depart} that are not present"
+            )
+        present |= set(arrive)
+        present -= set(depart)
+        if not present:
+            raise ConfigurationError(
+                f"churn event at round {round_index} leaves the fleet empty"
+            )
+        if arrive:
+            arrivals[round_index] = arrive
+        if depart:
+            departures[round_index] = depart
+    return ResolvedChurn(
+        num_devices=num_devices,
+        rounds=rounds,
+        initial_present=tuple(sorted(set(range(num_devices)) - absent)),
+        arrivals=arrivals,
+        departures=departures,
+    )
+
+
+def _resolve_poisson(
+    schedule: ChurnSchedule, *, num_devices: int, rounds: int, seed: int
+) -> ResolvedChurn:
+    """Generate a Poisson-style event stream from the dedicated seed stream.
+
+    The whole stream is drawn upfront from ``default_rng((seed,
+    CHURN_STREAM))``: one uniform per (round, device), consumed in a fixed
+    order, so the events depend only on ``(seed, num_devices, rounds,
+    rates)`` — never on what the loop does with them.  When every present
+    device would depart at once the slowest draw (largest uniform) is
+    retained, keeping the fleet non-empty without re-drawing.
+    """
+    rng = np.random.default_rng((seed, CHURN_STREAM))
+    hold_back = int(round(schedule.initial_absent_fraction * num_devices))
+    hold_back = min(hold_back, num_devices - 1)
+    # The held-back devices are a seeded draw, not a prefix, so "who is
+    # absent at round 1" is itself part of the generated stream.
+    absent_initial = set(
+        int(i)
+        for i in rng.choice(num_devices, size=hold_back, replace=False)
+    ) if hold_back else set()
+    present = set(range(num_devices)) - absent_initial
+    initial_present = tuple(sorted(present))
+    arrivals: dict[int, tuple[int, ...]] = {}
+    departures: dict[int, tuple[int, ...]] = {}
+    for round_index in range(2, rounds + 1):
+        draws = rng.uniform(size=num_devices)
+        arrive = tuple(
+            sorted(
+                i
+                for i in range(num_devices)
+                if i not in present and draws[i] < schedule.arrive_rate
+            )
+        )
+        departing = [
+            i for i in sorted(present) if draws[i] < schedule.depart_rate
+        ]
+        if arrive == () and len(departing) == len(present):
+            # Keep the device whose departure draw was slowest.
+            keep = max(departing, key=lambda i: (draws[i], i))
+            departing = [i for i in departing if i != keep]
+        depart = tuple(departing)
+        present |= set(arrive)
+        present -= set(depart)
+        if arrive:
+            arrivals[round_index] = arrive
+        if depart:
+            departures[round_index] = depart
+    return ResolvedChurn(
+        num_devices=num_devices,
+        rounds=rounds,
+        initial_present=initial_present,
+        arrivals=arrivals,
+        departures=departures,
+    )
+
+
+def resolve_churn(
+    spec: Mapping[str, Any] | ChurnSchedule,
+    *,
+    num_devices: int,
+    rounds: int,
+    seed: int,
+) -> ResolvedChurn:
+    """Bind a churn spec to a universe, round count and seed."""
+    schedule = (
+        spec if isinstance(spec, ChurnSchedule) else ChurnSchedule.from_mapping(spec)
+    )
+    if num_devices <= 0:
+        raise ConfigurationError("num_devices must be positive")
+    if rounds <= 0:
+        raise ConfigurationError("rounds must be positive")
+    if schedule.mode == "events":
+        return _resolve_events(schedule, num_devices=num_devices, rounds=rounds)
+    return _resolve_poisson(
+        schedule, num_devices=num_devices, rounds=rounds, seed=seed
+    )

@@ -73,6 +73,27 @@ class RoundRecord:
     #: ``fl_select`` / ``fl_train`` plus the solver's own stages).
     timings: Mapping[str, float] = field(default_factory=dict)
 
+    # -- dynamic-fleet fields (None/empty when the layer is disabled, so a
+    # -- frozen-fleet record is byte-identical to the pre-dynamic schema) ----
+    #: Number of active (present and alive) devices this round, or None
+    #: when churn/drain are off (the fleet is the full universe).
+    fleet_size: int | None = None
+    #: Devices that (re-)arrived / departed via churn before this round.
+    arrived: tuple[int, ...] = ()
+    departed: tuple[int, ...] = ()
+    #: Devices retired this round because their battery drained.
+    retired: tuple[int, ...] = ()
+    #: Smallest state-of-charge across alive devices after this round's
+    #: draws, or None when battery tracking is off.
+    battery_soc_min: float | None = None
+    #: Whether the warm-start chain was punctured before this round's solve
+    #: (the active fleet changed shape), or None when warm starts are off.
+    resolve_punctured: bool | None = None
+    #: Mean relative error of the estimated profiles against the oracle
+    #: (compute cycles / large-scale gains), or None when estimation is off.
+    estimation_cycles_rel_err: float | None = None
+    estimation_gain_rel_err: float | None = None
+
 
 @dataclass
 class RoundLoopReport:
@@ -123,9 +144,16 @@ class RoundLoopReport:
 
     # -- serialisation -------------------------------------------------------
     def as_rows(self) -> list[dict[str, Any]]:
-        """One plain dict per round (what the CLI table and CSV show)."""
-        return [
-            {
+        """One plain dict per round (what the CLI table and CSV show).
+
+        Dynamic-fleet columns (fleet size, churn/retirement counts) appear
+        only when the run produced them, so frozen-fleet output is
+        byte-identical to the pre-dynamic format.
+        """
+        dynamic = bool(self.records) and self.records[0].fleet_size is not None
+        rows = []
+        for record in self.records:
+            row: dict[str, Any] = {
                 "round": record.round_index,
                 "selected": len(record.selected),
                 "round_time_s": record.round_time_s,
@@ -136,8 +164,13 @@ class RoundLoopReport:
                 "train_loss": record.train_loss,
                 "allocator_iterations": record.allocator_iterations,
             }
-            for record in self.records
-        ]
+            if dynamic:
+                row["fleet"] = record.fleet_size
+                row["arrived"] = len(record.arrived)
+                row["departed"] = len(record.departed)
+                row["retired"] = len(record.retired)
+            rows.append(row)
+        return rows
 
     def to_table(self):
         """The per-round trajectory as a :class:`~repro.experiments.results.ResultTable`."""
@@ -174,4 +207,26 @@ class RoundLoopReport:
             metrics[f"{prefix}_energy_j"] = record.consumed_energy_j
             metrics[f"{prefix}_round_time_s"] = record.round_time_s
             metrics[f"{prefix}_selected"] = float(len(record.selected))
+            # Dynamic-fleet metrics appear only when the layer produced
+            # them, so frozen-fleet trajectories keep the historical key
+            # set exactly (the golden regression test relies on this).
+            if record.fleet_size is not None:
+                metrics[f"{prefix}_fleet_size"] = float(record.fleet_size)
+                metrics[f"{prefix}_arrived"] = float(len(record.arrived))
+                metrics[f"{prefix}_departed"] = float(len(record.departed))
+                metrics[f"{prefix}_retired"] = float(len(record.retired))
+            if record.battery_soc_min is not None:
+                metrics[f"{prefix}_battery_soc_min"] = record.battery_soc_min
+            if record.resolve_punctured is not None:
+                metrics[f"{prefix}_resolve_punctured"] = float(
+                    record.resolve_punctured
+                )
+            if record.estimation_cycles_rel_err is not None:
+                metrics[f"{prefix}_est_cycles_rel_err"] = (
+                    record.estimation_cycles_rel_err
+                )
+            if record.estimation_gain_rel_err is not None:
+                metrics[f"{prefix}_est_gain_rel_err"] = (
+                    record.estimation_gain_rel_err
+                )
         return metrics

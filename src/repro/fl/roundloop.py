@@ -22,10 +22,29 @@ resource-allocation stack *every global round*:
    the :class:`~repro.fl.server.FedAvgServer` aggregates, producing the
    accuracy/loss the round's seconds and joules actually bought.
 
+On top of the closed loop sits the **dynamic-fleet layer** (all off by
+default, in which case the trajectory is bit-identical to the frozen-fleet
+loop):
+
+* **churn** (:mod:`repro.fl.churn`) — a declarative or Poisson-generated
+  schedule of arrivals/departures grows and shrinks the fleet mid-training;
+  each round re-solves the allocation over the present subset
+  (:meth:`SystemModel.with_devices`), and the warm-start chain punctures
+  deterministically whenever the fleet shape changes;
+* **drain** — per-device :class:`~repro.devices.battery.Battery` state is
+  charged each round's allocated energy; drained devices are retired (never
+  selected again, re-solved around) under the ``graceful`` policy, or the
+  run fails loudly under ``loud``;
+* **estimation** (:mod:`repro.fl.estimation`) — the allocator can run on
+  *estimated* device profiles fitted from observed round timings by
+  recursive least squares instead of the oracle parameters, with the
+  oracle-vs-estimated error surfaced per round.
+
 Everything is deterministic in ``RoundLoopConfig.seed``: the dataset,
-partition, model init, server RNG and each round's fading/selection draws
-derive from per-purpose seed streams, so fixed-seed runs are bit-identical
-across solver backends, warm/cold starts and sweep execution order.
+partition, model init, server RNG, each round's fading/selection draws and
+the churn event stream derive from per-purpose seed streams, so fixed-seed
+runs are bit-identical across solver backends, warm/cold starts and sweep
+execution order — churned, drained and estimated or not.
 """
 
 from __future__ import annotations
@@ -39,13 +58,16 @@ from ..baselines.registry import BASELINES, get_baseline
 from ..core.allocator import AllocationResult, AllocatorConfig, ResourceAllocator
 from ..core.problem import JointProblem, ProblemWeights
 from ..core.subproblem2 import validate_backend
+from ..devices.battery import Battery, BatteryDrainedError
 from ..exceptions import ConfigurationError
 from ..perf.timers import StageTimings, stage
 from ..scenarios import ScenarioSpec
 from ..system import SystemModel
 from ..wireless.fading import make_fading
+from .churn import ChurnSchedule, resolve_churn
 from .client import Client
 from .datasets import make_classification_dataset
+from .estimation import ProfileEstimator
 from .metrics import RoundLoopReport, RoundRecord
 from .models import MLPClassifier, SoftmaxRegression
 from .optimizer import SGDConfig
@@ -54,6 +76,15 @@ from .selection import SelectionContext, get_selection_strategy, select_clients
 from .server import FedAvgServer
 
 __all__ = ["RoundLoopConfig", "FLRoundLoop", "run_round_loop"]
+
+#: Battery retirement policies: ``graceful`` drains what is left and
+#: retires the device (the loop re-solves around it from the next round);
+#: ``loud`` raises :class:`~repro.devices.battery.BatteryDrainedError`.
+BATTERY_POLICIES = ("graceful", "loud")
+
+#: A battery at or below this state of charge counts as dead — the device
+#: is retired and never selected again.
+_DEAD_SOC = 1e-12
 
 #: Seed-stream tags: every RNG in the loop derives from ``(seed, tag)`` (or
 #: ``(seed, _ROUND_STREAM + round)`` for per-round draws), so adding a new
@@ -118,6 +149,19 @@ class RoundLoopConfig:
     #: Hyper-parameters of the per-round Algorithm-2 solve.
     allocator: AllocatorConfig = field(default_factory=AllocatorConfig)
 
+    # -- the dynamic-fleet layer (all off by default: the frozen-fleet
+    # -- trajectory is then bit-identical to the pre-dynamic loop) ----------
+    #: Churn spec (see :mod:`repro.fl.churn`), or None for a frozen fleet.
+    churn: Mapping[str, Any] | None = None
+    #: Battery spec: ``{"capacity_j": J, "initial_soc": 1.0, "policy":
+    #: "graceful"|"loud"}``; None disables drain tracking entirely.
+    battery: Mapping[str, Any] | None = None
+    #: Solve each round's allocation on *estimated* device profiles fitted
+    #: from observed round timings instead of the oracle parameters.
+    estimate_profiles: bool = False
+    #: Estimator parameters (e.g. ``{"forgetting": 0.9}``).
+    estimation_params: Mapping[str, Any] = field(default_factory=dict)
+
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ConfigurationError("rounds must be positive")
@@ -146,6 +190,37 @@ class RoundLoopConfig:
         get_selection_strategy(self.selection)
         if self.fading is not None:
             make_fading(self.fading, **dict(self.fading_params))
+        if self.churn is not None:
+            ChurnSchedule.from_mapping(self.churn)
+        if self.battery is not None:
+            self.battery_spec()
+        if self.estimate_profiles or self.estimation_params:
+            ProfileEstimator(1, params=dict(self.estimation_params))
+
+    def battery_spec(self) -> tuple[float, float, str]:
+        """The validated ``(capacity_j, initial_soc, policy)`` battery spec."""
+        spec = dict(self.battery or {})
+        unknown = sorted(set(spec) - {"capacity_j", "initial_soc", "policy"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown battery spec key(s) {', '.join(map(repr, unknown))}; "
+                "known: capacity_j, initial_soc, policy"
+            )
+        if "capacity_j" not in spec:
+            raise ConfigurationError("battery spec needs capacity_j")
+        capacity = float(spec["capacity_j"])
+        if capacity <= 0.0:
+            raise ConfigurationError("battery capacity_j must be positive")
+        initial_soc = float(spec.get("initial_soc", 1.0))
+        if not 0.0 < initial_soc <= 1.0:
+            raise ConfigurationError("battery initial_soc must lie in (0, 1]")
+        policy = str(spec.get("policy", "graceful"))
+        if policy not in BATTERY_POLICIES:
+            raise ConfigurationError(
+                f"battery policy must be one of {', '.join(BATTERY_POLICIES)}, "
+                f"got {policy!r}"
+            )
+        return capacity, initial_soc, policy
 
     def scenario_spec(self) -> ScenarioSpec:
         """The configured scenario as a (family, params) spec."""
@@ -271,6 +346,38 @@ class FLRoundLoop:
         )
         base_gains = base_system.gains
 
+        # -- dynamic-fleet state over the device universe -------------------
+        churn = (
+            resolve_churn(
+                config.churn,
+                num_devices=num_clients,
+                rounds=config.rounds,
+                seed=config.seed,
+            )
+            if config.churn is not None
+            else None
+        )
+        batteries: list[Battery] | None = None
+        battery_policy = "graceful"
+        if config.battery is not None:
+            capacity, initial_soc, battery_policy = config.battery_spec()
+            batteries = [
+                Battery(capacity_j=capacity, charge_j=capacity * initial_soc)
+                for _ in range(num_clients)
+            ]
+        estimator = (
+            ProfileEstimator(num_clients, params=dict(config.estimation_params))
+            if config.estimate_profiles
+            else None
+        )
+        fleet_dynamic = churn is not None or batteries is not None
+        present = np.ones(num_clients, dtype=bool)
+        if churn is not None:
+            present[:] = False
+            present[list(churn.initial_present)] = True
+        alive = np.ones(num_clients, dtype=bool)
+        previous_active: tuple[int, ...] | None = None
+
         report = RoundLoopReport()
         elapsed = 0.0
         consumed = 0.0
@@ -280,41 +387,125 @@ class FLRoundLoop:
             round_rng = np.random.default_rng(
                 (config.seed, _ROUND_STREAM + round_index)
             )
+            arrived: tuple[int, ...] = ()
+            departed: tuple[int, ...] = ()
+            if churn is not None and round_index >= 2:
+                arrived, departed = churn.events_for_round(round_index)
+                present[list(arrived)] = True
+                present[list(departed)] = False
+            active = np.flatnonzero(present & alive)
+            if active.size == 0:
+                raise BatteryDrainedError(
+                    f"no device can train at round {round_index}: every "
+                    "present device's battery is drained"
+                )
+            active_tuple = tuple(int(i) for i in active)
+            punctured = False
+            if (
+                config.warm_start
+                and previous_active is not None
+                and active_tuple != previous_active
+            ):
+                # The fleet changed shape: the previous round's bandwidth
+                # multiplier belongs to a different problem, so the warm
+                # chain punctures deterministically (exactly like a sharded
+                # sweep skipping an out-of-shard task).
+                mu_hint = None
+                punctured = True
             with stage("fl_round", timings):
                 with stage("fl_channel", timings):
+                    # Fading is always drawn over the full universe so the
+                    # per-round stream never shifts with the fleet shape.
                     if fading_model is not None:
                         factors = fading_model.sample_linear(num_clients, round_rng)
                         system = base_system.with_gains(base_gains * factors)
                     else:
                         system = base_system
+                    round_system = (
+                        system.with_devices(active)
+                        if active.size != num_clients
+                        else system
+                    )
                 with stage("fl_allocate", timings):
-                    result = self._solve_round(system, allocator, mu_hint)
+                    solve_system = (
+                        estimator.estimated_system(round_system, active)
+                        if estimator is not None
+                        else round_system
+                    )
+                    result = self._solve_round(solve_system, allocator, mu_hint)
                 if allocator is not None:
                     mu_hint = result.warm_hints.get("mu", mu_hint)
                 allocation = result.allocation
-                per_time = allocation.per_device_time_s(system)
-                per_energy = allocation.per_device_energy_j(system)
+                # Pricing always uses the *true* subsystem: an allocation
+                # solved on estimated profiles is charged what it really
+                # costs, which is what makes the estimation gap measurable.
+                per_time = allocation.per_device_time_s(round_system)
+                per_energy = allocation.per_device_energy_j(round_system)
                 with stage("fl_select", timings):
-                    selected = select_clients(
+                    soc = (
+                        np.array(
+                            [batteries[i].state_of_charge for i in active_tuple]
+                        )
+                        if batteries is not None
+                        else None
+                    )
+                    selected_sub = select_clients(
                         config.selection,
                         SelectionContext(
                             round_index=round_index,
-                            num_clients=num_clients,
+                            num_clients=active.size,
                             per_device_time_s=per_time,
                             per_device_energy_j=per_energy,
                             round_deadline_s=result.round_deadline_s,
                             rng=round_rng,
                             params=config.selection_params,
+                            state_of_charge=soc,
                         ),
                     )
-                round_time = float(np.max(per_time[selected]))
-                round_energy = float(np.sum(per_energy[selected]))
+                selected = active[selected_sub]
+                round_time = float(np.max(per_time[selected_sub]))
+                round_energy = float(np.sum(per_energy[selected_sub]))
                 with stage("fl_train", timings):
                     train_loss, test_loss, test_accuracy = server.run_round(
                         round_index, local_iterations, client_indices=selected.tolist()
                     )
+                retired: list[int] = []
+                soc_min: float | None = None
+                if batteries is not None:
+                    retired = self._drain_batteries(
+                        batteries,
+                        battery_policy,
+                        selected_sub,
+                        selected,
+                        per_energy,
+                        alive,
+                        round_index,
+                    )
+                    alive_soc = [
+                        batteries[i].state_of_charge
+                        for i in range(num_clients)
+                        if alive[i]
+                    ]
+                    soc_min = min(alive_soc) if alive_soc else 0.0
+                est_errors: dict[str, float] | None = None
+                if estimator is not None:
+                    estimator.observe_round(
+                        base_system,
+                        selected,
+                        frequency_hz=allocation.frequency_hz[selected_sub],
+                        power_w=allocation.power_w[selected_sub],
+                        bandwidth_hz=allocation.bandwidth_hz[selected_sub],
+                        compute_time_s=round_system.computation_time_s(
+                            allocation.frequency_hz
+                        )[selected_sub],
+                        upload_time_s=round_system.upload_time_s(
+                            allocation.power_w, allocation.bandwidth_hz
+                        )[selected_sub],
+                    )
+                    est_errors = estimator.error_report(base_system)
             elapsed += round_time
             consumed += round_energy
+            previous_active = active_tuple
             report.append(
                 RoundRecord(
                     round_index=round_index,
@@ -330,9 +521,62 @@ class FLRoundLoop:
                     allocator_objective=result.objective,
                     round_deadline_s=result.round_deadline_s,
                     timings=timings.as_dict(),
+                    fleet_size=int(active.size) if fleet_dynamic else None,
+                    arrived=arrived,
+                    departed=departed,
+                    retired=tuple(retired),
+                    battery_soc_min=soc_min,
+                    resolve_punctured=(
+                        punctured
+                        if (fleet_dynamic and config.warm_start and allocator is not None)
+                        else None
+                    ),
+                    estimation_cycles_rel_err=(
+                        est_errors["cycles_rel_err"] if est_errors else None
+                    ),
+                    estimation_gain_rel_err=(
+                        est_errors["gain_rel_err"] if est_errors else None
+                    ),
                 )
             )
         return report
+
+    @staticmethod
+    def _drain_batteries(
+        batteries: list[Battery],
+        policy: str,
+        selected_sub: np.ndarray,
+        selected: np.ndarray,
+        per_energy: np.ndarray,
+        alive: np.ndarray,
+        round_index: int,
+    ) -> list[int]:
+        """Charge this round's energy to the selected devices' batteries.
+
+        Returns the devices retired this round.  Under the ``graceful``
+        policy an over-budget draw empties the battery and retires the
+        device (the next round re-solves around it); ``loud`` raises
+        instead — the run fails exactly where a real deployment would have
+        lost a device mid-round.
+        """
+        retired: list[int] = []
+        for sub, device in zip(selected_sub, selected):
+            battery = batteries[int(device)]
+            draw = float(per_energy[int(sub)])
+            if battery.can_supply(draw):
+                battery.draw(draw)
+            elif policy == "loud":
+                raise BatteryDrainedError(
+                    f"device {int(device)} needs {draw:.3f} J for round "
+                    f"{round_index} but only {battery.charge_j:.3f} J remain "
+                    "(battery policy 'loud')"
+                )
+            else:
+                battery.draw(max(min(draw, battery.charge_j), 0.0))
+            if battery.state_of_charge <= _DEAD_SOC:
+                alive[int(device)] = False
+                retired.append(int(device))
+        return retired
 
 
 def run_round_loop(

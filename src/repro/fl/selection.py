@@ -13,6 +13,8 @@ Built-in strategies:
 * ``all`` — full participation (the paper's system model);
 * ``random-k`` — ``k`` clients drawn uniformly without replacement;
 * ``fastest-k`` — the ``k`` clients with the smallest allocated round time;
+* ``charge-k`` — the ``k`` clients with the most remaining battery charge
+  (requires the round loop's battery tracking);
 * ``deadline-k`` — allocation-aware: clients whose round time fits inside
   the solver's per-round deadline (scaled by ``deadline_slack``).  Unlike
   the other k-style strategies the ``k`` cap is *optional* here — the
@@ -64,6 +66,9 @@ class SelectionContext:
     rng: np.random.Generator
     #: Strategy-specific parameters (e.g. ``{"k": 5}``).
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: Per-device battery state of charge in [0, 1], or None when the round
+    #: loop is not tracking batteries (the frozen-fleet configuration).
+    state_of_charge: np.ndarray | None = None
 
 
 SelectionFn = Callable[[SelectionContext], np.ndarray]
@@ -153,6 +158,26 @@ def select_fastest_k(ctx: SelectionContext) -> np.ndarray:
     """
     k = _resolve_k(ctx)
     order = np.argsort(ctx.per_device_time_s, kind="stable")
+    return np.sort(order[:k])
+
+
+@register_selection_strategy("charge-k")
+def select_charge_k(ctx: SelectionContext) -> np.ndarray:
+    """The ``k`` clients with the most remaining battery charge.
+
+    Battery-aware fairness for drained fleets: training rotates towards
+    the devices that can best afford it, stretching the whole fleet's
+    lifetime.  Requires the round loop's battery tracking (the strategy
+    has nothing to rank without it); ties break on the lower client index.
+    """
+    if ctx.state_of_charge is None:
+        raise ConfigurationError(
+            "selection strategy 'charge-k' needs battery tracking (enable "
+            "the round loop's battery configuration)"
+        )
+    k = _resolve_k(ctx)
+    # argsort ascending on -soc = descending on soc, stable for index ties.
+    order = np.argsort(-np.asarray(ctx.state_of_charge, dtype=float), kind="stable")
     return np.sort(order[:k])
 
 

@@ -44,6 +44,19 @@ O(tasks) file opens.  ``store_parity_max_rel_dev`` is the zero-tolerance
 gate that both backends return bit-identical entries (metrics *and* warm
 state).
 
+Since schema 6 the report also carries a **dynamic-fleet FL suite**: the
+closed-loop run re-done with Poisson churn and battery drain enabled
+(cold vector / warm / cold scalar), reporting the allocation cost of
+mid-training re-solves (``fl_churn_resolve_s``), the number of warm-chain
+punctures the fleet-shape changes forced, and the same exact parity gates
+as the frozen-fleet loop (``fl_dynamic_warm_parity_max_rel_dev`` /
+``fl_dynamic_backend_parity_max_rel_dev``) — churn and drain are seeded,
+so dynamic runs must stay bit-identical too.  A fourth run flips on
+online profile estimation (:mod:`repro.fl.estimation`) and reports the
+estimated-versus-oracle accuracy gap plus the estimator's final relative
+errors (``fl_estimated_vs_oracle_accuracy_gap``,
+``fl_estimation_cycles_rel_err``, ``fl_estimation_gain_rel_err``).
+
 :func:`compare_reports` gates a report against a committed baseline: a
 tracked metric that regresses beyond the tolerance (default 20%), a floor
 that is no longer met (backend SP2 speedup >= 2x, batched multi-solve
@@ -78,13 +91,14 @@ __all__ = [
     "DEFAULT_BACKEND_PARITY_TOL",
     "bench_config",
     "fl_bench_config",
+    "fl_dynamic_bench_config",
     "run_bench",
     "write_report",
     "load_report",
     "compare_reports",
 ]
 
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 #: Relative regression a tracked metric may show before the compare fails.
 DEFAULT_TOLERANCE = 0.20
 #: Maximum relative deviation allowed between warm and cold sweep metrics.
@@ -142,6 +156,7 @@ _TRACKED: dict[str, str] = {
     "warm_inner_iterations": "lower",
     "backend_sp2_speedup": "higher",
     "fl_outer_iterations": "lower",
+    "fl_dynamic_outer_iterations": "lower",
 }
 
 _PARITY_COLUMNS = ("energy_j", "time_s", "objective")
@@ -180,6 +195,30 @@ def fl_bench_config(quick: bool = False) -> RoundLoopConfig:
     )
 
 
+def fl_dynamic_bench_config(quick: bool = False) -> RoundLoopConfig:
+    """The benchmarked *dynamic-fleet* closed-loop run.
+
+    The frozen-fleet bench config plus seeded Poisson churn and battery
+    drain: arrivals and departures change the active fleet's shape
+    mid-training, forcing full (punctured) re-solves whose cost
+    ``fl_churn_resolve_s`` tracks.  The capacity is generous enough that
+    no device retires inside the benchmark horizon — retirement coverage
+    lives in the test suite; here the batteries exist to price the drain
+    bookkeeping, not to shrink the fleet nondeterministically across
+    suite scales.
+    """
+    return replace(
+        fl_bench_config(quick),
+        churn={
+            "mode": "poisson",
+            "arrive_rate": 0.4,
+            "depart_rate": 0.3,
+            "initial_absent_fraction": 0.25,
+        },
+        battery={"capacity_j": 50.0, "policy": "graceful"},
+    )
+
+
 def _run_fl_mode(config: RoundLoopConfig, *, warm: bool, backend: str):
     """One closed-loop run; returns (flat metrics, report, wall seconds)."""
     mode = replace(config, warm_start=warm, backend=backend)
@@ -187,6 +226,18 @@ def _run_fl_mode(config: RoundLoopConfig, *, warm: bool, backend: str):
     report = FLRoundLoop(mode).run()
     wall = time.monotonic() - started
     return report.flat_metrics(), report, wall
+
+
+def _drop_suffix(
+    metrics: Mapping[str, float], suffix: str
+) -> dict[str, float]:
+    """The flat metrics without keys ending in ``suffix``.
+
+    Used to compare dynamic warm and cold trajectories: the
+    ``_resolve_punctured`` diagnostics exist only on warm runs (there is
+    no chain to puncture cold), so they are structural noise for parity.
+    """
+    return {k: v for k, v in metrics.items() if not k.endswith(suffix)}
 
 
 def _flat_parity(left: Mapping[str, float], right: Mapping[str, float]) -> float:
@@ -403,6 +454,21 @@ def run_bench(*, quick: bool = False, label: str = "PR8") -> dict[str, Any]:
         fl_config, warm=False, backend="scalar"
     )
 
+    dyn_config = fl_dynamic_bench_config(quick)
+    fl_dyn_cold, fl_dyn_cold_report, fl_dyn_cold_wall = _run_fl_mode(
+        dyn_config, warm=False, backend="vector"
+    )
+    fl_dyn_warm, fl_dyn_warm_report, _fl_dyn_warm_wall = _run_fl_mode(
+        dyn_config, warm=True, backend="vector"
+    )
+    fl_dyn_scalar, _fl_dyn_scalar_report, _fl_dyn_scalar_wall = _run_fl_mode(
+        dyn_config, warm=False, backend="scalar"
+    )
+    est_config = replace(dyn_config, estimate_profiles=True)
+    _fl_est, fl_est_report, _fl_est_wall = _run_fl_mode(
+        est_config, warm=True, backend="vector"
+    )
+
     cold_stages = _sum_stages(cold_outcomes)
     warm_stages = _sum_stages(warm_outcomes)
     scalar_stages = _sum_stages(scalar_outcomes)
@@ -453,6 +519,34 @@ def run_bench(*, quick: bool = False, label: str = "PR8") -> dict[str, Any]:
         "fl_final_accuracy": round(fl_cold_report.final_accuracy, 6),
         "fl_warm_parity_max_rel_dev": _flat_parity(fl_cold, fl_warm),
         "fl_backend_parity_max_rel_dev": _flat_parity(fl_cold, fl_scalar),
+        "fl_dynamic_wall_s": round(fl_dyn_cold_wall, 4),
+        "fl_churn_resolve_s": round(
+            fl_dyn_cold_report.stage_seconds("fl_allocate"), 6
+        ),
+        "fl_dynamic_outer_iterations": float(
+            fl_dyn_cold_report.total_allocator_iterations
+        ),
+        "fl_dynamic_punctures": float(
+            sum(bool(r.resolve_punctured) for r in fl_dyn_warm_report.records)
+        ),
+        "fl_dynamic_final_accuracy": round(fl_dyn_cold_report.final_accuracy, 6),
+        "fl_dynamic_warm_parity_max_rel_dev": _flat_parity(
+            _drop_suffix(fl_dyn_cold, "_resolve_punctured"),
+            _drop_suffix(fl_dyn_warm, "_resolve_punctured"),
+        ),
+        "fl_dynamic_backend_parity_max_rel_dev": _flat_parity(
+            fl_dyn_cold, fl_dyn_scalar
+        ),
+        "fl_estimated_vs_oracle_accuracy_gap": round(
+            abs(fl_dyn_warm_report.final_accuracy - fl_est_report.final_accuracy),
+            6,
+        ),
+        "fl_estimation_cycles_rel_err": round(
+            fl_est_report.records[-1].estimation_cycles_rel_err or 0.0, 6
+        ),
+        "fl_estimation_gain_rel_err": round(
+            fl_est_report.records[-1].estimation_gain_rel_err or 0.0, 6
+        ),
     }
     metrics.update(_bench_store(cold_outcomes))
     return {
@@ -461,7 +555,8 @@ def run_bench(*, quick: bool = False, label: str = "PR8") -> dict[str, Any]:
         "mode": "quick" if quick else "standard",
         "suite": "fig2 sweep: cold (vector) vs warm-started vs scalar backend "
         "vs batched multi-solve (jobs=1, cache off) + closed-loop FL round "
-        "loop (cold/warm/scalar) + result-store read/write (json vs columnar)",
+        "loop (cold/warm/scalar, frozen and dynamic fleets, estimated "
+        "profiles) + result-store read/write (json vs columnar)",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -566,9 +661,14 @@ def compare_reports(
     # schema-2 report can still be compared against; once the current
     # report carries them they must hold — fixed-seed round loops are
     # bit-identical by construction, so these should in fact be 0.0.
+    # The dynamic-fleet parities (schema >= 6) share the frozen-fleet
+    # bounds: churn and drain are seeded, so fixed-seed dynamic runs are
+    # just as bit-identical as frozen ones.
     for name, tol in (
         ("fl_warm_parity_max_rel_dev", parity_tol),
         ("fl_backend_parity_max_rel_dev", backend_tol),
+        ("fl_dynamic_warm_parity_max_rel_dev", parity_tol),
+        ("fl_dynamic_backend_parity_max_rel_dev", backend_tol),
     ):
         fl_parity = current_metrics.get(name)
         if fl_parity is not None and not fl_parity <= tol:

@@ -231,6 +231,25 @@ class SystemModel:
             global_rounds=self.global_rounds if global_rounds is None else global_rounds,
         )
 
+    def with_devices(self, indices: "np.ndarray | list[int]") -> "SystemModel":
+        """Copy restricted to the given device indices (fleet *and* gains).
+
+        This is how the dynamic-fleet round loop re-solves around churned
+        or battery-dead devices: the allocation problem shrinks to the
+        active subset while the underlying drop (and its seed streams)
+        stays defined over the full universe.  The stored ``channel_state``
+        is dropped — its arrays would no longer line up with the subset.
+        """
+        index_array = np.asarray(indices, dtype=int)
+        if index_array.ndim != 1 or index_array.size == 0:
+            raise ConfigurationError("with_devices needs a non-empty 1-D index list")
+        return replace(
+            self,
+            fleet=self.fleet.subset([int(i) for i in index_array]),
+            gains=self.gains[index_array],
+            channel_state=None,
+        )
+
     def with_fleet(self, fleet: DeviceFleet) -> "SystemModel":
         """Copy with a different device fleet (same channel)."""
         if fleet.num_devices != self.num_devices:

@@ -135,12 +135,20 @@ def test_bench_command_writes_report_and_compares(tmp_path, capsys, monkeypatch)
     from repro.perf import bench as bench_module
 
     fake = {
-        "schema": 5,
+        "schema": 6,
         "label": "PRX",
         "mode": "quick",
         "metrics": {
             "store_read_speedup": 2.5,
             "store_parity_max_rel_dev": 0.0,
+            "fl_churn_resolve_s": 0.1,
+            "fl_dynamic_punctures": 2.0,
+            "fl_dynamic_outer_iterations": 14.0,
+            "fl_dynamic_warm_parity_max_rel_dev": 0.0,
+            "fl_dynamic_backend_parity_max_rel_dev": 0.0,
+            "fl_estimated_vs_oracle_accuracy_gap": 0.01,
+            "fl_estimation_cycles_rel_err": 0.0,
+            "fl_estimation_gain_rel_err": 0.2,
             "cold_wall_s": 1.0,
             "warm_wall_s": 0.5,
             "scalar_wall_s": 2.5,
@@ -223,6 +231,59 @@ def test_fl_command_rejects_unknown_scenario_and_scheme(capsys):
     assert "unknown scenario family" in capsys.readouterr().err
     assert main(["fl", "--quick", "--scheme", "nope"]) == 2
     assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_fl_command_dynamic_fleet_flags(capsys):
+    assert (
+        main(
+            [
+                "fl",
+                "--quick",
+                "--churn", "poisson:arrive=0.4,depart=0.3,absent=0.25",
+                "--battery", "50",
+                "--battery-policy", "graceful",
+                "--estimate-profiles",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # The dynamic columns only appear when the layer is on.
+    assert "| fleet |" in out or "fleet" in out.splitlines()[0]
+
+
+def test_fl_command_churn_json_spec(capsys):
+    spec = json.dumps(
+        {"mode": "events", "initial_absent": [5], "events": {"2": {"arrive": [5]}}}
+    )
+    assert main(["fl", "--quick", "--churn", spec]) == 0
+    assert "fleet" in capsys.readouterr().out
+
+
+def test_fl_command_frozen_fleet_output_has_no_dynamic_columns(capsys):
+    assert main(["fl", "--quick"]) == 0
+    assert "fleet" not in capsys.readouterr().out
+
+
+def test_parse_churn_spec_shorthand_and_errors():
+    from repro.cli import _parse_churn_spec
+    from repro.exceptions import ConfigurationError
+
+    spec = _parse_churn_spec("poisson:arrive=0.4,depart=0.3,absent=0.25")
+    assert spec == {
+        "mode": "poisson",
+        "arrive_rate": 0.4,
+        "depart_rate": 0.3,
+        "initial_absent_fraction": 0.25,
+    }
+    assert _parse_churn_spec("poisson") == {"mode": "poisson"}
+    assert _parse_churn_spec('{"mode": "events"}') == {"mode": "events"}
+    with pytest.raises(ConfigurationError, match="poisson"):
+        _parse_churn_spec("weibull:rate=1")
+    with pytest.raises(ConfigurationError, match="KEY=VALUE"):
+        _parse_churn_spec("poisson:arrive=0.4,typo=1")
+    with pytest.raises(ConfigurationError, match="object"):
+        _parse_churn_spec("[1, 2]")
 
 
 def test_fl_command_selection_and_backend_flags(capsys):

@@ -88,3 +88,32 @@ def test_paper_config_scales_up():
     paper = FLCurveConfig.paper()
     assert paper.rounds > FLCurveConfig().rounds
     assert len(paper.families) >= 4
+    assert paper.profile_modes == ("oracle", "estimated")
+
+
+def test_profiles_column_defaults_to_oracle(table):
+    assert set(table.column("profiles")) == {"oracle"}
+
+
+def test_estimated_profile_mode_adds_a_curve_per_scheme():
+    config = FLCurveConfig(
+        rounds=2,
+        families=("paper",),
+        schemes=("proposed",),
+        profile_modes=("oracle", "estimated"),
+    )
+    tasks = config.tasks()
+    assert len(tasks) == 2
+    assert {task.key[-1] for task in tasks} == {"oracle", "estimated"}
+    estimated = next(
+        t for t in tasks if t.key[-1] == "estimated"
+    ).solver_params["roundloop"]
+    assert estimated.estimate_profiles
+    table = run_flcurve(config, runner=SweepRunner(jobs=1, use_cache=False))
+    assert len(table) == 2 * config.rounds
+    assert set(table.column("profiles")) == {"oracle", "estimated"}
+
+
+def test_unknown_profile_mode_is_rejected():
+    with pytest.raises(ValueError, match="profile mode"):
+        FLCurveConfig(profile_modes=("oracle", "psychic"))

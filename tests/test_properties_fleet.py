@@ -1,0 +1,211 @@
+"""Property-based tests on the dynamic-fleet layer (batteries and churn).
+
+These lock down the invariants the round loop leans on for *any* draw:
+battery charge is monotone under draws and the state of charge never
+leaves [0, 1]; a draw beyond the remaining charge raises exactly at the
+boundary; churn resolution is seed-deterministic, keeps every event
+consistent (arrive only while absent, depart only while present), never
+empties the fleet, and its per-round bookkeeping reconstructs the exact
+present set; and a device that departed is never selected by the round
+loop while it stays absent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.battery import Battery, BatteryDrainedError
+from repro.fl.churn import ChurnSchedule, resolve_churn
+from repro.fl.roundloop import RoundLoopConfig, run_round_loop
+
+pytestmark = pytest.mark.hypothesis
+
+
+# -- battery invariants ------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.floats(min_value=1e-3, max_value=1e3),
+    fractions=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12
+    ),
+)
+def test_battery_drain_is_monotone_and_soc_stays_in_unit_interval(
+    capacity, fractions
+):
+    battery = Battery(capacity_j=capacity)
+    previous = battery.charge_j
+    for fraction in fractions:
+        draw = fraction * battery.charge_j
+        battery.draw(draw)
+        assert battery.charge_j <= previous + 1e-12
+        assert 0.0 <= battery.state_of_charge <= 1.0
+        previous = battery.charge_j
+    assert battery.drawn_j == pytest.approx(capacity - battery.charge_j, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.floats(min_value=1e-3, max_value=1e3),
+    excess=st.floats(min_value=1e-6, max_value=10.0),
+)
+def test_battery_raises_exactly_beyond_exhaustion(capacity, excess):
+    battery = Battery(capacity_j=capacity)
+    # Draining the exact remaining charge is always allowed...
+    battery.draw(battery.charge_j)
+    assert battery.state_of_charge == pytest.approx(0.0, abs=1e-12)
+    # ...but any draw beyond the (now zero) charge raises.
+    with pytest.raises(BatteryDrainedError):
+        battery.draw(excess * capacity)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=st.floats(min_value=1e-3, max_value=1e3),
+    spend=st.floats(min_value=0.0, max_value=1.0),
+    topup=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_battery_recharge_never_exceeds_capacity(capacity, spend, topup):
+    battery = Battery(capacity_j=capacity)
+    battery.draw(spend * capacity)
+    battery.recharge(topup * capacity)
+    assert 0.0 <= battery.state_of_charge <= 1.0
+    battery.recharge()
+    assert battery.state_of_charge == pytest.approx(1.0)
+
+
+# -- churn invariants --------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    num_devices=st.integers(min_value=1, max_value=16),
+    rounds=st.integers(min_value=1, max_value=12),
+    arrive=st.floats(min_value=0.0, max_value=1.0),
+    depart=st.floats(min_value=0.0, max_value=1.0),
+    absent=st.floats(min_value=0.0, max_value=0.99),
+)
+def test_poisson_churn_events_are_consistent_and_never_empty_the_fleet(
+    seed, num_devices, rounds, arrive, depart, absent
+):
+    spec = {
+        "mode": "poisson",
+        "arrive_rate": arrive,
+        "depart_rate": depart,
+        "initial_absent_fraction": absent,
+    }
+    resolved = resolve_churn(
+        spec, num_devices=num_devices, rounds=rounds, seed=seed
+    )
+    present = set(resolved.initial_present)
+    assert present, "the round-1 fleet must never be empty"
+    assert present <= set(range(num_devices))
+    for round_index in range(2, rounds + 1):
+        arrivals, departures = resolved.events_for_round(round_index)
+        assert not set(arrivals) & present, "arrivals must have been absent"
+        assert set(departures) <= present, "departures must have been present"
+        assert not set(arrivals) & set(departures)
+        present |= set(arrivals)
+        present -= set(departures)
+        assert present, f"round {round_index} would leave the fleet empty"
+    # The bookkeeping helper reconstructs exactly this trace.
+    trace = resolved.present_through()
+    assert len(trace) == rounds
+    assert trace[-1] == tuple(sorted(present))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    num_devices=st.integers(min_value=2, max_value=12),
+    rounds=st.integers(min_value=2, max_value=10),
+    arrive=st.floats(min_value=0.0, max_value=1.0),
+    depart=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_same_seed_yields_identical_churn_event_stream(
+    seed, num_devices, rounds, arrive, depart
+):
+    spec = {
+        "mode": "poisson",
+        "arrive_rate": arrive,
+        "depart_rate": depart,
+        "initial_absent_fraction": 0.3,
+    }
+    first = resolve_churn(spec, num_devices=num_devices, rounds=rounds, seed=seed)
+    second = resolve_churn(spec, num_devices=num_devices, rounds=rounds, seed=seed)
+    assert first == second
+    assert first.present_through() == second.present_through()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    initial_absent=st.lists(
+        st.integers(min_value=0, max_value=5), max_size=5, unique=True
+    ),
+)
+def test_events_mode_round_one_fleet_is_universe_minus_absent(initial_absent):
+    spec = {"mode": "events", "initial_absent": initial_absent}
+    if len(set(initial_absent)) == 6:
+        with pytest.raises(Exception):
+            resolve_churn(spec, num_devices=6, rounds=3, seed=0)
+        return
+    resolved = resolve_churn(spec, num_devices=6, rounds=3, seed=0)
+    assert resolved.initial_present == tuple(
+        sorted(set(range(6)) - set(initial_absent))
+    )
+
+
+# -- round-loop-level fleet invariants --------------------------------------
+_SCENARIO = {"family": "paper", "num_devices": 5, "seed": 3}
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_departed_devices_are_never_selected_while_absent(seed):
+    churn = {
+        "mode": "events",
+        "initial_absent": [4],
+        "events": {2: {"depart": [0], "arrive": [4]}, 3: {"depart": [1]}},
+    }
+    config = RoundLoopConfig(
+        scenario={**_SCENARIO, "seed": seed},
+        rounds=3,
+        local_iterations=2,
+        samples_per_client=12,
+        seed=seed,
+        churn=churn,
+        allocator=_fast_allocator(),
+    )
+    report = run_round_loop(config)
+    expected_present = resolve_churn(
+        churn, num_devices=5, rounds=3, seed=seed
+    ).present_through()
+    for record, present in zip(report.records, expected_present):
+        assert set(record.selected) <= set(present)
+        assert record.fleet_size == len(present)
+    # Device 0 departs before round 2 and never returns.
+    assert 0 not in report.records[1].selected
+    assert 0 not in report.records[2].selected
+
+
+def _fast_allocator():
+    from repro.core.allocator import AllocatorConfig
+
+    return AllocatorConfig(max_iterations=3)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_round_loop_battery_soc_min_is_monotone_nonincreasing(seed):
+    config = RoundLoopConfig(
+        scenario={**_SCENARIO, "seed": seed},
+        rounds=3,
+        local_iterations=2,
+        samples_per_client=12,
+        seed=seed,
+        battery={"capacity_j": 5.0},
+        allocator=_fast_allocator(),
+    )
+    report = run_round_loop(config)
+    socs = [r.battery_soc_min for r in report.records]
+    assert all(0.0 <= s <= 1.0 for s in socs)
+    assert all(a >= b - 1e-12 for a, b in zip(socs, socs[1:]))

@@ -88,12 +88,21 @@ def test_sharded_runs_union_to_the_serial_outcome_set(tmp_path):
 
 def test_skipped_tasks_are_not_failures_and_not_cached(tmp_path):
     tasks = _tasks()
+    # Pick the smallest shard count that actually splits the tasks (the
+    # hash partition moves whenever the cache-key schema does), then run
+    # one non-empty shard so the sweep both executes and skips.
+    count = next(
+        n
+        for n in range(2, len(tasks) + 2)
+        if len({shard_for_digest(task_hash(t), n) for t in tasks}) > 1
+    )
+    index = shard_for_digest(task_hash(tasks[0]), count)
     runner = SweepRunner(
         jobs=1,
         cache_dir=tmp_path,
         use_cache=True,
         store_backend="columnar",
-        shard=(0, 2),
+        shard=(index, count),
     )
     outcomes = runner.run(tasks)
     skipped = [o for o in outcomes if o.skipped]
